@@ -1,0 +1,54 @@
+"""Ablation — multi-core multi-tasking (the paper's §VI future work).
+
+Deploys the DSLAM pair (SuperPoint FE at 20 fps, GeM PR continuously) on:
+one pre-emptive core (the paper's system), two statically-partitioned cores,
+and two dynamically-dispatched cores.  Shows the trade the paper's future
+work would explore: spatial isolation zeroes FE response latency but leaves
+silicon idle; the single pre-emptive core achieves full utilisation at a
+response cost of tens of microseconds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.dslam.camera import frame_period_cycles
+from repro.multicore import compare_deployments
+
+
+@pytest.fixture(scope="module")
+def scaling_result(paper_workloads, big_config):
+    gem, _, superpoint_small = paper_workloads
+    period = frame_period_cycles(big_config.clock.hz, 20.0)
+    return compare_deployments(
+        superpoint_small, gem, high_period_cycles=period, high_count=12, low_count=2
+    )
+
+
+def test_multicore_table(benchmark, scaling_result):
+    benchmark(scaling_result.format)
+    write_result("ablation_multicore", scaling_result.format())
+
+
+def test_single_core_meets_deadlines(benchmark, scaling_result):
+    benchmark(lambda: scaling_result.rows[0])
+    single = scaling_result.row("1-core (INCA, pre-emptive)")
+    assert single.high_deadline_misses == 0
+    # FE response on the shared core stays in the tens-of-us regime.
+    assert single.high_mean_response_cycles / 300 < 500  # < 500 us
+
+
+def test_spatial_isolation_zero_response(benchmark, scaling_result):
+    benchmark(lambda: scaling_result.rows[1])
+    spatial = scaling_result.row("2-core (spatial isolation)")
+    assert spatial.high_mean_response_cycles == 0
+    single = scaling_result.row("1-core (INCA, pre-emptive)")
+    assert spatial.utilisation() < single.utilisation()
+
+
+def test_two_cores_shrink_makespan(benchmark, scaling_result):
+    benchmark(lambda: scaling_result.rows)
+    single = scaling_result.row("1-core (INCA, pre-emptive)")
+    spatial = scaling_result.row("2-core (spatial isolation)")
+    assert spatial.makespan_cycles < single.makespan_cycles

@@ -1,0 +1,39 @@
+"""Design-space exploration on the FE workload (deployment-sizing study)."""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.analysis.design_space import explore
+from repro.nn import TensorShape
+from repro.zoo import build_superpoint
+
+
+@pytest.fixture(scope="module")
+def dse_result():
+    return explore(build_superpoint(TensorShape(120, 160, 1), head="detector"))
+
+
+def test_dse_table(benchmark, dse_result):
+    benchmark(dse_result.format)
+    write_result("design_space_superpoint", dse_result.format())
+
+
+def test_paper_config_meets_fe_rate(benchmark, dse_result):
+    """The ZU9 configuration sustains well past the 20 fps camera."""
+    benchmark(lambda: dse_result.points)
+    zu9 = next(p for p in dse_result.points if p.config.name == "angel-eye-zu9")
+    assert zu9.fps > 20.0
+
+
+def test_speed_ordering(benchmark, dse_result):
+    benchmark(lambda: dse_result.best_by_fps())
+    by_name = {p.config.name: p for p in dse_result.points}
+    assert by_name["angel-eye-small"].fps < by_name["angel-eye-zu9"].fps
+
+
+def test_efficiency_favours_a_balanced_design(benchmark, dse_result):
+    """fps/DSP peaks somewhere sensible — not at the biggest array when the
+    workload can't feed it."""
+    benchmark(lambda: dse_result.best_by_efficiency())
+    best = dse_result.best_by_efficiency()
+    assert best.fps_per_dsp > 0

@@ -1,0 +1,65 @@
+"""E10 — §V-C: the two-agent ROS DSLAM system on the interruptible accelerator.
+
+20 fps cameras feed FE (high priority, every frame) and PR (low priority,
+when free) on each agent's accelerator.  Paper: FE always completes (safety),
+and "the PR process[es] one frame every 7~10 input frames"; place matches
+between the agents merge the maps.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.dslam import DslamScenario, run_dslam
+
+
+@pytest.fixture(scope="module")
+def e10_result(paper_workloads):
+    gem, _, superpoint_small = paper_workloads
+    scenario = DslamScenario(num_frames=40, fps=20.0)
+    return run_dslam(superpoint_small, gem, scenario)
+
+
+def test_e10_regenerate(benchmark, paper_workloads):
+    gem, _, superpoint_small = paper_workloads
+    result = benchmark.pedantic(
+        lambda: run_dslam(superpoint_small, gem, DslamScenario(num_frames=10, fps=20.0)),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.agents
+
+
+def test_e10_report(benchmark, e10_result):
+    benchmark(e10_result.format)
+    write_result("e10_dslam", e10_result.format())
+
+
+def test_e10_fe_meets_every_deadline(benchmark, e10_result):
+    benchmark(e10_result.total_deadline_misses)
+    assert e10_result.total_deadline_misses() == 0
+    for agent in e10_result.agents:
+        assert agent.fe_jobs == 40
+
+
+def test_e10_pr_cadence_7_to_10(benchmark, e10_result):
+    benchmark(e10_result.mean_pr_gap)
+    """The paper's headline DSLAM number."""
+    assert 7.0 <= e10_result.mean_pr_gap() <= 10.0
+    for agent in e10_result.agents:
+        for gap in agent.pr_frame_gaps:
+            assert 7 <= gap <= 10
+
+
+def test_e10_maps_merge(benchmark, e10_result):
+    benchmark(lambda: len(e10_result.matches))
+    assert e10_result.matches
+    assert e10_result.match_precision >= 0.9
+    assert e10_result.merge is not None
+    assert e10_result.merged_ate_meters is not None
+    assert e10_result.merged_ate_meters < 1.0
+
+
+def test_e10_vo_quality(benchmark, e10_result):
+    benchmark(lambda: [a.ate_meters for a in e10_result.agents])
+    for agent in e10_result.agents:
+        assert agent.ate_meters < 0.5

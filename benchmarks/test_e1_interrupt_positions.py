@@ -1,0 +1,69 @@
+"""E1 — Fig. barresult(a): interrupt latency & cost at 12 random positions.
+
+The paper samples 12 positions inside a GeM/ResNet-101 (480x640) inference
+and interrupts it with the high-priority FE task under three disciplines.
+Expected shape: CPU-like pays milliseconds of backup both ways;
+layer-by-layer responds in (tens of) milliseconds at zero cost; the VI method
+responds in tens of microseconds at small recovery-only cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.analysis import experiment_interrupt_positions
+from repro.interrupt.base import CPU_LIKE, LAYER_BY_LAYER, VIRTUAL_INSTRUCTION
+
+
+@pytest.fixture(scope="module")
+def e1_result(paper_workloads):
+    gem, superpoint_vga, _ = paper_workloads
+    return experiment_interrupt_positions(gem, superpoint_vga, num_positions=12, seed=2020)
+
+
+def test_e1_regenerate_figure(benchmark, paper_workloads):
+    gem, superpoint_vga, _ = paper_workloads
+
+    result = benchmark.pedantic(
+        lambda: experiment_interrupt_positions(gem, superpoint_vga, num_positions=3, seed=7),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(result.positions) == 3
+
+
+def test_e1_table_and_claims(benchmark, e1_result):
+    benchmark(e1_result.format)
+    write_result("e1_interrupt_positions", e1_result.format())
+
+    vi_latency = e1_result.mean_response_us(VIRTUAL_INSTRUCTION.name)
+    layer_latency = e1_result.mean_response_us(LAYER_BY_LAYER.name)
+    cpu_latency = e1_result.mean_response_us(CPU_LIKE.name)
+    vi_cost = e1_result.mean_cost_us(VIRTUAL_INSTRUCTION.name)
+    cpu_cost = e1_result.mean_cost_us(CPU_LIKE.name)
+    layer_cost = e1_result.mean_cost_us(LAYER_BY_LAYER.name)
+
+    # Paper: VI responds in < 100 us on ResNet-scale networks.
+    assert vi_latency < 100.0
+    # Paper: layer-by-layer is ms-scale; VI is orders of magnitude faster.
+    assert layer_latency > 500.0
+    assert vi_latency < layer_latency / 10.0
+    # Paper: CPU-like consumes the most extra cost (full 2.2 MiB both ways).
+    assert cpu_cost > vi_cost
+    assert cpu_cost > 1000.0  # ~2 x 2.25 MiB at ~2.4 GB/s => > 1 ms
+    # Paper: layer-by-layer has no extra interrupt cost.
+    assert abs(layer_cost) < 50.0
+    # CPU-like latency includes the spill, so it exceeds VI latency too.
+    assert cpu_latency > vi_latency
+
+
+def test_e1_every_position_ordering(benchmark, e1_result):
+    benchmark(lambda: e1_result.mean_response_us("virtual-instruction"))
+    """At every sampled position, VI must respond fastest."""
+    for position in e1_result.positions:
+        vi = position.measurements[VIRTUAL_INSTRUCTION.name].response_cycles
+        layer = position.measurements[LAYER_BY_LAYER.name].response_cycles
+        cpu = position.measurements[CPU_LIKE.name].response_cycles
+        assert vi < layer
+        assert vi < cpu

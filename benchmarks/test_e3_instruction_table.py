@@ -1,0 +1,24 @@
+"""E3 — paper Table 1: the basic instruction set, regenerated from the ISA."""
+
+from benchmarks.conftest import write_result
+from repro.analysis import experiment_instruction_table
+from repro.isa import INSTRUCTION_TABLE, Opcode
+
+
+def test_e3_regenerate_table(benchmark):
+    text = benchmark(experiment_instruction_table)
+    write_result("e3_instruction_table", text)
+    assert "CALC_I" in text and "Intermediate" in text
+
+
+def test_e3_semantics_match_paper(benchmark):
+    benchmark(lambda: len(INSTRUCTION_TABLE))
+    by_opcode = {info.opcode: info for info in INSTRUCTION_TABLE}
+    # LOAD/SAVE back up nothing; CALC_I must back up intermediate data.
+    assert by_opcode[Opcode.LOAD_W].backup == "-"
+    assert by_opcode[Opcode.SAVE].backup == "-"
+    assert "Intermediate" in by_opcode[Opcode.CALC_I].backup
+    assert by_opcode[Opcode.CALC_F].backup == "Final results"
+    # Every opcode's recovery includes reloading weights and input data.
+    for info in INSTRUCTION_TABLE:
+        assert "Weight" in info.recovery and "Input data" in info.recovery

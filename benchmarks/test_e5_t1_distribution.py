@@ -1,0 +1,38 @@
+"""E5 — commented Fig. t1all/t1after: waiting time inside one conv layer.
+
+The paper's example layer shows the VI method reducing the worst wait to
+~1.6 % of the layer-by-layer wait.  We profile a mid-network ResNet-101
+convolution (120x160 feature map) on the big accelerator.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.analysis import experiment_t1_distribution
+from repro.interrupt.base import LAYER_BY_LAYER, VIRTUAL_INSTRUCTION
+
+
+@pytest.fixture(scope="module")
+def e5_result(paper_workloads):
+    gem, _, _ = paper_workloads
+    # res2_0_conv2: 3x3 over a 120x160 map — a typical mid-network layer.
+    return experiment_t1_distribution(gem, "res2_0_conv2")
+
+
+def test_e5_regenerate_figure(benchmark, paper_workloads):
+    gem, _, _ = paper_workloads
+    result = benchmark.pedantic(
+        lambda: experiment_t1_distribution(gem, "res2_0_conv2"), rounds=1, iterations=1
+    )
+    assert result.profiles
+
+
+def test_e5_reduction_claim(benchmark, e5_result):
+    benchmark(e5_result.reduction)
+    write_result("e5_t1_distribution", e5_result.format())
+    # Paper example: worst wait reduced to ~1.6 %; our layer/tiling differ
+    # slightly, so assert the reduction is to a few percent.
+    assert e5_result.reduction() < 0.06
+    vi = e5_result.profiles[VIRTUAL_INSTRUCTION.name]
+    layer = e5_result.profiles[LAYER_BY_LAYER.name]
+    assert vi.mean_cycles < layer.mean_cycles / 10.0

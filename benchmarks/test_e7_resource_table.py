@@ -1,0 +1,47 @@
+"""E7 — commented table: FPGA resource consumption on the ZU9.
+
+The point of the paper's table: the IAU that makes the accelerator
+interruptible costs <1 % of the board (no DSPs, ~2k LUTs, 4 BRAMs).
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.analysis import experiment_resource_table
+from repro.hw.resources import ZU9_RESOURCES
+
+#: The paper's published rows: name -> (DSP, LUT, FF, BRAM).
+PAPER_TABLE = {
+    "On-Board resource": (2520, 274080, 548160, 912),
+    "CNN accelerator": (1282, 74569, 171416, 499),
+    "IAU": (0, 2268, 4633, 4),
+    "FE post-processing": (25, 17573, 29115, 10),
+}
+
+
+@pytest.fixture(scope="module")
+def e7_result():
+    return experiment_resource_table()
+
+
+def test_e7_regenerate_table(benchmark):
+    result = benchmark(experiment_resource_table)
+    write_result("e7_resource_table", result.format())
+
+
+def test_e7_matches_paper(benchmark, e7_result):
+    benchmark(e7_result.format)
+    for estimate in e7_result.estimates:
+        dsp, lut, ff, bram = PAPER_TABLE[estimate.name]
+        assert estimate.dsp == pytest.approx(dsp, abs=max(2, dsp * 0.02))
+        assert estimate.lut == pytest.approx(lut, rel=0.02)
+        assert estimate.ff == pytest.approx(ff, rel=0.02)
+        assert estimate.bram == pytest.approx(bram, rel=0.05)
+
+
+def test_e7_iau_is_negligible(benchmark, e7_result):
+    benchmark(e7_result.iau_fraction_of_accelerator)
+    iau = next(e for e in e7_result.estimates if e.name == "IAU")
+    assert iau.dsp == 0
+    utilisation = iau.utilisation(ZU9_RESOURCES)
+    assert max(utilisation.values()) < 0.01

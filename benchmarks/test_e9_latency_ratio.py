@@ -1,0 +1,34 @@
+"""E9 — abstract claim: the VI method reduces interrupt response latency to
+~2 % of the layer-by-layer method (measured over the whole PR network)."""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.analysis import experiment_latency_ratio
+
+
+@pytest.fixture(scope="module")
+def e9_result(paper_workloads):
+    gem, _, _ = paper_workloads
+    return experiment_latency_ratio(gem)
+
+
+def test_e9_regenerate(benchmark, paper_workloads):
+    gem, _, _ = paper_workloads
+    result = benchmark.pedantic(
+        lambda: experiment_latency_ratio(gem), rounds=1, iterations=1
+    )
+    assert result.ratio_percent > 0
+
+
+def test_e9_ratio_near_paper(benchmark, e9_result):
+    benchmark(e9_result.format)
+    write_result("e9_latency_ratio", e9_result.format())
+    # Paper: "reduces the interrupt responding latency to 2%". Our DMA/tiling
+    # model lands at ~3%; assert the same order with a one-sided cap.
+    assert e9_result.ratio_percent < 6.0
+
+
+def test_e9_mean_latency_under_100us(benchmark, e9_result, big_config):
+    benchmark(lambda: e9_result.vi_mean_cycles)
+    assert big_config.clock.cycles_to_us(e9_result.vi_mean_cycles) < 100.0

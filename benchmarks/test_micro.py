@@ -1,0 +1,68 @@
+"""Micro-benchmarks: throughput of the hot paths (pytest-benchmark proper).
+
+These are conventional multi-round benchmarks (unlike the one-shot experiment
+regenerations) and guard against performance regressions in the simulator's
+inner loops.
+"""
+
+import numpy as np
+import pytest
+
+from repro.accel.runner import run_program
+from repro.compiler import compile_network
+from repro.hw.config import AcceleratorConfig
+from repro.isa import Instruction, Opcode, decode_stream, encode_stream
+from repro.quant import conv2d
+from repro.zoo import build_tiny_cnn
+
+
+@pytest.fixture(scope="module")
+def tiny_compiled():
+    return compile_network(
+        build_tiny_cnn(), AcceleratorConfig.worked_example(), weights="random", seed=0
+    )
+
+
+def test_bench_encode_decode_roundtrip(benchmark):
+    stream = [
+        Instruction(
+            opcode=Opcode.CALC_F, layer_id=i % 100, rows=8, chs=16, in_chs=16, shift=6
+        )
+        for i in range(1000)
+    ]
+
+    def roundtrip():
+        return decode_stream(encode_stream(stream))
+
+    result = benchmark(roundtrip)
+    assert len(result) == 1000
+
+
+def test_bench_quantized_conv(benchmark):
+    rng = np.random.default_rng(0)
+    data = rng.integers(-128, 128, size=(32, 32, 16), dtype=np.int64).astype(np.int8)
+    weights = rng.integers(-64, 64, size=(3, 3, 16, 32), dtype=np.int64).astype(np.int8)
+
+    result = benchmark(
+        lambda: conv2d(data, weights, None, (1, 1), (1, 1), 6, relu=True)
+    )
+    assert result.shape == (32, 32, 32)
+
+
+def test_bench_timing_simulation(benchmark, tiny_compiled):
+    result = benchmark(lambda: run_program(tiny_compiled, "vi", functional=False))
+    assert result.total_cycles > 0
+
+
+def test_bench_functional_simulation(benchmark, tiny_compiled):
+    result = benchmark(lambda: run_program(tiny_compiled, "vi", functional=True))
+    assert result.total_cycles > 0
+
+
+def test_bench_compile_tiny(benchmark):
+    result = benchmark(
+        lambda: compile_network(
+            build_tiny_cnn(), AcceleratorConfig.worked_example(), weights="zeros"
+        )
+    )
+    assert len(result.program) > 0

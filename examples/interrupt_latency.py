@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Interrupt-latency study: the paper's Fig. barresult(a) on your terminal.
+
+Interrupts a GeM/ResNet-101 place-recognition inference (480x640) with the
+SuperPoint feature-extraction network at random positions, under all three
+interrupt disciplines (CPU-like, layer-by-layer, virtual-instruction), and
+prints response latency and extra cost per position.
+
+This is the full-size experiment (~2 min of simulation).  Pass ``--small``
+to run a scaled-down variant in a few seconds.
+
+Run:  python examples/interrupt_latency.py [--small] [--positions N]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis import (
+    bar_chart,
+    experiment_interrupt_positions,
+    experiment_latency_ratio,
+)
+from repro.interrupt.base import METHODS
+from repro.hw.config import AcceleratorConfig
+from repro.nn import TensorShape
+from repro.runtime import compile_tasks
+from repro.zoo import build_gem, build_resnet, build_superpoint
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--small", action="store_true",
+                        help="use a ResNet-18 at 120x160 for a fast demo")
+    parser.add_argument("--positions", type=int, default=12,
+                        help="number of random interrupt positions (paper: 12)")
+    args = parser.parse_args()
+
+    config = AcceleratorConfig.big()
+    if args.small:
+        low_net = build_resnet("resnet18", TensorShape(120, 160, 3))
+        high_net = build_superpoint(TensorShape(120, 160, 1), head="detector")
+    else:
+        low_net = build_gem(TensorShape(480, 640, 3))
+        high_net = build_superpoint(TensorShape(480, 640, 1), head="detector")
+
+    print(f"compiling {low_net.name} (low priority) and {high_net.name} "
+          f"(high priority) for {config.name}...")
+    low, high = compile_tasks([low_net, high_net], config, weights="zeros")
+    print(low.report())
+    print()
+
+    result = experiment_interrupt_positions(low, high, num_positions=args.positions)
+    print(result.format())
+
+    print()
+    print(
+        bar_chart(
+            [method.name for method in METHODS],
+            [result.mean_response_us(method.name) for method in METHODS],
+            title="mean interrupt response latency (the paper's Fig. barresult(a))",
+            unit=" us",
+            log_scale=True,
+        )
+    )
+
+    ratio = experiment_latency_ratio(low)
+    print()
+    print(ratio.format())
+
+
+if __name__ == "__main__":
+    main()

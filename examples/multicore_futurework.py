@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Multi-core multi-tasking — the paper's §VI future work, explored.
+
+Deploys the DSLAM pair (high-priority FE at 20 fps + low-priority PR) on
+three alternatives and prints the trade-off table:
+
+* 1 pre-emptive core — the paper's INCA system,
+* 2 cores with static task placement — spatial isolation,
+* 2 cores with least-loaded dynamic dispatch.
+
+Spatial isolation zeroes the FE response latency but strands silicon; the
+single interruptible core runs at full utilisation for a response cost of
+tens of microseconds.  Run with ``--small`` (default) for tiny stand-in
+networks or ``--full`` for SuperPoint + GeM (minutes).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.dslam.camera import frame_period_cycles
+from repro.hw.config import AcceleratorConfig
+from repro.interrupt import VIRTUAL_INSTRUCTION, run_alone
+from repro.multicore import compare_deployments
+from repro.nn import TensorShape
+from repro.runtime import compile_tasks
+from repro.zoo import build_gem, build_superpoint, build_tiny_cnn, build_tiny_conv
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="use the paper's SuperPoint/GeM workloads")
+    args = parser.parse_args()
+
+    config = AcceleratorConfig.big()
+    if args.full:
+        high_net = build_superpoint(TensorShape(120, 160, 1), head="detector")
+        low_net = build_gem(TensorShape(480, 640, 3))
+        high_count, low_count = 12, 2
+    else:
+        high_net, low_net = build_tiny_conv(), build_tiny_cnn()
+        high_count, low_count = 20, 6
+
+    print(f"compiling FE={high_net.name}, PR={low_net.name}...")
+    high, low = compile_tasks([high_net, low_net], config, weights="zeros")
+
+    if args.full:
+        period = frame_period_cycles(config.clock.hz, 20.0)
+    else:
+        period = run_alone(high, VIRTUAL_INSTRUCTION) * 3
+
+    result = compare_deployments(
+        high, low, high_period_cycles=period, high_count=high_count, low_count=low_count
+    )
+    print()
+    print(result.format())
+    print()
+    single = result.row("1-core (INCA, pre-emptive)")
+    spatial = result.row("2-core (spatial isolation)")
+    print(
+        "takeaway: the second core buys "
+        f"{single.high_mean_response_cycles / config.clock.hz * 1e6:.1f} us of FE "
+        f"response latency at the cost of running at "
+        f"{spatial.utilisation() * 100:.0f}% vs {single.utilisation() * 100:.0f}% utilisation."
+    )
+
+
+if __name__ == "__main__":
+    main()

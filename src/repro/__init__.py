@@ -1,0 +1,61 @@
+"""INCA: INterruptible CNN Accelerator for Multi-tasking in Robots.
+
+Full-system Python reproduction of the DAC 2020 paper: network IR and model
+zoo, 8-bit quantization, the original and virtual-instruction ISAs, a
+cycle-approximate Angel-Eye-style accelerator simulator, the Instruction
+Arrangement Unit (IAU), three interrupt methods (CPU-like, layer-by-layer,
+virtual-instruction), a preemptive multi-task runtime, a ROS-like
+discrete-event middleware, a synthetic two-agent DSLAM application, and the
+paper's future-work multi-core extension.
+
+Quickstart::
+
+    from repro import AcceleratorConfig, MultiTaskSystem, compile_tasks
+    from repro.zoo import build_tiny_cnn, build_tiny_residual
+
+    config = AcceleratorConfig.big()
+    low, high = compile_tasks([build_tiny_cnn(), build_tiny_residual()], config)
+    system = MultiTaskSystem(config)
+    system.add_task(0, high)          # priority 0: never interrupted
+    system.add_task(1, low)           # priority 1: interruptible
+    system.submit(1, at_cycle=0)
+    system.submit(0, at_cycle=2_000)  # pre-empts mid-inference
+    system.run()
+    print(system.job(0).response_cycles)
+"""
+
+from repro.accel.reference import golden_inference, golden_output
+from repro.accel.runner import RunResult, run_program
+from repro.compiler import CompiledNetwork, ViPolicy, compile_network
+from repro.hw import AcceleratorConfig
+from repro.interrupt import (
+    CPU_LIKE,
+    LAYER_BY_LAYER,
+    VIRTUAL_INSTRUCTION,
+    measure_interrupt,
+)
+from repro.nn import GraphBuilder, NetworkGraph, TensorShape
+from repro.runtime import MultiTaskSystem, compile_tasks
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AcceleratorConfig",
+    "CPU_LIKE",
+    "CompiledNetwork",
+    "GraphBuilder",
+    "LAYER_BY_LAYER",
+    "MultiTaskSystem",
+    "NetworkGraph",
+    "RunResult",
+    "TensorShape",
+    "VIRTUAL_INSTRUCTION",
+    "ViPolicy",
+    "__version__",
+    "compile_network",
+    "compile_tasks",
+    "golden_inference",
+    "golden_output",
+    "measure_interrupt",
+    "run_program",
+]

@@ -1,0 +1,32 @@
+"""Cycle-approximate, functionally bit-exact accelerator simulator."""
+
+from repro.accel.core import (
+    AcceleratorCore,
+    Accumulator,
+    CoreStats,
+    DataTile,
+    OutputGroup,
+    OutputSection,
+    WeightTile,
+)
+from repro.accel.pipelined import (
+    PipelinedSchedule,
+    engine_busy_cycles,
+    pipelined_schedule,
+)
+from repro.accel.trace import ExecutionTrace, TraceEvent
+
+__all__ = [
+    "AcceleratorCore",
+    "Accumulator",
+    "CoreStats",
+    "DataTile",
+    "ExecutionTrace",
+    "OutputGroup",
+    "OutputSection",
+    "PipelinedSchedule",
+    "TraceEvent",
+    "WeightTile",
+    "engine_busy_cycles",
+    "pipelined_schedule",
+]

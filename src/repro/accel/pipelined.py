@@ -1,0 +1,135 @@
+"""Pipelined (double-buffered) execution timing.
+
+The reference core serialises DMA and compute.  Real Angel-Eye overlaps
+them: while the MAC array chews on blob N, the DMA engine prefetches the
+data for blob N+1 into the second half of each double buffer.  This module
+schedules a straight-line program onto two engines with in-order issue:
+
+* a **DMA** instruction (LOAD_D / LOAD_W / SAVE) starts when the DMA engine
+  is free, but no earlier than the retirement of the instruction ``window``
+  positions behind it — the finite-buffering constraint double buffers
+  impose (it cannot run arbitrarily far ahead);
+* a **COMPUTE** instruction (CALC) starts when the compute engine is free
+  and every earlier DMA load has landed;
+* a **SAVE** additionally waits for every earlier CALC (its producers).
+
+This is a timing model, not a functional one: results come from the serial
+functional core, which computes the same values in either schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.isa.opcodes import Opcode
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids accel<->analysis cycle)
+    from repro.compiler.compile import CompiledNetwork
+
+_DMA = (Opcode.LOAD_D, Opcode.LOAD_W, Opcode.SAVE)
+
+
+@dataclass(frozen=True)
+class PipelinedSchedule:
+    """Per-instruction spans of a pipelined execution."""
+
+    network: str
+    start: np.ndarray
+    end: np.ndarray
+    serial_cycles: int
+
+    @property
+    def total_cycles(self) -> int:
+        return int(self.end[-1])
+
+    @property
+    def speedup(self) -> float:
+        return self.serial_cycles / max(self.total_cycles, 1)
+
+
+def pipelined_schedule(
+    compiled: CompiledNetwork, vi_mode: str = "vi", window: int = 16
+) -> PipelinedSchedule:
+    """List-schedule the program onto DMA + compute engines.
+
+    ``window`` is how many instructions the DMA engine may run ahead of the
+    oldest unretired instruction — the double-buffer depth expressed at
+    instruction granularity.
+    """
+    from repro.analysis.latency import instruction_cycles
+
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    program = compiled.program_for(vi_mode)
+    serial = instruction_cycles(compiled, vi_mode)
+    fetch = compiled.config.instruction_fetch_cycles
+
+    count = len(program)
+    start = np.zeros(count, dtype=np.int64)
+    end = np.zeros(count, dtype=np.int64)
+    dma_free = 0
+    compute_free = 0
+    latest_load_end = 0
+    latest_compute_end = 0
+    previous_end = 0
+
+    for index, instruction in enumerate(program):
+        duration = int(serial[index])
+        if instruction.is_virtual:
+            # Front-end only: consumes fetch slots, never an engine.
+            start[index] = previous_end
+            end[index] = previous_end
+            continue
+        window_gate = int(end[index - window]) if index >= window else 0
+        if instruction.opcode in _DMA:
+            ready = max(dma_free, window_gate)
+            if instruction.opcode == Opcode.SAVE:
+                ready = max(ready, latest_compute_end)
+            start[index] = ready
+            end[index] = ready + duration
+            dma_free = int(end[index])
+            if instruction.opcode != Opcode.SAVE:
+                latest_load_end = max(latest_load_end, int(end[index]))
+        else:
+            ready = max(compute_free, latest_load_end, window_gate)
+            start[index] = ready
+            end[index] = ready + duration
+            compute_free = int(end[index])
+            latest_compute_end = max(latest_compute_end, int(end[index]))
+        previous_end = int(end[index])
+
+    # Fetch bandwidth is shared: add the virtual instructions' fetch cost to
+    # the critical path (they are never fully free).
+    virtual_fetch = fetch * sum(1 for i in program if i.is_virtual)
+    total = int(max(end)) + virtual_fetch
+    end = end.copy()
+    end[-1] = max(end[-1], total)
+    return PipelinedSchedule(
+        network=compiled.graph.name,
+        start=start,
+        end=end,
+        serial_cycles=int(np.sum(serial)),
+    )
+
+
+def engine_busy_cycles(
+    compiled: CompiledNetwork, vi_mode: str = "vi"
+) -> tuple[int, int]:
+    """(dma busy cycles, compute busy cycles) — the pipeline's lower bounds."""
+    from repro.analysis.latency import instruction_cycles
+
+    program = compiled.program_for(vi_mode)
+    serial = instruction_cycles(compiled, vi_mode)
+    dma = 0
+    compute = 0
+    for index, instruction in enumerate(program):
+        if instruction.is_virtual:
+            continue
+        if instruction.opcode in _DMA:
+            dma += int(serial[index])
+        else:
+            compute += int(serial[index])
+    return dma, compute

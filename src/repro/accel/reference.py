@@ -1,0 +1,63 @@
+"""Golden whole-layer reference inference.
+
+Evaluates a compiled network layer by layer with the reference quantized
+operators (:mod:`repro.quant.qops`), reading the same weights the simulator
+uses from the DDR regions.  The accelerator's tiled, interruptible execution
+must match this output **bit-exactly** — that is the system's core
+correctness invariant, enforced by the test suite for arbitrary interrupt
+schedules.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compiler.compile import CompiledNetwork
+from repro.errors import ExecutionError
+from repro.quant import qops
+
+
+def golden_inference(
+    compiled: CompiledNetwork, input_map: np.ndarray
+) -> dict[str, np.ndarray]:
+    """Run the reference model; returns every layer's output by name."""
+    input_map = np.asarray(input_map, dtype=np.int8)
+    expected = compiled.graph.input_shape
+    if input_map.shape != (expected.height, expected.width, expected.channels):
+        raise ExecutionError(
+            f"golden input shape {input_map.shape} != network input {expected}"
+        )
+    ddr = compiled.layout.ddr
+    outputs: dict[str, np.ndarray] = {compiled.graph.input_layer.name: input_map}
+    by_name = {cfg.name: cfg for cfg in compiled.layer_configs}
+
+    for layer in compiled.graph.layers[1:]:
+        cfg = by_name[layer.name]
+        sources = [outputs[src] for src in layer.inputs]
+        if cfg.kind == "conv":
+            weights = ddr.region(cfg.weight_region).array
+            bias = ddr.region(cfg.bias_region).array if cfg.bias else None
+            result = qops.conv2d(
+                sources[0], weights, bias, cfg.stride, cfg.padding, cfg.shift, cfg.relu
+            )
+        elif cfg.kind == "depthwise":
+            weights = ddr.region(cfg.weight_region).array
+            bias = ddr.region(cfg.bias_region).array if cfg.bias else None
+            result = qops.depthwise_conv2d(
+                sources[0], weights, bias, cfg.stride, cfg.padding, cfg.shift, cfg.relu
+            )
+        elif cfg.kind == "pool":
+            result = qops.pool2d(sources[0], cfg.kernel, cfg.stride, cfg.padding, cfg.mode)
+        elif cfg.kind == "add":
+            result = qops.eltwise_add(sources[0], sources[1], cfg.relu)
+        elif cfg.kind == "global":
+            result = qops.global_pool(sources[0], cfg.mode, cfg.gem_p)
+        else:  # pragma: no cover
+            raise ExecutionError(f"no golden op for layer kind {cfg.kind!r}")
+        outputs[layer.name] = result
+    return outputs
+
+
+def golden_output(compiled: CompiledNetwork, input_map: np.ndarray) -> np.ndarray:
+    """The reference output feature map of the network."""
+    return golden_inference(compiled, input_map)[compiled.graph.output_layer.name]

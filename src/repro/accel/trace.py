@@ -1,0 +1,67 @@
+"""Execution traces: what ran when, for latency analysis and debugging."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.opcodes import Opcode
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One executed instruction with its time span (accelerator cycles)."""
+
+    task_id: int
+    program_index: int
+    opcode: Opcode
+    layer_id: int
+    start_cycle: int
+    cycles: int
+
+    @property
+    def end_cycle(self) -> int:
+        return self.start_cycle + self.cycles
+
+
+@dataclass
+class ExecutionTrace:
+    """An append-only event log with simple queries."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+    enabled: bool = True
+
+    def record(self, event: TraceEvent) -> None:
+        if self.enabled:
+            self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def for_task(self, task_id: int) -> list[TraceEvent]:
+        return [event for event in self.events if event.task_id == task_id]
+
+    def first_event_of_task(self, task_id: int) -> TraceEvent | None:
+        for event in self.events:
+            if event.task_id == task_id:
+                return event
+        return None
+
+    def total_cycles(self) -> int:
+        if not self.events:
+            return 0
+        return max(event.end_cycle for event in self.events)
+
+    def busy_cycles(self, task_id: int | None = None) -> int:
+        return sum(
+            event.cycles
+            for event in self.events
+            if task_id is None or event.task_id == task_id
+        )
+
+    def layer_spans(self, task_id: int) -> dict[int, tuple[int, int]]:
+        """layer_id -> (first start cycle, last end cycle) for one task."""
+        spans: dict[int, tuple[int, int]] = {}
+        for event in self.for_task(task_id):
+            start, end = spans.get(event.layer_id, (event.start_cycle, event.end_cycle))
+            spans[event.layer_id] = (min(start, event.start_cycle), max(end, event.end_cycle))
+        return spans

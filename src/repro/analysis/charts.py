@@ -1,0 +1,81 @@
+"""ASCII bar charts for experiment results (terminal-native "figures").
+
+The paper's figures are bar charts; these helpers render the same data as
+horizontal ASCII bars so the examples can show the *figure*, not just the
+table.  Log-scale bars keep 3-orders-of-magnitude comparisons readable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: str | None = None,
+    width: int = 50,
+    unit: str = "",
+    log_scale: bool = False,
+) -> str:
+    """Horizontal bar chart; one row per (label, value)."""
+    if len(labels) != len(values):
+        raise ValueError(f"{len(labels)} labels vs {len(values)} values")
+    if not values:
+        raise ValueError("nothing to chart")
+    if any(value < 0 for value in values):
+        raise ValueError("bar values must be non-negative")
+
+    if log_scale:
+        floor = min(value for value in values if value > 0) / 2
+        scaled = [math.log10(max(value, floor) / floor) for value in values]
+    else:
+        scaled = list(values)
+    peak = max(scaled) or 1.0
+
+    label_width = max(len(label) for label in labels)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value, magnitude in zip(labels, values, scaled):
+        bar = "#" * max(1 if value > 0 else 0, round(width * magnitude / peak))
+        rendered = _format_value(value)
+        lines.append(f"{label.rjust(label_width)} |{bar.ljust(width)}| {rendered}{unit}")
+    if log_scale:
+        lines.append(" " * label_width + "  (log scale)")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Sequence[str],
+    series: dict[str, Sequence[float]],
+    title: str | None = None,
+    width: int = 50,
+    unit: str = "",
+    log_scale: bool = True,
+) -> str:
+    """One block per group, one bar per series — the Fig. barresult layout."""
+    flat_labels = []
+    flat_values = []
+    for index, group in enumerate(groups):
+        for name, values in series.items():
+            if len(values) != len(groups):
+                raise ValueError(
+                    f"series {name!r} has {len(values)} values for {len(groups)} groups"
+                )
+            flat_labels.append(f"{group} / {name}")
+            flat_values.append(values[index])
+    return bar_chart(
+        flat_labels, flat_values, title=title, width=width, unit=unit, log_scale=log_scale
+    )
+
+
+def _format_value(value: float) -> str:
+    if value == 0:
+        return "0"
+    if value >= 1000:
+        return f"{value:,.0f}"
+    if value >= 10:
+        return f"{value:.1f}"
+    return f"{value:.2f}"

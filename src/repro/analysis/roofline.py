@@ -1,0 +1,117 @@
+"""Roofline-style bandwidth/compute analysis of compiled networks.
+
+Classifies each layer as compute- or memory-bound on the configured
+accelerator by comparing its CALC cycles against its DMA cycles, and
+summarises where the network's time goes.  This is the analysis that
+explains the overlap ablation (GeM's 1x1-heavy stages are memory-bound, so
+perfect prefetch hides a quarter of the runtime) and guides hardware sizing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.tables import format_table
+from repro.compiler.compile import CompiledNetwork
+from repro.hw.timing import calc_cycles, transfer_cycles
+from repro.isa.opcodes import Opcode
+
+
+@dataclass(frozen=True)
+class LayerRoofline:
+    """DMA vs compute cycles of one layer."""
+
+    name: str
+    kind: str
+    calc_cycles: int
+    dma_cycles: int
+
+    @property
+    def bound(self) -> str:
+        return "memory" if self.dma_cycles > self.calc_cycles else "compute"
+
+    @property
+    def intensity(self) -> float:
+        """Compute-to-traffic cycle ratio (>1 means compute-bound)."""
+        return self.calc_cycles / max(self.dma_cycles, 1)
+
+
+@dataclass(frozen=True)
+class RooflineReport:
+    network: str
+    layers: list[LayerRoofline]
+
+    def memory_bound_fraction(self) -> float:
+        """Share of total cycles spent in memory-bound layers."""
+        total = sum(layer.calc_cycles + layer.dma_cycles for layer in self.layers)
+        bound = sum(
+            layer.calc_cycles + layer.dma_cycles
+            for layer in self.layers
+            if layer.bound == "memory"
+        )
+        return bound / total if total else 0.0
+
+    def total_calc_cycles(self) -> int:
+        return sum(layer.calc_cycles for layer in self.layers)
+
+    def total_dma_cycles(self) -> int:
+        return sum(layer.dma_cycles for layer in self.layers)
+
+    def format(self, top: int | None = 15) -> str:
+        ordered = sorted(
+            self.layers, key=lambda layer: -(layer.calc_cycles + layer.dma_cycles)
+        )
+        if top is not None:
+            ordered = ordered[:top]
+        rows = [
+            [
+                layer.name,
+                layer.kind,
+                layer.calc_cycles,
+                layer.dma_cycles,
+                f"{layer.intensity:.2f}",
+                layer.bound,
+            ]
+            for layer in ordered
+        ]
+        title = (
+            f"roofline of {self.network}: {self.total_calc_cycles()} calc / "
+            f"{self.total_dma_cycles()} dma cycles, "
+            f"{self.memory_bound_fraction() * 100:.0f}% of time in memory-bound layers"
+        )
+        return format_table(
+            ["layer", "kind", "calc cycles", "dma cycles", "intensity", "bound"],
+            rows,
+            title=title,
+        )
+
+
+def roofline_report(compiled: CompiledNetwork) -> RooflineReport:
+    """Accumulate per-layer CALC and DMA cycles from the compiled program."""
+    config = compiled.config
+    calc: dict[int, int] = {}
+    dma: dict[int, int] = {}
+    for instruction in compiled.programs["none"]:
+        layer = compiled.layer_config(instruction.layer_id)
+        if instruction.opcode in (Opcode.LOAD_D, Opcode.LOAD_W, Opcode.SAVE):
+            dma[layer.layer_id] = dma.get(layer.layer_id, 0) + transfer_cycles(
+                config, instruction.length
+            )
+        elif instruction.is_calc:
+            if layer.kind == "global":
+                cycles = layer.in_shape.height * layer.in_shape.width
+            elif layer.kind == "add":
+                cycles = calc_cycles(config, layer.out_shape.width, (1, 1))
+            else:
+                cycles = calc_cycles(config, layer.out_shape.width, layer.kernel)
+            calc[layer.layer_id] = calc.get(layer.layer_id, 0) + cycles
+    layers = [
+        LayerRoofline(
+            name=layer.name,
+            kind=layer.kind,
+            calc_cycles=calc.get(layer.layer_id, 0),
+            dma_cycles=dma.get(layer.layer_id, 0),
+        )
+        for layer in compiled.layer_configs
+    ]
+    return RooflineReport(network=compiled.graph.name, layers=layers)

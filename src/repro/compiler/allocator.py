@@ -1,0 +1,87 @@
+"""DDR layout for a compiled network.
+
+Every accelerator-visible tensor gets a named region:
+
+* ``<net>/input`` — the network input feature map (written by the host),
+* ``<net>/<layer>/out`` — each layer's output feature map,
+* ``<net>/<layer>/weights`` and ``<net>/<layer>/bias`` — parameters.
+
+Regions are backed by real numpy arrays so the functional simulation operates
+on actual data; the base addresses are what the instruction stream carries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hw.ddr import Ddr
+from repro.nn.graph import NetworkGraph
+from repro.nn.layers import Conv2d, DepthwiseConv2d, FullyConnected, Input
+
+
+@dataclass(frozen=True)
+class NetworkLayout:
+    """The allocated DDR plus the region names the compiler wired up."""
+
+    ddr: Ddr
+    input_region: str
+    #: layer name -> feature map region name.
+    feature_regions: dict[str, str]
+    #: layer name -> (weight region, bias region) for weighted layers.
+    parameter_regions: dict[str, tuple[str, str]]
+
+
+def allocate_network(graph: NetworkGraph, base_addr: int = 0, capacity: int = 1 << 32) -> NetworkLayout:
+    """Allocate all DDR regions for ``graph`` starting at ``base_addr``."""
+    ddr = Ddr(capacity=capacity, base=base_addr)
+    prefix = graph.name
+
+    input_region = f"{prefix}/input"
+    shape = graph.input_shape
+    ddr.allocate(input_region, (shape.height, shape.width, shape.channels), np.int8)
+
+    feature_regions: dict[str, str] = {graph.input_layer.name: input_region}
+    parameter_regions: dict[str, tuple[str, str]] = {}
+    for layer in graph.layers:
+        if isinstance(layer, Input):
+            continue
+        out_shape = graph.shapes[layer.name]
+        region = f"{prefix}/{layer.name}/out"
+        ddr.allocate(region, (out_shape.height, out_shape.width, out_shape.channels), np.int8)
+        feature_regions[layer.name] = region
+
+        weight_shape = _weight_shape(graph, layer)
+        if weight_shape is not None:
+            weight_region = f"{prefix}/{layer.name}/weights"
+            bias_region = f"{prefix}/{layer.name}/bias"
+            ddr.allocate(weight_region, weight_shape, np.int8)
+            ddr.allocate(bias_region, (out_shape.channels,), np.int32)
+            parameter_regions[layer.name] = (weight_region, bias_region)
+
+    return NetworkLayout(
+        ddr=ddr,
+        input_region=input_region,
+        feature_regions=feature_regions,
+        parameter_regions=parameter_regions,
+    )
+
+
+def _weight_shape(graph: NetworkGraph, layer) -> tuple[int, ...] | None:
+    """DDR weight array shape for a layer, or None if weight-less.
+
+    Convolutions store ``(kh, kw, cin, cout)``; depthwise ``(kh, kw, c)``;
+    fully-connected layers are lowered as convolutions whose kernel is the
+    input's full spatial extent, so they store ``(h, w, cin, cout)``.
+    """
+    if isinstance(layer, Conv2d):
+        kh, kw = layer.kernel
+        return (kh, kw, layer.in_channels, layer.out_channels)
+    if isinstance(layer, DepthwiseConv2d):
+        kh, kw = layer.kernel
+        return (kh, kw, layer.in_channels)
+    if isinstance(layer, FullyConnected):
+        (src_shape,) = graph.input_shapes_of(layer)
+        return (src_shape.height, src_shape.width, src_shape.channels, layer.out_features)
+    return None

@@ -1,0 +1,173 @@
+"""End-to-end compilation driver.
+
+``compile_network`` reproduces the paper's Fig. 1(c) pipeline:
+
+1. quantize the model (synthetic weights stand in for the trained Caffe model),
+2. allocate the DDR layout,
+3. lower topology + quantization to the original ISA,
+4. run the virtual-instruction pass,
+
+yielding a :class:`CompiledNetwork` holding the DDR image, the layer-config
+table and three program variants: ``"none"`` (original ISA), ``"vi"`` (the
+paper's VI-ISA) and ``"layer"`` (the layer-by-layer interrupt baseline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.compiler.allocator import NetworkLayout, allocate_network
+from repro.compiler.layer_config import LayerConfig
+from repro.compiler.lowering import build_layer_configs, lower_network
+from repro.compiler.tiling import LayerPlan
+from repro.compiler.vi_pass import (
+    DEFAULT_VI_POLICY,
+    ViPolicy,
+    insert_layer_barriers,
+    insert_virtual_instructions,
+)
+from repro.compiler.weights import LayerQuantization, initialize_parameters
+from repro.errors import CompileError
+from repro.hw.config import AcceleratorConfig
+from repro.isa.program import Program
+from repro.isa.validate import validate_program
+from repro.nn.graph import NetworkGraph
+
+#: Program variants a compile produces.
+VI_MODES = ("none", "vi", "layer")
+
+
+@dataclass
+class CompiledNetwork:
+    """Everything needed to run one network on the simulated accelerator."""
+
+    graph: NetworkGraph
+    config: AcceleratorConfig
+    layout: NetworkLayout
+    layer_configs: list[LayerConfig]
+    plans: list[LayerPlan]
+    quantization: dict[str, LayerQuantization]
+    programs: dict[str, Program]
+    _configs_by_id: dict[int, LayerConfig] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._configs_by_id = {cfg.layer_id: cfg for cfg in self.layer_configs}
+
+    # -- program access ----------------------------------------------------
+
+    @property
+    def program(self) -> Program:
+        """The interruptible VI-ISA program (the paper's deployment artefact)."""
+        return self.programs["vi"]
+
+    def program_for(self, vi_mode: str) -> Program:
+        if vi_mode not in self.programs:
+            raise CompileError(f"unknown vi_mode {vi_mode!r}; choose from {VI_MODES}")
+        return self.programs[vi_mode]
+
+    def layer_config(self, layer_id: int) -> LayerConfig:
+        try:
+            return self._configs_by_id[layer_id]
+        except KeyError:
+            raise CompileError(
+                f"network {self.graph.name!r} has no layer id {layer_id}"
+            ) from None
+
+    # -- host-side I/O -------------------------------------------------------
+
+    @property
+    def input_region(self) -> str:
+        return self.layout.input_region
+
+    @property
+    def output_region(self) -> str:
+        return self.layout.feature_regions[self.graph.output_layer.name]
+
+    def set_input(self, data: np.ndarray) -> None:
+        """Write an int8 HWC input feature map into DDR."""
+        region = self.layout.ddr.region(self.input_region)
+        data = np.asarray(data)
+        if data.shape != region.array.shape:
+            raise CompileError(
+                f"input shape {data.shape} does not match network input "
+                f"{region.array.shape}"
+            )
+        region.array[...] = data.astype(np.int8)
+
+    def get_output(self) -> np.ndarray:
+        """Read the network output feature map back from DDR."""
+        return self.layout.ddr.region(self.output_region).array.copy()
+
+    # -- reporting -------------------------------------------------------------
+
+    def num_interrupt_points(self) -> int:
+        return self.program.num_virtual()
+
+    def report(self) -> str:
+        vi = self.programs["vi"]
+        original = self.programs["none"]
+        lines = [
+            f"compiled {self.graph.name!r} for {self.config.name}",
+            f"  layers on accelerator : {len(self.layer_configs)}",
+            f"  original instructions : {len(original)}",
+            f"  VI-ISA instructions   : {len(vi)} "
+            f"(+{len(vi) - len(original)} virtual, "
+            f"{100.0 * (len(vi) - len(original)) / len(original):.1f}%)",
+            f"  interrupt points      : {vi.num_virtual()}",
+            f"  DDR footprint         : {self.layout.ddr.used_bytes / 1024 / 1024:.1f} MiB",
+        ]
+        return "\n".join(lines)
+
+
+def compile_network(
+    graph: NetworkGraph,
+    config: AcceleratorConfig,
+    base_addr: int = 0,
+    weights: str = "random",
+    seed: int = 0,
+    validate: bool = True,
+    vi_policy: ViPolicy = DEFAULT_VI_POLICY,
+    weight_percentile: float = 99.9,
+) -> CompiledNetwork:
+    """Compile ``graph`` for ``config``.
+
+    ``weights='random'`` generates and quantizes seeded synthetic weights
+    (needed for functional simulation); ``weights='zeros'`` skips generation
+    for timing-only experiments.  ``base_addr`` offsets every DDR region so
+    multiple compiled networks can share one address space.  ``vi_policy``
+    controls interrupt-position selection (default: every legal point).
+    """
+    layout = allocate_network(graph, base_addr=base_addr)
+    quantization = initialize_parameters(
+        graph, layout, mode=weights, seed=seed, percentile=weight_percentile
+    )
+    layer_configs = build_layer_configs(graph, layout, quantization)
+    if not layer_configs:
+        raise CompileError(f"network {graph.name!r} has no accelerator layers")
+    original, plans = lower_network(config, layer_configs, layout)
+
+    programs = {
+        "none": Program(name=f"{graph.name}.orig", instructions=tuple(original)),
+        "vi": Program(
+            name=f"{graph.name}.vi",
+            instructions=tuple(insert_virtual_instructions(original, vi_policy)),
+        ),
+        "layer": Program(
+            name=f"{graph.name}.layer",
+            instructions=tuple(insert_layer_barriers(original)),
+        ),
+    }
+    if validate:
+        for program in programs.values():
+            validate_program(program)
+    return CompiledNetwork(
+        graph=graph,
+        config=config,
+        layout=layout,
+        layer_configs=layer_configs,
+        plans=plans,
+        quantization=quantization,
+        programs=programs,
+    )

@@ -1,0 +1,330 @@
+"""Lowering: network graph -> layer configs -> original ISA.
+
+This is the "original compiler" stage of the paper's Fig. 1(c): it translates
+the network topology plus quantization information into the original
+(non-interruptible) LOAD/CALC/SAVE sequence.  The virtual-instruction pass
+(:mod:`repro.compiler.vi_pass`) then decorates that sequence.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.allocator import NetworkLayout
+from repro.compiler.layer_config import LayerConfig
+from repro.compiler.tiling import LayerPlan, plan_layer
+from repro.compiler.weights import DEFAULT_SHIFT, LayerQuantization
+from repro.errors import CompileError
+from repro.hw.config import AcceleratorConfig
+from repro.isa.instructions import (
+    FLAG_BIAS,
+    FLAG_LAST_SAVE_OF_LAYER,
+    FLAG_OPERAND_B,
+    FLAG_RELU,
+    Instruction,
+)
+from repro.isa.opcodes import Opcode
+from repro.nn.graph import NetworkGraph
+from repro.nn.layers import (
+    Add,
+    Conv2d,
+    DepthwiseConv2d,
+    FullyConnected,
+    GlobalPool,
+    Input,
+    Pool2d,
+)
+
+
+def build_layer_configs(
+    graph: NetworkGraph,
+    layout: NetworkLayout,
+    quantization: dict[str, LayerQuantization],
+) -> list[LayerConfig]:
+    """Assign layer ids and translate each graph layer to a LayerConfig."""
+    configs: list[LayerConfig] = []
+    for layer in graph.layers:
+        if isinstance(layer, Input):
+            continue
+        layer_id = len(configs)
+        (in_shape, *rest) = graph.input_shapes_of(layer)
+        out_shape = graph.shapes[layer.name]
+        input_region = layout.feature_regions[layer.inputs[0]]
+        output_region = layout.feature_regions[layer.name]
+        shift = quantization[layer.name].shift if layer.name in quantization else DEFAULT_SHIFT
+        common = dict(
+            layer_id=layer_id,
+            name=layer.name,
+            in_shape=in_shape,
+            out_shape=out_shape,
+            input_region=input_region,
+            output_region=output_region,
+        )
+        if isinstance(layer, Conv2d):
+            weight_region, bias_region = layout.parameter_regions[layer.name]
+            configs.append(
+                LayerConfig(
+                    kind="conv",
+                    kernel=layer.kernel,
+                    stride=layer.stride,
+                    padding=layer.padding,
+                    relu=layer.relu,
+                    bias=layer.bias,
+                    shift=shift,
+                    weight_region=weight_region,
+                    bias_region=bias_region,
+                    **common,
+                )
+            )
+        elif isinstance(layer, DepthwiseConv2d):
+            weight_region, bias_region = layout.parameter_regions[layer.name]
+            configs.append(
+                LayerConfig(
+                    kind="depthwise",
+                    kernel=layer.kernel,
+                    stride=layer.stride,
+                    padding=layer.padding,
+                    relu=layer.relu,
+                    bias=layer.bias,
+                    shift=shift,
+                    weight_region=weight_region,
+                    bias_region=bias_region,
+                    **common,
+                )
+            )
+        elif isinstance(layer, FullyConnected):
+            # FC == convolution whose kernel is the full input extent.
+            weight_region, bias_region = layout.parameter_regions[layer.name]
+            configs.append(
+                LayerConfig(
+                    kind="conv",
+                    kernel=(in_shape.height, in_shape.width),
+                    stride=(1, 1),
+                    padding=(0, 0),
+                    relu=layer.relu,
+                    bias=layer.bias,
+                    shift=shift,
+                    weight_region=weight_region,
+                    bias_region=bias_region,
+                    **common,
+                )
+            )
+        elif isinstance(layer, Pool2d):
+            configs.append(
+                LayerConfig(
+                    kind="pool",
+                    kernel=layer.kernel,
+                    stride=layer.stride,
+                    padding=layer.padding,
+                    mode=layer.mode,
+                    **common,
+                )
+            )
+        elif isinstance(layer, Add):
+            (second_shape,) = rest
+            configs.append(
+                LayerConfig(
+                    kind="add",
+                    relu=layer.relu,
+                    in2_shape=second_shape,
+                    input2_region=layout.feature_regions[layer.inputs[1]],
+                    **common,
+                )
+            )
+        elif isinstance(layer, GlobalPool):
+            configs.append(
+                LayerConfig(kind="global", mode=layer.mode, gem_p=layer.p, **common)
+            )
+        else:
+            raise CompileError(f"layer {layer.name!r}: no lowering for {layer.kind}")
+    return configs
+
+
+def lower_network(
+    config: AcceleratorConfig,
+    layer_configs: list[LayerConfig],
+    layout: NetworkLayout,
+) -> tuple[list[Instruction], list[LayerPlan]]:
+    """Emit the original-ISA sequence for the whole network."""
+    instructions: list[Instruction] = []
+    plans: list[LayerPlan] = []
+    for layer in layer_configs:
+        plan = plan_layer(config, layer)
+        plans.append(plan)
+        instructions.extend(_lower_layer(config, layer, plan, layout))
+    if not instructions:
+        raise CompileError("network lowered to an empty instruction stream")
+    return instructions, plans
+
+
+def _lower_layer(
+    config: AcceleratorConfig,
+    layer: LayerConfig,
+    plan: LayerPlan,
+    layout: NetworkLayout,
+) -> list[Instruction]:
+    ddr = layout.ddr
+    input_base = ddr.region(layer.input_region).base
+    output_base = ddr.region(layer.output_region).base
+    weight_base = ddr.region(layer.weight_region).base if layer.weight_region else 0
+    out_width = layer.out_shape.width
+    emitted: list[Instruction] = []
+
+    saves: list[int] = []  # indices of SAVE instructions (to flag the last one)
+    for tile in plan.tiles:
+        emitted.extend(_tile_loads(layer, tile, input_base, ddr))
+        for stripe in tile.stripes:
+            for section in stripe.sections:
+                for group in section.groups:
+                    emitted.extend(
+                        _blob_instructions(config, layer, stripe, group, weight_base)
+                    )
+                saves.append(len(emitted))
+                emitted.append(
+                    Instruction(
+                        opcode=Opcode.SAVE,
+                        layer_id=layer.layer_id,
+                        ddr_addr=output_base,
+                        length=stripe.out_rows * out_width * section.chs,
+                        row0=stripe.out_row0,
+                        rows=stripe.out_rows,
+                        ch0=section.ch0,
+                        chs=section.chs,
+                    )
+                )
+    last_save = saves[-1]
+    emitted[last_save] = Instruction(
+        opcode=Opcode.SAVE,
+        layer_id=layer.layer_id,
+        ddr_addr=emitted[last_save].ddr_addr,
+        length=emitted[last_save].length,
+        row0=emitted[last_save].row0,
+        rows=emitted[last_save].rows,
+        ch0=emitted[last_save].ch0,
+        chs=emitted[last_save].chs,
+        flags=FLAG_LAST_SAVE_OF_LAYER,
+    )
+    return emitted
+
+
+def _tile_loads(layer: LayerConfig, tile, input_base: int, ddr) -> list[Instruction]:
+    """LOAD_D instruction(s) bringing a tile's input rows on chip."""
+    width = layer.in_shape.width
+    loads = [
+        Instruction(
+            opcode=Opcode.LOAD_D,
+            layer_id=layer.layer_id,
+            ddr_addr=input_base,
+            length=tile.in_rows * width * tile.in_chs,
+            row0=tile.in_row0,
+            rows=tile.in_rows,
+            ch0=tile.in_ch0,
+            chs=tile.in_chs,
+        )
+    ]
+    if layer.kind == "add":
+        second_base = ddr.region(layer.input2_region).base
+        loads.append(
+            Instruction(
+                opcode=Opcode.LOAD_D,
+                layer_id=layer.layer_id,
+                ddr_addr=second_base,
+                length=tile.in_rows * width * tile.in_chs,
+                row0=tile.in_row0,
+                rows=tile.in_rows,
+                ch0=tile.in_ch0,
+                chs=tile.in_chs,
+                flags=FLAG_OPERAND_B,
+            )
+        )
+    return loads
+
+
+def _blob_instructions(
+    config: AcceleratorConfig,
+    layer: LayerConfig,
+    stripe,
+    group,
+    weight_base: int,
+) -> list[Instruction]:
+    """LOAD_W + CALC_I*/CALC_F for one CalcBlob."""
+    final_flags = (FLAG_RELU if layer.relu else 0) | (FLAG_BIAS if layer.bias else 0)
+    common = dict(
+        layer_id=layer.layer_id,
+        row0=stripe.out_row0,
+        rows=stripe.out_rows,
+        ch0=group.ch0,
+        chs=group.chs,
+    )
+    emitted: list[Instruction] = []
+
+    if layer.kind == "conv":
+        kh, kw = layer.kernel
+        for chunk_index, (chunk0, chunk_len) in enumerate(group.weight_chunks):
+            weight_bytes = kh * kw * chunk_len * group.chs
+            if chunk_index == 0 and layer.bias:
+                weight_bytes += 4 * group.chs
+            emitted.append(
+                Instruction(
+                    opcode=Opcode.LOAD_W,
+                    ddr_addr=weight_base,
+                    length=weight_bytes,
+                    in_ch0=chunk0,
+                    in_chs=chunk_len,
+                    **common,
+                )
+            )
+            chunk_steps = [
+                (start, min(config.para_in, chunk0 + chunk_len - start))
+                for start in range(chunk0, chunk0 + chunk_len, config.para_in)
+            ]
+            for step_index, (in_ch0, in_chs) in enumerate(chunk_steps):
+                is_last_chunk = chunk_index == len(group.weight_chunks) - 1
+                is_final = is_last_chunk and step_index == len(chunk_steps) - 1
+                emitted.append(
+                    Instruction(
+                        opcode=Opcode.CALC_F if is_final else Opcode.CALC_I,
+                        in_ch0=in_ch0,
+                        in_chs=in_chs,
+                        shift=layer.shift if is_final else 0,
+                        flags=final_flags if is_final else 0,
+                        **common,
+                    )
+                )
+        return emitted
+
+    if layer.kind == "depthwise":
+        kh, kw = layer.kernel
+        weight_bytes = kh * kw * group.chs + (4 * group.chs if layer.bias else 0)
+        emitted.append(
+            Instruction(
+                opcode=Opcode.LOAD_W,
+                ddr_addr=weight_base,
+                length=weight_bytes,
+                in_ch0=group.ch0,
+                in_chs=group.chs,
+                **common,
+            )
+        )
+        emitted.append(
+            Instruction(
+                opcode=Opcode.CALC_F,
+                in_ch0=group.ch0,
+                in_chs=group.chs,
+                shift=layer.shift,
+                flags=final_flags,
+                **common,
+            )
+        )
+        return emitted
+
+    # pool / add / global: one CALC_F over the group's own channels.
+    emitted.append(
+        Instruction(
+            opcode=Opcode.CALC_F,
+            in_ch0=group.ch0,
+            in_chs=group.chs,
+            shift=0,
+            flags=FLAG_RELU if (layer.kind == "add" and layer.relu) else 0,
+            **common,
+        )
+    )
+    return emitted

@@ -1,0 +1,69 @@
+"""Compile-time statistics used by examples and the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.compile import CompiledNetwork
+from repro.hw.timing import blob_cycles, calc_cycles, transfer_cycles
+from repro.isa.opcodes import Opcode
+
+
+@dataclass(frozen=True)
+class ProgramStats:
+    """Instruction-count and estimated-cycle breakdown of one program."""
+
+    instructions: int
+    virtual: int
+    loads: int
+    calcs: int
+    saves: int
+    estimated_cycles: int
+
+
+def program_stats(compiled: CompiledNetwork, vi_mode: str = "vi") -> ProgramStats:
+    """Count instructions and estimate straight-line cycles for a program."""
+    program = compiled.program_for(vi_mode)
+    loads = calcs = saves = 0
+    cycles = 0
+    config = compiled.config
+    for instruction in program:
+        if instruction.is_virtual:
+            continue
+        if instruction.opcode in (Opcode.LOAD_W, Opcode.LOAD_D):
+            loads += 1
+            cycles += transfer_cycles(config, instruction.length)
+        elif instruction.is_calc:
+            calcs += 1
+            layer = compiled.layer_config(instruction.layer_id)
+            if layer.kind == "global":
+                cycles += layer.in_shape.height * layer.in_shape.width
+            else:
+                cycles += calc_cycles(config, layer.out_shape.width, layer.kernel)
+        elif instruction.opcode == Opcode.SAVE:
+            saves += 1
+            cycles += transfer_cycles(config, instruction.length)
+    cycles += config.instruction_fetch_cycles * len(program)
+    return ProgramStats(
+        instructions=len(program),
+        virtual=program.num_virtual(),
+        loads=loads,
+        calcs=calcs,
+        saves=saves,
+        estimated_cycles=cycles,
+    )
+
+
+def per_layer_worst_wait(compiled: CompiledNetwork) -> dict[str, int]:
+    """Worst-case VI-method wait (one CalcBlob, Eq. 1 numerator) per conv layer."""
+    waits: dict[str, int] = {}
+    for layer in compiled.layer_configs:
+        if layer.kind != "conv":
+            continue
+        waits[layer.name] = blob_cycles(
+            compiled.config,
+            layer.in_channels,
+            layer.out_shape.width,
+            layer.kernel,
+        )
+    return waits

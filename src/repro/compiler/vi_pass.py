@@ -1,0 +1,201 @@
+"""Virtual-instruction insertion (the paper's compilation contribution).
+
+Given the original LOAD/CALC/SAVE sequence, this pass:
+
+1. assigns a ``save_id`` to every SAVE,
+2. inserts an interrupt point **after every CALC_F** that is not immediately
+   drained by its SAVE — a ``VIR_SAVE`` (backup of finalized-but-unsaved
+   results, credited against the upcoming SAVE via its ``save_id``) followed
+   by ``VIR_LOAD_D`` clones of the live input-tile loads (recovery),
+3. inserts an interrupt point **after every SAVE** — ``VIR_LOAD_D`` recovery
+   clones when the tile continues, or a free ``VIR_BARRIER`` when the next
+   real instruction reloads anyway (next tile / next layer / end of program),
+
+exactly the "interruptible after SAVE or CALC_F" policy of paper §IV-C, which
+makes the extra interrupt cost *recovery-only* (t_cost = t4).
+
+A second entry point builds the **layer-by-layer baseline**: interrupt points
+only at layer boundaries (``VIR_BARRIER`` after each layer's last SAVE).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+from repro.errors import CompileError
+from repro.isa.instructions import FLAG_SWITCH_POINT, NO_SAVE_ID, Instruction
+from repro.isa.opcodes import Opcode
+
+#: save_id values wrap below NO_SAVE_ID; pairing is always adjacent (a
+#: VIR_SAVE is consumed by the very next SAVE) so reuse after wrap is safe.
+_SAVE_ID_LIMIT = NO_SAVE_ID - 1
+
+
+@dataclass(frozen=True)
+class ViPolicy:
+    """Interrupt-position selection (the paper's "selects the optimized
+    interrupt positions in the original instruction sequence").
+
+    The reference policy (the defaults) inserts a point after *every* CALC_F
+    and SAVE.  ``calc_f_stride`` keeps only every k-th CALC_F point per layer
+    — fewer points mean fewer virtual-instruction fetches (lower
+    no-interrupt degradation) at the price of longer worst-case response.
+    The post-SAVE and layer-boundary points are structural (their recovery
+    information cannot be reconstructed later) and are always kept.
+    """
+
+    calc_f_stride: int = 1
+
+    def __post_init__(self) -> None:
+        if self.calc_f_stride < 1:
+            raise CompileError(
+                f"calc_f_stride must be >= 1, got {self.calc_f_stride}"
+            )
+
+
+#: Insert an interrupt point at every legal position (the paper's method).
+DEFAULT_VI_POLICY = ViPolicy()
+
+
+def insert_virtual_instructions(
+    instructions: Sequence[Instruction],
+    policy: ViPolicy = DEFAULT_VI_POLICY,
+) -> list[Instruction]:
+    """Produce the VI-ISA sequence from the original ISA (paper's VI method)."""
+    annotated = _assign_save_ids(instructions)
+    next_save = _next_save_indices(annotated)
+
+    result: list[Instruction] = []
+    active_loads: dict[int, Instruction] = {}
+    current_layer = -1
+    calc_f_count = 0
+    for index, instruction in enumerate(annotated):
+        if instruction.layer_id != current_layer:
+            current_layer = instruction.layer_id
+            active_loads.clear()
+            calc_f_count = 0
+        result.append(instruction)
+
+        if instruction.opcode == Opcode.LOAD_D:
+            # A new tile (or add-operand / channel-chunk) load supersedes the
+            # previous one in the same operand slot.
+            active_loads[instruction.flags] = instruction
+            continue
+
+        if instruction.opcode == Opcode.CALC_F:
+            calc_f_count += 1
+            following = annotated[index + 1] if index + 1 < len(annotated) else None
+            if following is not None and following.opcode == Opcode.SAVE:
+                continue  # the SAVE right after is itself an interrupt point
+            if calc_f_count % policy.calc_f_stride != 0:
+                continue  # thinned out by the selection policy
+            save_index = next_save[index]
+            if save_index is None:
+                raise CompileError(
+                    f"CALC_F at {index} has no covering SAVE — malformed lowering"
+                )
+            result.append(_vir_save_for(instruction, annotated[save_index]))
+            # The trailing recovery loads are NOT switch points: the VIR_SAVE
+            # is the entry to this interrupt point and owns the backup.
+            result.extend(_recovery_loads(active_loads, switch_point=False))
+            continue
+
+        if instruction.opcode == Opcode.SAVE:
+            following = annotated[index + 1] if index + 1 < len(annotated) else None
+            if following is None:
+                continue  # end of program: nothing left to pre-empt
+            same_layer = following.layer_id == instruction.layer_id
+            if same_layer and following.opcode != Opcode.LOAD_D:
+                # After a SAVE nothing needs backup; the first recovery load
+                # is the switch point and the rest replay behind it.
+                result.extend(_recovery_loads(active_loads, switch_point=True))
+            else:
+                # Next instruction reloads its own state: a free barrier.
+                result.append(
+                    Instruction(
+                        opcode=Opcode.VIR_BARRIER,
+                        layer_id=instruction.layer_id,
+                        flags=FLAG_SWITCH_POINT,
+                    )
+                )
+    return result
+
+
+def insert_layer_barriers(instructions: Sequence[Instruction]) -> list[Instruction]:
+    """The layer-by-layer baseline: interrupt points only between layers."""
+    result: list[Instruction] = []
+    for instruction in instructions:
+        result.append(instruction)
+        if instruction.opcode == Opcode.SAVE and instruction.is_last_save_of_layer:
+            result.append(
+                Instruction(
+                    opcode=Opcode.VIR_BARRIER,
+                    layer_id=instruction.layer_id,
+                    flags=FLAG_SWITCH_POINT,
+                )
+            )
+    return result
+
+
+def _assign_save_ids(instructions: Sequence[Instruction]) -> list[Instruction]:
+    annotated: list[Instruction] = []
+    counter = 0
+    for instruction in instructions:
+        if instruction.opcode == Opcode.SAVE:
+            annotated.append(replace(instruction, save_id=counter))
+            counter = (counter + 1) % _SAVE_ID_LIMIT
+        else:
+            annotated.append(instruction)
+    return annotated
+
+
+def _next_save_indices(instructions: Sequence[Instruction]) -> list[int | None]:
+    """For each index, the index of the next SAVE at or after it."""
+    next_save: list[int | None] = [None] * len(instructions)
+    upcoming: int | None = None
+    for index in range(len(instructions) - 1, -1, -1):
+        if instructions[index].opcode == Opcode.SAVE:
+            upcoming = index
+        next_save[index] = upcoming
+    return next_save
+
+
+def _vir_save_for(calc_f: Instruction, save: Instruction) -> Instruction:
+    """VIR_SAVE backing up all finalized groups of ``save``'s section so far."""
+    finalized_chs = calc_f.ch0 + calc_f.chs - save.ch0
+    if finalized_chs <= 0 or save.chs <= 0:
+        raise CompileError(
+            f"CALC_F channels [{calc_f.ch0}, {calc_f.ch0 + calc_f.chs}) fall outside "
+            f"covering SAVE section [{save.ch0}, {save.ch0 + save.chs})"
+        )
+    bytes_per_channel = save.length // save.chs
+    return Instruction(
+        opcode=Opcode.VIR_SAVE,
+        layer_id=save.layer_id,
+        save_id=save.save_id,
+        ddr_addr=save.ddr_addr,
+        length=bytes_per_channel * finalized_chs,
+        row0=save.row0,
+        rows=save.rows,
+        ch0=save.ch0,
+        chs=finalized_chs,
+        flags=FLAG_SWITCH_POINT,
+    )
+
+
+def _recovery_loads(
+    active_loads: dict[int, Instruction], switch_point: bool
+) -> list[Instruction]:
+    """VIR_LOAD_D clones of the live tile loads, in load order.
+
+    When ``switch_point`` is set, the *first* clone carries the switch-point
+    flag (the pack must be entered from its head so every operand reloads).
+    """
+    clones = [
+        replace(load, opcode=Opcode.VIR_LOAD_D)
+        for load in sorted(active_loads.values(), key=lambda load: load.flags)
+    ]
+    if switch_point and clones:
+        clones[0] = replace(clones[0], flags=clones[0].flags | FLAG_SWITCH_POINT)
+    return clones

@@ -1,0 +1,93 @@
+"""Synthetic weight generation and quantization for compiled networks.
+
+The paper's flow consumes trained Caffe models; interrupt behaviour is
+independent of the weight values, so this reproduction generates seeded
+He-initialised weights, calibrates an 8-bit fixed-point format per layer
+(as Angel-Eye's quantizer does on the trained model) and writes the
+quantized codes into the weight/bias DDR regions.
+
+All activations use one shared 8-bit format (``ACTIVATION_FRAC_BITS``
+fractional bits), so the requantization shift of a layer is simply its
+weight format's fractional bit count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compiler.allocator import NetworkLayout
+from repro.nn.graph import NetworkGraph
+from repro.nn.layers import Conv2d, DepthwiseConv2d, FullyConnected
+from repro.quant.calibrate import choose_format
+from repro.quant.fixed_point import ACTIVATION_FRAC_BITS, FixedPointFormat
+
+#: Default shift when weights are left as zeros (timing-only compiles).
+DEFAULT_SHIFT = 7
+
+
+@dataclass(frozen=True)
+class LayerQuantization:
+    """Quantization decision for one weighted layer."""
+
+    weight_format: FixedPointFormat
+    shift: int
+
+
+def initialize_parameters(
+    graph: NetworkGraph,
+    layout: NetworkLayout,
+    mode: str = "random",
+    seed: int = 0,
+    percentile: float = 99.9,
+) -> dict[str, LayerQuantization]:
+    """Fill weight/bias regions; returns the per-layer quantization table.
+
+    ``mode='random'`` generates and quantizes He-initialised weights;
+    ``mode='zeros'`` leaves regions zeroed (fastest — used for timing-only
+    experiments where data content is irrelevant).  ``percentile`` is the
+    calibration coverage: 100 covers every weight (max-abs), lower values
+    trade outlier clipping for one more bit of resolution.
+    """
+    if mode not in ("random", "zeros"):
+        raise ValueError(f"mode must be 'random' or 'zeros', got {mode!r}")
+    rng = np.random.default_rng(seed)
+    table: dict[str, LayerQuantization] = {}
+    for layer in graph.layers:
+        if layer.name not in layout.parameter_regions:
+            continue
+        weight_region, bias_region = layout.parameter_regions[layer.name]
+        weights = layout.ddr.region(weight_region).array
+        biases = layout.ddr.region(bias_region).array
+        if mode == "zeros":
+            table[layer.name] = LayerQuantization(
+                weight_format=FixedPointFormat(DEFAULT_SHIFT), shift=DEFAULT_SHIFT
+            )
+            continue
+        fan_in = _fan_in(layer, weights.shape)
+        real_weights = rng.normal(0.0, np.sqrt(2.0 / fan_in), size=weights.shape)
+        weight_format = choose_format(real_weights, percentile=percentile)
+        weights[...] = weight_format.quantize(real_weights)
+
+        # Bias in accumulator scale: frac bits = activation + weight fracs.
+        acc_frac = ACTIVATION_FRAC_BITS + weight_format.frac_bits
+        real_bias = rng.normal(0.0, 0.1, size=biases.shape)
+        biases[...] = np.rint(real_bias * 2.0**acc_frac).astype(np.int64).astype(np.int32)
+
+        # Activations in == activations out => shift == weight frac bits.
+        shift = max(weight_format.frac_bits, 0)
+        table[layer.name] = LayerQuantization(weight_format=weight_format, shift=shift)
+    return table
+
+
+def _fan_in(layer, weight_shape: tuple[int, ...]) -> int:
+    if isinstance(layer, Conv2d):
+        kh, kw = layer.kernel
+        return max(1, kh * kw * layer.in_channels)
+    if isinstance(layer, DepthwiseConv2d):
+        kh, kw = layer.kernel
+        return max(1, kh * kw)
+    if isinstance(layer, FullyConnected):
+        return max(1, int(np.prod(weight_shape[:-1])))
+    raise ValueError(f"layer {layer.name!r} has no weights")  # pragma: no cover

@@ -1,0 +1,123 @@
+"""Distributed SLAM on the interruptible accelerator (the paper's §V-C)."""
+
+from repro.dslam.agent import (
+    CAMERA_TOPIC,
+    FEATURE_TOPIC,
+    FE_TASK,
+    ODOMETRY_TOPIC,
+    PLACE_TOPIC,
+    PR_TASK,
+    CameraNode,
+    DslamAgent,
+    FeNode,
+    PrNode,
+    VoNode,
+)
+from repro.dslam.camera import (
+    Camera,
+    CameraConfig,
+    frame_period_cycles,
+    perimeter_trajectory,
+)
+from repro.dslam.frontend import FeatureExtractor, FrontendConfig
+from repro.dslam.detector import (
+    DETECTION_TOPIC,
+    DETECTOR_TASK,
+    Detection,
+    DetectionArray,
+    DetectorNode,
+    ObjectClassifier,
+)
+from repro.dslam.evaluation import PrCurve, ThresholdPoint, evaluate_place_recognition
+from repro.dslam.loop_closure import LoopCloser, LoopClosure
+from repro.dslam.map_merge import MergeResult, merge_from_frames, merged_trajectories
+from repro.dslam.mapping import (
+    LandmarkMap,
+    fuse_maps,
+    map_rmse,
+    shared_landmark_count,
+)
+from repro.dslam.metrics import MatchQuality, absolute_trajectory_error, match_precision
+from repro.dslam.pose_graph import PoseEdge, PoseGraph, close_loops, relative_pose
+from repro.dslam.place_recognition import (
+    PlaceDatabase,
+    PlaceEncoder,
+    PlaceEncoderConfig,
+    PlaceMatch,
+    pairwise_similarity,
+)
+from repro.dslam.system import AgentOutcome, DslamScenario, E10Result, build_agent, run_dslam
+from repro.dslam.vo import (
+    VisualOdometry,
+    compose,
+    estimate_rigid_2d,
+    match_features,
+    ransac_rigid_2d,
+    transform_point,
+)
+from repro.dslam.world import LANDMARK_DESCRIPTOR_DIM, Landmark, World, WorldConfig
+
+__all__ = [
+    "AgentOutcome",
+    "CAMERA_TOPIC",
+    "Camera",
+    "CameraConfig",
+    "CameraNode",
+    "DETECTION_TOPIC",
+    "DETECTOR_TASK",
+    "Detection",
+    "DetectionArray",
+    "DetectorNode",
+    "DslamAgent",
+    "DslamScenario",
+    "E10Result",
+    "ObjectClassifier",
+    "FEATURE_TOPIC",
+    "FE_TASK",
+    "FeNode",
+    "FeatureExtractor",
+    "FrontendConfig",
+    "LANDMARK_DESCRIPTOR_DIM",
+    "Landmark",
+    "LandmarkMap",
+    "LoopCloser",
+    "LoopClosure",
+    "PoseEdge",
+    "PoseGraph",
+    "PrCurve",
+    "ThresholdPoint",
+    "evaluate_place_recognition",
+    "MatchQuality",
+    "MergeResult",
+    "ODOMETRY_TOPIC",
+    "PLACE_TOPIC",
+    "PR_TASK",
+    "PlaceDatabase",
+    "PlaceEncoder",
+    "PlaceEncoderConfig",
+    "PlaceMatch",
+    "PrNode",
+    "VisualOdometry",
+    "VoNode",
+    "World",
+    "WorldConfig",
+    "absolute_trajectory_error",
+    "build_agent",
+    "close_loops",
+    "compose",
+    "estimate_rigid_2d",
+    "frame_period_cycles",
+    "fuse_maps",
+    "map_rmse",
+    "relative_pose",
+    "shared_landmark_count",
+    "match_features",
+    "match_precision",
+    "merge_from_frames",
+    "merged_trajectories",
+    "pairwise_similarity",
+    "perimeter_trajectory",
+    "ransac_rigid_2d",
+    "run_dslam",
+    "transform_point",
+]

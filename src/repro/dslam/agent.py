@@ -1,0 +1,210 @@
+"""DSLAM agent: the ROS nodes sharing one interruptible accelerator.
+
+Per agent (paper Fig. 1(a)):
+
+* **CameraNode** publishes frames at 20 fps,
+* **FeNode** (task slot 0, highest priority) runs the SuperPoint backbone on
+  the accelerator for every frame and publishes features — it pre-empts PR,
+* **VoNode** integrates features into a pose estimate on the CPU,
+* **PrNode** (task slot 1, interruptible) runs the GeM backbone whenever the
+  previous PR inference has finished, skipping frames in between — which is
+  what yields the paper's "one PR frame every 7~10 input frames".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dslam.camera import Camera, Pose
+from repro.dslam.frontend import FeatureExtractor
+from repro.dslam.place_recognition import PlaceEncoder
+from repro.dslam.vo import VisualOdometry
+from repro.iau.context import JobRecord
+from repro.ros.executor import Executor
+from repro.ros.messages import CameraFrame, FeatureArray, Header, Odometry, PlaceDescriptor
+from repro.ros.node import Node
+
+#: Task slots, by priority (paper: FE must pre-empt PR).
+FE_TASK = 0
+PR_TASK = 1
+
+CAMERA_TOPIC = "camera/frames"
+FEATURE_TOPIC = "fe/features"
+ODOMETRY_TOPIC = "vo/odometry"
+PLACE_TOPIC = "pr/descriptors"
+
+
+class CameraNode(Node):
+    """Publishes one frame per period from a precomputed trajectory."""
+
+    def __init__(
+        self,
+        executor: Executor,
+        camera: Camera,
+        poses: list[Pose],
+        period_cycles: int,
+        agent_name: str,
+    ):
+        super().__init__(f"{agent_name}/camera", executor)
+        self.camera = camera
+        self.poses = poses
+        self.agent_name = agent_name
+        self.frames: dict[int, CameraFrame] = {}
+        for seq, pose in enumerate(poses):
+            self.executor.schedule(seq * period_cycles, self._make_capture(seq, pose))
+
+    def _make_capture(self, seq: int, pose: Pose):
+        def capture() -> None:
+            frame = self.camera.capture(
+                pose, seq=seq, stamp_cycles=self.now, frame_id=self.agent_name
+            )
+            self.frames[seq] = frame
+            self.publish(CAMERA_TOPIC, frame)
+
+        return capture
+
+
+class FeNode(Node):
+    """Feature extraction: one accelerator job per frame, highest priority.
+
+    The CNN backbone runs on the accelerator; the detector post-processing
+    (cell softmax + NMS) runs on the dedicated 200 MHz block, modelled as a
+    fixed delay between job completion and feature publication.
+    """
+
+    def __init__(
+        self,
+        executor: Executor,
+        extractor: FeatureExtractor,
+        agent_name: str,
+        postproc_cycles: int = 0,
+    ):
+        super().__init__(f"{agent_name}/fe", executor)
+        self.extractor = extractor
+        self.postproc_cycles = postproc_cycles
+        self.jobs: list[JobRecord] = []
+        self.subscribe(CAMERA_TOPIC, self._on_frame)
+
+    def _on_frame(self, frame: CameraFrame) -> None:
+        def publish_features() -> None:
+            features = self.extractor.extract(frame)
+            self.publish(
+                FEATURE_TOPIC,
+                FeatureArray(
+                    header=Header(self.next_seq(), self.now, frame.header.frame_id),
+                    features=features,
+                    true_pose=frame.true_pose,
+                    inference_cycles=self.jobs[-1].turnaround_cycles,
+                ),
+            )
+
+        def on_done(job: JobRecord) -> None:
+            self.jobs.append(job)
+            if self.postproc_cycles:
+                self.executor.schedule_after(self.postproc_cycles, publish_features)
+            else:
+                publish_features()
+
+        self.executor.submit_job(FE_TASK, on_done)
+
+
+class VoNode(Node):
+    """Visual odometry on the CPU side, fed by FE."""
+
+    def __init__(self, executor: Executor, agent_name: str, start_pose: Pose = (0.0, 0.0, 0.0)):
+        super().__init__(f"{agent_name}/vo", executor)
+        self.vo = VisualOdometry(start_pose=start_pose)
+        self.pose_by_frame: dict[int, Pose] = {}
+        self._frame_seq = 0
+        self.subscribe(FEATURE_TOPIC, self._on_features)
+
+    def _on_features(self, message: FeatureArray) -> None:
+        pose, inliers = self.vo.update(message.features)
+        self.pose_by_frame[self._frame_seq] = pose
+        self._frame_seq += 1
+        self.publish(
+            ODOMETRY_TOPIC,
+            Odometry(
+                header=Header(self.next_seq(), self.now, message.header.frame_id),
+                pose=pose,
+                num_inliers=inliers,
+            ),
+        )
+
+
+class PrNode(Node):
+    """Place recognition: low priority, processes a frame when free.
+
+    Besides publishing descriptors for cross-agent matching, PR outputs feed
+    an optional intra-agent :class:`~repro.dslam.loop_closure.LoopCloser`
+    so re-visits bound the agent's own VO drift.
+    """
+
+    def __init__(
+        self,
+        executor: Executor,
+        encoder: PlaceEncoder,
+        agent_name: str,
+        loop_closer=None,
+    ):
+        super().__init__(f"{agent_name}/pr", executor)
+        self.encoder = encoder
+        self.agent_name = agent_name
+        self.loop_closer = loop_closer
+        self.busy = False
+        self.processed_seqs: list[int] = []
+        self.skipped = 0
+        self.jobs: list[JobRecord] = []
+        self.subscribe(CAMERA_TOPIC, self._on_frame)
+
+    def _on_frame(self, frame: CameraFrame) -> None:
+        if self.busy:
+            self.skipped += 1
+            return
+        self.busy = True
+
+        def on_done(job: JobRecord) -> None:
+            self.jobs.append(job)
+            self.processed_seqs.append(frame.header.seq)
+            code = self.encoder.encode(frame)
+            if self.loop_closer is not None:
+                self.loop_closer.observe(frame, code)
+            self.publish(
+                PLACE_TOPIC,
+                PlaceDescriptor(
+                    # header.seq carries the *camera frame* sequence so the
+                    # merge step can recover the source frame.
+                    header=Header(frame.header.seq, self.now, frame.header.frame_id),
+                    agent=self.agent_name,
+                    code=code,
+                    true_pose=frame.true_pose,
+                    landmark_ids=frozenset(frame.observations),
+                ),
+            )
+            self.busy = False
+
+        self.executor.submit_job(PR_TASK, on_done)
+
+
+@dataclass
+class DslamAgent:
+    """One robot: executor + accelerator + the four nodes."""
+
+    name: str
+    executor: Executor
+    camera_node: CameraNode
+    fe_node: FeNode
+    vo_node: VoNode
+    pr_node: PrNode
+    true_poses: list[Pose]
+    descriptors: list[PlaceDescriptor] = field(default_factory=list)
+
+    def run(self) -> int:
+        """Simulate this agent's full mission; returns the final cycle."""
+        self.executor.subscribe(PLACE_TOPIC, self.descriptors.append)
+        return self.executor.run()
+
+    def pr_frame_gaps(self) -> list[int]:
+        """Input frames between consecutive PR outputs (paper: 7~10)."""
+        seqs = self.pr_node.processed_seqs
+        return [later - earlier for earlier, later in zip(seqs, seqs[1:])]

@@ -1,0 +1,120 @@
+"""Camera model and agent trajectories.
+
+The camera "renders" a frame by projecting visible landmarks into the robot
+frame with measurement noise — the geometric content a real FE network would
+recover from pixels.  Trajectories walk the arena perimeter (the two agents
+go opposite ways, so they revisit each other's places, which is what gives
+the PR module something to match).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dslam.world import World
+from repro.errors import DslamError
+from repro.ros.messages import CameraFrame, Header
+
+Pose = tuple[float, float, float]
+
+
+@dataclass(frozen=True)
+class CameraConfig:
+    """Sensor parameters."""
+
+    fov: float = np.pi * 2 / 3
+    max_range: float = 14.0
+    position_noise: float = 0.03
+    descriptor_noise: float = 0.05
+    fps: float = 20.0
+
+
+class Camera:
+    """Projects world landmarks into noisy robot-frame observations."""
+
+    def __init__(self, world: World, config: CameraConfig | None = None, seed: int = 0):
+        self.world = world
+        self.config = config or CameraConfig()
+        self._rng = np.random.default_rng(seed)
+
+    def capture(self, pose: Pose, seq: int, stamp_cycles: int, frame_id: str = "") -> CameraFrame:
+        """One frame: every visible landmark observed in the robot frame."""
+        visible = self.world.visible_from(pose, self.config.max_range, self.config.fov)
+        observations: dict[int, tuple[float, float]] = {}
+        descriptors: dict[int, np.ndarray] = {}
+        x, y, theta = pose
+        cos_t, sin_t = np.cos(theta), np.sin(theta)
+        for landmark in visible:
+            dx = landmark.x - x
+            dy = landmark.y - y
+            local_x = cos_t * dx + sin_t * dy + self._rng.normal(0, self.config.position_noise)
+            local_y = -sin_t * dx + cos_t * dy + self._rng.normal(0, self.config.position_noise)
+            observations[landmark.landmark_id] = (float(local_x), float(local_y))
+            noisy = landmark.descriptor + self._rng.normal(
+                0, self.config.descriptor_noise, size=landmark.descriptor.shape
+            )
+            descriptors[landmark.landmark_id] = noisy / np.linalg.norm(noisy)
+        return CameraFrame(
+            header=Header(seq=seq, stamp_cycles=stamp_cycles, frame_id=frame_id),
+            observations=observations,
+            descriptors=descriptors,
+            true_pose=pose,
+        )
+
+
+def perimeter_trajectory(
+    world: World,
+    num_frames: int,
+    fps: float = 20.0,
+    speed: float = 1.5,
+    inset: float = 4.0,
+    start_fraction: float = 0.0,
+    clockwise: bool = False,
+) -> list[Pose]:
+    """Per-frame poses walking a rectangular loop inset from the walls.
+
+    ``start_fraction`` offsets the starting point along the loop;
+    ``clockwise`` reverses direction (the second agent uses both so the two
+    robots traverse the same places at different times).
+    """
+    if num_frames <= 0:
+        raise DslamError("trajectory needs at least one frame")
+    width = world.config.width - 2 * inset
+    height = world.config.height - 2 * inset
+    if width <= 0 or height <= 0:
+        raise DslamError("inset leaves no room to drive")
+    perimeter = 2 * (width + height)
+    step = speed / fps
+    poses: list[Pose] = []
+    for frame in range(num_frames):
+        distance = (start_fraction * perimeter + frame * step) % perimeter
+        if clockwise:
+            distance = perimeter - distance
+        x, y, heading = _loop_point(distance, width, height)
+        if clockwise:
+            heading += np.pi
+        poses.append((x + inset, y + inset, float(np.arctan2(np.sin(heading), np.cos(heading)))))
+    return poses
+
+
+def _loop_point(distance: float, width: float, height: float) -> tuple[float, float, float]:
+    """Position + heading at arc length ``distance`` along the CCW loop."""
+    if distance < width:
+        return distance, 0.0, 0.0
+    distance -= width
+    if distance < height:
+        return width, distance, np.pi / 2
+    distance -= height
+    if distance < width:
+        return width - distance, height, np.pi
+    distance -= width
+    return 0.0, height - distance, -np.pi / 2
+
+
+def frame_period_cycles(clock_hz: float, fps: float) -> int:
+    """Camera frame period expressed in accelerator cycles."""
+    if fps <= 0:
+        raise DslamError("fps must be positive")
+    return int(round(clock_hz / fps))

@@ -1,0 +1,140 @@
+"""Object detection as a third accelerator tenant.
+
+The paper's pitch is that *many* independent ROS components need the CNN
+accelerator — perception beyond DSLAM includes object detection.  This node
+adds a Darknet-style detector at priority 2: below FE (safety) and PR
+(efficiency), processed purely opportunistically.  Its content pipeline
+classifies the visible landmark clusters (the arena's chairs vs pillars vs
+walls) — the synthetic stand-in for boxes on pixels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dslam.world import World
+from repro.iau.context import JobRecord
+from repro.ros.executor import Executor
+from repro.ros.messages import CameraFrame, Header
+from repro.ros.node import Node
+
+#: Priority slot for the detector (below FE=0 and PR=1).
+DETECTOR_TASK = 2
+
+DETECTION_TOPIC = "detector/objects"
+
+
+@dataclass(frozen=True)
+class Detection:
+    """One detected object: a class label and its observed extent."""
+
+    label: str
+    center: tuple[float, float]
+    extent: float
+    landmark_ids: frozenset[int]
+
+
+@dataclass(frozen=True)
+class DetectionArray:
+    header: Header
+    detections: tuple[Detection, ...]
+    true_pose: tuple[float, float, float]
+
+
+class ObjectClassifier:
+    """Clusters a frame's observations and labels each cluster.
+
+    The synthetic world builds chairs as a tight central cluster and pillars
+    as four small rings; walls form the sparse hull.  A greedy radius
+    clustering plus size heuristics recovers those classes.
+    """
+
+    def __init__(self, cluster_radius: float = 2.5, min_cluster: int = 3):
+        self.cluster_radius = cluster_radius
+        self.min_cluster = min_cluster
+
+    def detect(self, frame: CameraFrame) -> tuple[Detection, ...]:
+        observations = list(frame.observations.items())
+        if not observations:
+            return ()
+        ids = [landmark_id for landmark_id, _ in observations]
+        points = np.array([position for _, position in observations])
+        unassigned = set(range(len(ids)))
+        detections = []
+        while unassigned:
+            seed_index = min(unassigned)
+            cluster = {seed_index}
+            frontier = [seed_index]
+            while frontier:
+                current = frontier.pop()
+                for candidate in list(unassigned - cluster):
+                    if np.linalg.norm(points[candidate] - points[current]) <= self.cluster_radius:
+                        cluster.add(candidate)
+                        frontier.append(candidate)
+            unassigned -= cluster
+            if len(cluster) < self.min_cluster:
+                continue
+            members = sorted(cluster)
+            center = points[members].mean(axis=0)
+            extent = float(
+                np.max(np.linalg.norm(points[members] - center, axis=1))
+            )
+            label = self._label(len(members), extent)
+            detections.append(
+                Detection(
+                    label=label,
+                    center=(float(center[0]), float(center[1])),
+                    extent=extent,
+                    landmark_ids=frozenset(ids[m] for m in members),
+                )
+            )
+        return tuple(detections)
+
+    def _label(self, size: int, extent: float) -> str:
+        if extent < 1.2:
+            return "pillar"
+        if size >= 6 and extent < 4.0:
+            return "chairs"
+        return "structure"
+
+
+class DetectorNode(Node):
+    """Priority-2 tenant: detect objects whenever the accelerator frees up."""
+
+    def __init__(self, executor: Executor, classifier: ObjectClassifier, agent_name: str):
+        super().__init__(f"{agent_name}/detector", executor)
+        self.classifier = classifier
+        self.busy = False
+        self.skipped = 0
+        self.jobs: list[JobRecord] = []
+        self.processed_seqs: list[int] = []
+        self.subscribe("camera/frames", self._on_frame)
+
+    def _on_frame(self, frame: CameraFrame) -> None:
+        if self.busy:
+            self.skipped += 1
+            return
+        self.busy = True
+
+        def on_done(job: JobRecord) -> None:
+            self.jobs.append(job)
+            self.processed_seqs.append(frame.header.seq)
+            detections = self.classifier.detect(frame)
+            self.publish(
+                DETECTION_TOPIC,
+                DetectionArray(
+                    header=Header(frame.header.seq, self.now, frame.header.frame_id),
+                    detections=detections,
+                    true_pose=frame.true_pose,
+                ),
+            )
+            self.busy = False
+
+        self.executor.submit_job(DETECTOR_TASK, on_done)
+
+
+def ground_truth_objects(world: World) -> dict[str, int]:
+    """How many pillars/chair-clusters the arena actually contains."""
+    return {"pillar": 4, "chairs": 1}

@@ -1,0 +1,106 @@
+"""Intra-agent loop closure: PR self-matches feeding the pose graph.
+
+The two-agent system uses PR matches *across* robots to merge maps; the
+same descriptors also close loops *within* one robot's trajectory when it
+re-visits a place.  This module detects those self-matches (similarity above
+threshold, enough shared landmarks, a minimum temporal gap so adjacent
+frames don't trivially match) and turns them into pose-graph constraints
+that bound VO drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dslam.pose_graph import close_loops
+from repro.dslam.vo import Pose, estimate_rigid_2d
+from repro.errors import DslamError
+from repro.ros.messages import CameraFrame
+
+
+@dataclass(frozen=True)
+class LoopClosure:
+    """One detected re-visit: frame ``j`` sees frame ``i``'s place again."""
+
+    i: int
+    j: int
+    similarity: float
+    relative: tuple[float, float, float]
+    shared_landmarks: int
+
+
+@dataclass
+class LoopCloser:
+    """Detects self-matches among a growing sequence of (frame, code) pairs."""
+
+    similarity_threshold: float = 0.8
+    min_frame_gap: int = 15
+    min_shared_landmarks: int = 5
+    _frames: list[CameraFrame] = field(default_factory=list)
+    _codes: list[np.ndarray] = field(default_factory=list)
+    closures: list[LoopClosure] = field(default_factory=list)
+
+    def observe(self, frame: CameraFrame, code: np.ndarray) -> LoopClosure | None:
+        """Add a frame; returns a closure if it re-visits an old place."""
+        best: tuple[int, float] | None = None
+        for index in range(len(self._codes) - self.min_frame_gap + 1):
+            similarity = float(self._codes[index] @ code)
+            if similarity < self.similarity_threshold:
+                continue
+            if best is None or similarity > best[1]:
+                best = (index, similarity)
+        self._frames.append(frame)
+        self._codes.append(code)
+        current = len(self._frames) - 1
+        if best is None:
+            return None
+        index, similarity = best
+        try:
+            relative = _relative_from_frames(self._frames[index], frame)
+        except DslamError:
+            return None
+        shared = len(
+            set(self._frames[index].observations) & set(frame.observations)
+        )
+        if shared < self.min_shared_landmarks:
+            return None
+        closure = LoopClosure(
+            i=index,
+            j=current,
+            similarity=similarity,
+            relative=relative,
+            shared_landmarks=shared,
+        )
+        self.closures.append(closure)
+        return closure
+
+    def optimize(self, trajectory: list[Pose], loop_weight: float = 25.0) -> list[Pose]:
+        """Correct a trajectory against all detected closures."""
+        if not self.closures:
+            return list(trajectory)
+        constraints = [
+            (closure.i, closure.j, closure.relative)
+            for closure in self.closures
+            if closure.j < len(trajectory)
+        ]
+        if not constraints:
+            return list(trajectory)
+        return close_loops(trajectory, constraints, loop_weight=loop_weight)
+
+
+def _relative_from_frames(
+    frame_i: CameraFrame, frame_j: CameraFrame
+) -> tuple[float, float, float]:
+    """Relative pose of frame j's camera in frame i's camera frame, from the
+    landmarks both frames observed."""
+    shared = sorted(set(frame_i.observations) & set(frame_j.observations))
+    if len(shared) < 3:
+        raise DslamError(f"only {len(shared)} shared landmarks; need >= 3")
+    points_i = np.array([frame_i.observations[lid] for lid in shared])
+    points_j = np.array([frame_j.observations[lid] for lid in shared])
+    # Points in frame j map onto points in frame i under the relative pose.
+    rotation, translation = estimate_rigid_2d(points_j, points_i)
+    theta = float(np.arctan2(rotation[1, 0], rotation[0, 0]))
+    return (float(translation[0]), float(translation[1]), theta)

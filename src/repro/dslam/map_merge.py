@@ -1,0 +1,84 @@
+"""Map merging: align two agents' maps through a place-recognition match.
+
+When PR proposes that frame A (agent 1) and frame B (agent 2) show the same
+place, the agents' maps are merged by estimating the SE(2) transform that
+brings agent 2's map into agent 1's frame, using the landmarks both frames
+observed (paper Fig. env(b)/(c): "the maps and the trajectories are merged
+via the similar scene").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dslam.vo import Pose, estimate_rigid_2d, transform_point
+from repro.errors import DslamError
+from repro.ros.messages import CameraFrame
+
+
+@dataclass(frozen=True)
+class MergeResult:
+    """The estimated frame-2 -> frame-1 map transform and its quality."""
+
+    transform: Pose
+    shared_landmarks: int
+    residual_rms: float
+
+    def apply(self, pose: Pose) -> Pose:
+        """Map an agent-2 pose into agent 1's frame."""
+        tx, ty, ttheta = self.transform
+        x, y, theta = pose
+        cos_t, sin_t = np.cos(ttheta), np.sin(ttheta)
+        return (
+            tx + cos_t * x - sin_t * y,
+            ty + sin_t * x + cos_t * y,
+            float(np.arctan2(np.sin(theta + ttheta), np.cos(theta + ttheta))),
+        )
+
+    def apply_trajectory(self, trajectory: list[Pose]) -> list[Pose]:
+        return [self.apply(pose) for pose in trajectory]
+
+
+def merge_from_frames(
+    frame_a: CameraFrame,
+    pose_a_estimate: Pose,
+    frame_b: CameraFrame,
+    pose_b_estimate: Pose,
+    min_shared: int = 4,
+) -> MergeResult:
+    """Estimate agent 2's map transform from one matched frame pair.
+
+    Both frames observed some common landmarks; expressing those observations
+    in each agent's *estimated* map frame gives two point sets related by the
+    inter-map transform.
+    """
+    shared = sorted(set(frame_a.observations) & set(frame_b.observations))
+    if len(shared) < min_shared:
+        raise DslamError(
+            f"matched frames share only {len(shared)} landmarks (< {min_shared})"
+        )
+    points_a = np.array(
+        [transform_point(pose_a_estimate, frame_a.observations[lid]) for lid in shared]
+    )
+    points_b = np.array(
+        [transform_point(pose_b_estimate, frame_b.observations[lid]) for lid in shared]
+    )
+    rotation, translation = estimate_rigid_2d(points_b, points_a)
+    residuals = np.linalg.norm(points_a - (points_b @ rotation.T + translation), axis=1)
+    theta = float(np.arctan2(rotation[1, 0], rotation[0, 0]))
+    return MergeResult(
+        transform=(float(translation[0]), float(translation[1]), theta),
+        shared_landmarks=len(shared),
+        residual_rms=float(np.sqrt(np.mean(residuals**2))),
+    )
+
+
+def merged_trajectories(
+    trajectory_a: list[Pose],
+    trajectory_b: list[Pose],
+    merge: MergeResult,
+) -> list[Pose]:
+    """Agent 1's trajectory followed by agent 2's, expressed in map 1."""
+    return list(trajectory_a) + merge.apply_trajectory(trajectory_b)

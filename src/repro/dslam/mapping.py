@@ -1,0 +1,111 @@
+"""Landmark map fusion and map-quality metrics.
+
+After a merge, the two agents' landmark estimates describe one map; fusing
+them (averaging estimates of the same landmark observed by both) is what
+"the maps ... are merged" means concretely in Fig. env(c).  The quality
+metric compares fused estimates against the ground-truth world.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dslam.map_merge import MergeResult
+from repro.dslam.vo import Pose, transform_point
+from repro.dslam.world import World
+from repro.errors import DslamError
+
+
+@dataclass
+class LandmarkMap:
+    """Point map: landmark id -> (estimate, observation count)."""
+
+    estimates: dict[int, tuple[float, float]] = field(default_factory=dict)
+    counts: dict[int, int] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.estimates)
+
+    def insert(self, landmark_id: int, position: tuple[float, float]) -> None:
+        """Running average of all observations of one landmark."""
+        if landmark_id in self.estimates:
+            count = self.counts[landmark_id]
+            old_x, old_y = self.estimates[landmark_id]
+            new_x = (old_x * count + position[0]) / (count + 1)
+            new_y = (old_y * count + position[1]) / (count + 1)
+            self.estimates[landmark_id] = (new_x, new_y)
+            self.counts[landmark_id] = count + 1
+        else:
+            self.estimates[landmark_id] = (float(position[0]), float(position[1]))
+            self.counts[landmark_id] = 1
+
+    @classmethod
+    def from_estimates(cls, estimates: dict[int, tuple[float, float]]) -> "LandmarkMap":
+        built = cls()
+        for landmark_id, position in estimates.items():
+            built.insert(landmark_id, position)
+        return built
+
+    def transformed(self, transform: Pose) -> "LandmarkMap":
+        """The same map expressed in another frame."""
+        moved = LandmarkMap()
+        for landmark_id, position in self.estimates.items():
+            moved.estimates[landmark_id] = transform_point(transform, position)
+            moved.counts[landmark_id] = self.counts[landmark_id]
+        return moved
+
+
+def fuse_maps(primary: LandmarkMap, secondary: LandmarkMap, merge: MergeResult) -> LandmarkMap:
+    """Union of two agents' maps, the second brought into the first's frame.
+
+    Landmarks seen by both agents are averaged with observation-count
+    weights.
+    """
+    fused = LandmarkMap()
+    for landmark_id, position in primary.estimates.items():
+        fused.estimates[landmark_id] = position
+        fused.counts[landmark_id] = primary.counts[landmark_id]
+    moved = secondary.transformed(merge.transform)
+    for landmark_id, position in moved.estimates.items():
+        if landmark_id in fused.estimates:
+            count_a = fused.counts[landmark_id]
+            count_b = moved.counts[landmark_id]
+            ax, ay = fused.estimates[landmark_id]
+            bx, by = position
+            total = count_a + count_b
+            fused.estimates[landmark_id] = (
+                (ax * count_a + bx * count_b) / total,
+                (ay * count_a + by * count_b) / total,
+            )
+            fused.counts[landmark_id] = total
+        else:
+            fused.estimates[landmark_id] = position
+            fused.counts[landmark_id] = moved.counts[landmark_id]
+    return fused
+
+
+def map_rmse(estimated: LandmarkMap, world: World, frame_origin: Pose) -> float:
+    """RMS position error of landmark estimates vs the true world.
+
+    ``frame_origin`` is the world pose of the map's origin (agent 1's start),
+    used to express the ground truth in the map frame.
+    """
+    if not estimated.estimates:
+        raise DslamError("empty landmark map")
+    ox, oy, otheta = frame_origin
+    cos_o, sin_o = np.cos(-otheta), np.sin(-otheta)
+    errors = []
+    for landmark_id, (ex, ey) in estimated.estimates.items():
+        landmark = world.landmarks.get(landmark_id)
+        if landmark is None:
+            raise DslamError(f"estimate for unknown landmark {landmark_id}")
+        dx, dy = landmark.x - ox, landmark.y - oy
+        true_local = (cos_o * dx - sin_o * dy, sin_o * dx + cos_o * dy)
+        errors.append((ex - true_local[0]) ** 2 + (ey - true_local[1]) ** 2)
+    return float(np.sqrt(np.mean(errors)))
+
+
+def shared_landmark_count(primary: LandmarkMap, secondary: LandmarkMap) -> int:
+    return len(set(primary.estimates) & set(secondary.estimates))

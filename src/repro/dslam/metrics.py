@@ -1,0 +1,59 @@
+"""Evaluation metrics: trajectory error and place-recognition quality."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dslam.place_recognition import PlaceMatch
+from repro.dslam.vo import Pose, estimate_rigid_2d
+from repro.errors import DslamError
+
+
+def absolute_trajectory_error(
+    estimated: list[Pose], ground_truth: list[Pose], align: bool = True
+) -> float:
+    """RMS position error, optionally after a best rigid alignment (ATE)."""
+    if len(estimated) != len(ground_truth):
+        raise DslamError(
+            f"trajectory lengths differ: {len(estimated)} vs {len(ground_truth)}"
+        )
+    if not estimated:
+        raise DslamError("empty trajectories")
+    est = np.array([[pose[0], pose[1]] for pose in estimated])
+    truth = np.array([[pose[0], pose[1]] for pose in ground_truth])
+    if align and len(estimated) >= 2:
+        rotation, translation = estimate_rigid_2d(est, truth)
+        est = est @ rotation.T + translation
+    return float(np.sqrt(np.mean(np.sum((est - truth) ** 2, axis=1))))
+
+
+@dataclass(frozen=True)
+class MatchQuality:
+    """Precision/recall of proposed place matches against ground truth."""
+
+    proposed: int
+    true_positives: int
+    distance_threshold: float
+
+    @property
+    def precision(self) -> float:
+        return self.true_positives / self.proposed if self.proposed else 0.0
+
+
+def match_precision(
+    matches: list[PlaceMatch], distance_threshold: float = 4.0
+) -> MatchQuality:
+    """A proposed match is correct if the two true poses are nearby."""
+    true_positives = 0
+    for match in matches:
+        ax, ay, _ = match.query.true_pose
+        bx, by, _ = match.candidate.true_pose
+        if np.hypot(ax - bx, ay - by) <= distance_threshold:
+            true_positives += 1
+    return MatchQuality(
+        proposed=len(matches),
+        true_positives=true_positives,
+        distance_threshold=distance_threshold,
+    )

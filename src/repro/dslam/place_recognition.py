@@ -1,0 +1,128 @@
+"""Place recognition (PR): the GeM-equivalent global descriptor + database.
+
+The paper's PR module runs GeM (ResNet-101 backbone + generalised-mean
+pooling) to produce a compact code per frame; codes from different robots
+are matched to propose loop closures for map merging.  Here the backbone's
+*timing* comes from the compiled GeM program on the simulated accelerator;
+this module supplies the *content*: a GeM-pooled embedding of the frame's
+observed appearance vectors, so that views of the same place produce nearby
+codes and views of different places do not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dslam.world import LANDMARK_DESCRIPTOR_DIM
+from repro.errors import DslamError
+from repro.ros.messages import CameraFrame, PlaceDescriptor
+
+
+@dataclass(frozen=True)
+class PlaceEncoderConfig:
+    """Embedding parameters."""
+
+    code_dim: int = 32
+    gem_p: float = 3.0
+    projection_seed: int = 7
+
+
+class PlaceEncoder:
+    """GeM pooling over a fixed random feature projection of the frame."""
+
+    def __init__(self, config: PlaceEncoderConfig | None = None):
+        self.config = config or PlaceEncoderConfig()
+        rng = np.random.default_rng(self.config.projection_seed)
+        self._projection = rng.normal(
+            0, 1.0 / np.sqrt(LANDMARK_DESCRIPTOR_DIM),
+            size=(LANDMARK_DESCRIPTOR_DIM, self.config.code_dim),
+        )
+
+    def encode(self, frame: CameraFrame) -> np.ndarray:
+        """Frame -> L2-normalised place code."""
+        if not frame.descriptors:
+            return np.zeros(self.config.code_dim)
+        stacked = np.stack(list(frame.descriptors.values()))
+        # "Conv features": a fixed projection of each observation.  The
+        # pooling is a signed generalised mean (odd exponent preserves sign),
+        # which keeps codes spread over the whole sphere instead of the
+        # positive orthant — mirroring GeM-after-whitening discrimination.
+        features = stacked @ self._projection
+        p = self.config.gem_p
+        pooled_p = np.mean(np.sign(features) * np.power(np.abs(features), p), axis=0)
+        pooled = np.sign(pooled_p) * np.power(np.abs(pooled_p), 1.0 / p)
+        norm = float(np.linalg.norm(pooled))
+        if norm < 1e-12:
+            return np.zeros(self.config.code_dim)
+        return pooled / norm
+
+
+@dataclass(frozen=True)
+class PlaceMatch:
+    """A proposed loop closure between two agents' frames."""
+
+    query: PlaceDescriptor
+    candidate: PlaceDescriptor
+    similarity: float
+
+
+@dataclass
+class PlaceDatabase:
+    """All published place descriptors, queryable across agents."""
+
+    descriptors: list[PlaceDescriptor] = field(default_factory=list)
+
+    def add(self, descriptor: PlaceDescriptor) -> None:
+        self.descriptors.append(descriptor)
+
+    def __len__(self) -> int:
+        return len(self.descriptors)
+
+    def query(
+        self,
+        descriptor: PlaceDescriptor,
+        threshold: float = 0.90,
+        exclude_agent: str | None = None,
+    ) -> PlaceMatch | None:
+        """Best cross-agent match above ``threshold`` (cosine similarity)."""
+        exclude_agent = exclude_agent or descriptor.agent
+        best: PlaceMatch | None = None
+        for candidate in self.descriptors:
+            if candidate.agent == exclude_agent:
+                continue
+            similarity = float(np.dot(descriptor.code, candidate.code))
+            if similarity < threshold:
+                continue
+            if best is None or similarity > best.similarity:
+                best = PlaceMatch(descriptor, candidate, similarity)
+        return best
+
+    def cross_agent_matches(
+        self, threshold: float = 0.90, min_shared_landmarks: int = 4
+    ) -> list[PlaceMatch]:
+        """All cross-agent pairs above ``threshold`` with enough shared
+        landmarks to attempt a geometric merge, best first."""
+        matches = []
+        for index, query in enumerate(self.descriptors):
+            for candidate in self.descriptors[index + 1 :]:
+                if candidate.agent == query.agent:
+                    continue
+                similarity = float(np.dot(query.code, candidate.code))
+                if similarity < threshold:
+                    continue
+                shared = query.landmark_ids & candidate.landmark_ids
+                if len(shared) < min_shared_landmarks:
+                    continue
+                matches.append(PlaceMatch(query, candidate, similarity))
+        matches.sort(key=lambda match: -match.similarity)
+        return matches
+
+
+def pairwise_similarity(database: PlaceDatabase) -> np.ndarray:
+    """Dense similarity matrix over all stored codes (analysis helper)."""
+    if not database.descriptors:
+        raise DslamError("place database is empty")
+    codes = np.stack([descriptor.code for descriptor in database.descriptors])
+    return codes @ codes.T

@@ -1,0 +1,200 @@
+"""2-D pose-graph optimisation (the SLAM back end).
+
+VO integrates relative motions, so its error grows without bound; place
+recognition supplies loop-closure constraints that a pose-graph optimiser
+uses to pull the trajectory back into shape.  This is the standard back end
+of every modern SLAM system (the paper's DSLAM stack includes it implicitly
+— map merging only works because drift is bounded).
+
+The implementation is a dense Gauss-Newton solver on SE(2):
+
+* nodes: poses (x, y, theta), node 0 anchored (gauge freedom),
+* edges: relative-pose measurements with scalar information weights,
+* residual per edge: difference between the measured relative pose and the
+  current estimate's relative pose, angle wrapped.
+
+Small (hundreds of poses) and dependency-free by design — the trajectories
+here are tens to hundreds of frames.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dslam.vo import Pose
+from repro.errors import DslamError
+
+
+@dataclass(frozen=True)
+class PoseEdge:
+    """A relative-pose constraint: pose_j ~= pose_i (+) measurement."""
+
+    i: int
+    j: int
+    dx: float
+    dy: float
+    dtheta: float
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.i == self.j:
+            raise DslamError(f"self-edge on node {self.i}")
+        if self.weight <= 0:
+            raise DslamError(f"edge ({self.i},{self.j}) weight must be positive")
+
+
+@dataclass
+class PoseGraph:
+    """Nodes + constraints + the Gauss-Newton solver."""
+
+    poses: list[Pose] = field(default_factory=list)
+    edges: list[PoseEdge] = field(default_factory=list)
+
+    def add_pose(self, pose: Pose) -> int:
+        self.poses.append(pose)
+        return len(self.poses) - 1
+
+    def add_edge(self, edge: PoseEdge) -> None:
+        count = len(self.poses)
+        if not (0 <= edge.i < count and 0 <= edge.j < count):
+            raise DslamError(
+                f"edge ({edge.i},{edge.j}) references missing nodes (have {count})"
+            )
+        self.edges.append(edge)
+
+    def add_odometry_chain(self, trajectory: list[Pose], weight: float = 1.0) -> None:
+        """Seed the graph with a VO trajectory and its frame-to-frame edges."""
+        offset = len(self.poses)
+        for pose in trajectory:
+            self.add_pose(pose)
+        for index in range(len(trajectory) - 1):
+            measurement = relative_pose(trajectory[index], trajectory[index + 1])
+            self.add_edge(
+                PoseEdge(offset + index, offset + index + 1, *measurement, weight=weight)
+            )
+
+    # -- solving -------------------------------------------------------------
+
+    def error(self) -> float:
+        """Sum of squared weighted residuals."""
+        total = 0.0
+        for edge in self.edges:
+            residual = _edge_residual(self.poses[edge.i], self.poses[edge.j], edge)
+            total += edge.weight * float(residual @ residual)
+        return total
+
+    def optimize(self, iterations: int = 20, damping: float = 1e-6, tol: float = 1e-9) -> int:
+        """Gauss-Newton with node 0 anchored; returns iterations executed."""
+        if len(self.poses) < 2 or not self.edges:
+            return 0
+        for iteration in range(iterations):
+            previous = self.error()
+            self._gauss_newton_step(damping)
+            if previous - self.error() < tol * max(previous, 1.0):
+                return iteration + 1
+        return iterations
+
+    def _gauss_newton_step(self, damping: float) -> None:
+        count = len(self.poses)
+        dims = 3 * count
+        hessian = np.zeros((dims, dims))
+        gradient = np.zeros(dims)
+        for edge in self.edges:
+            pose_i = self.poses[edge.i]
+            pose_j = self.poses[edge.j]
+            residual = _edge_residual(pose_i, pose_j, edge)
+            jac_i, jac_j = _edge_jacobians(pose_i, pose_j)
+            si, sj = 3 * edge.i, 3 * edge.j
+            weight = edge.weight
+            hessian[si : si + 3, si : si + 3] += weight * jac_i.T @ jac_i
+            hessian[sj : sj + 3, sj : sj + 3] += weight * jac_j.T @ jac_j
+            hessian[si : si + 3, sj : sj + 3] += weight * jac_i.T @ jac_j
+            hessian[sj : sj + 3, si : si + 3] += weight * jac_j.T @ jac_i
+            gradient[si : si + 3] += weight * jac_i.T @ residual
+            gradient[sj : sj + 3] += weight * jac_j.T @ residual
+
+        # Anchor node 0 (remove gauge freedom).
+        hessian[:3, :] = 0.0
+        hessian[:, :3] = 0.0
+        hessian[:3, :3] = np.eye(3)
+        gradient[:3] = 0.0
+        hessian += damping * np.eye(dims)
+
+        try:
+            delta = np.linalg.solve(hessian, -gradient)
+        except np.linalg.LinAlgError as exc:  # pragma: no cover - singularities
+            raise DslamError("pose graph normal equations are singular") from exc
+        for index in range(count):
+            x, y, theta = self.poses[index]
+            dx, dy, dtheta = delta[3 * index : 3 * index + 3]
+            self.poses[index] = (x + dx, y + dy, _wrap(theta + dtheta))
+
+
+def relative_pose(pose_i: Pose, pose_j: Pose) -> tuple[float, float, float]:
+    """pose_j expressed in pose_i's frame."""
+    xi, yi, ti = pose_i
+    xj, yj, tj = pose_j
+    cos_t, sin_t = np.cos(ti), np.sin(ti)
+    dx = cos_t * (xj - xi) + sin_t * (yj - yi)
+    dy = -sin_t * (xj - xi) + cos_t * (yj - yi)
+    return (float(dx), float(dy), _wrap(tj - ti))
+
+
+def _edge_residual(pose_i: Pose, pose_j: Pose, edge: PoseEdge) -> np.ndarray:
+    actual = relative_pose(pose_i, pose_j)
+    return np.array(
+        [
+            actual[0] - edge.dx,
+            actual[1] - edge.dy,
+            _wrap(actual[2] - edge.dtheta),
+        ]
+    )
+
+
+def _edge_jacobians(pose_i: Pose, pose_j: Pose) -> tuple[np.ndarray, np.ndarray]:
+    """d(residual)/d(pose_i), d(residual)/d(pose_j)."""
+    xi, yi, ti = pose_i
+    xj, yj, _ = pose_j
+    cos_t, sin_t = np.cos(ti), np.sin(ti)
+    dx, dy = xj - xi, yj - yi
+    jac_i = np.array(
+        [
+            [-cos_t, -sin_t, -sin_t * dx + cos_t * dy],
+            [sin_t, -cos_t, -cos_t * dx - sin_t * dy],
+            [0.0, 0.0, -1.0],
+        ]
+    )
+    jac_j = np.array(
+        [
+            [cos_t, sin_t, 0.0],
+            [-sin_t, cos_t, 0.0],
+            [0.0, 0.0, 1.0],
+        ]
+    )
+    return jac_i, jac_j
+
+
+def _wrap(angle: float) -> float:
+    return float(np.arctan2(np.sin(angle), np.cos(angle)))
+
+
+def close_loops(
+    trajectory: list[Pose],
+    loop_constraints: list[tuple[int, int, tuple[float, float, float]]],
+    odometry_weight: float = 1.0,
+    loop_weight: float = 10.0,
+    iterations: int = 20,
+) -> list[Pose]:
+    """Optimise a VO trajectory against loop-closure constraints.
+
+    ``loop_constraints`` entries are ``(i, j, relative pose of j in i)`` —
+    typically produced by PR matches between re-visits.
+    """
+    graph = PoseGraph()
+    graph.add_odometry_chain(trajectory, weight=odometry_weight)
+    for i, j, measurement in loop_constraints:
+        graph.add_edge(PoseEdge(i, j, *measurement, weight=loop_weight))
+    graph.optimize(iterations=iterations)
+    return list(graph.poses)

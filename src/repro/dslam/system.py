@@ -1,0 +1,366 @@
+"""The full two-agent DSLAM experiment (paper §V-C, experiment E10).
+
+Two robots explore the arena in opposite directions, each with its own
+simulated Angel-Eye accelerator shared by FE (high priority) and PR (low
+priority) through the IAU.  After both missions run, cross-agent place
+matches are mined and the maps merged.  The result records everything the
+paper reports: FE meeting its per-frame deadline, PR completing one frame
+every 7~10 inputs, and the merged trajectory quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compiler.compile import CompiledNetwork
+from repro.dslam.agent import (
+    CameraNode,
+    DslamAgent,
+    FeNode,
+    PrNode,
+    VoNode,
+)
+from repro.dslam.camera import Camera, CameraConfig, frame_period_cycles, perimeter_trajectory
+from repro.dslam.frontend import FeatureExtractor, FrontendConfig
+from repro.dslam.loop_closure import LoopCloser
+from repro.dslam.map_merge import MergeResult, merge_from_frames, merged_trajectories
+from repro.dslam.pose_graph import close_loops
+from repro.dslam.mapping import LandmarkMap, fuse_maps, map_rmse
+from repro.dslam.metrics import absolute_trajectory_error, match_precision
+from repro.dslam.place_recognition import PlaceDatabase, PlaceEncoder, PlaceMatch
+from repro.dslam.vo import Pose
+from repro.dslam.world import World, WorldConfig
+from repro.errors import DslamError
+from repro.ros.executor import Executor
+from repro.runtime.system import MultiTaskSystem
+
+
+@dataclass(frozen=True)
+class DslamScenario:
+    """Experiment parameters."""
+
+    num_frames: int = 60
+    fps: float = 20.0
+    speed: float = 1.5
+    world: WorldConfig = WorldConfig()
+    camera: CameraConfig = CameraConfig()
+    match_threshold: float = 0.75
+    min_shared_landmarks: int = 5
+    seed: int = 11
+    #: Feed PR outputs to an intra-agent loop closer and report the
+    #: pose-graph-corrected ATE alongside the raw VO ATE.
+    loop_closure: bool = True
+    #: (loop start fraction, clockwise) per agent.  Agent 2 starts a little
+    #: behind agent 1 on the same loop, so it re-visits agent 1's places a
+    #: few seconds later — the place-recognition scenario of Fig. env.
+    starts: tuple[tuple[float, bool], ...] = ((0.0, False), (0.985, False))
+
+
+@dataclass
+class AgentOutcome:
+    """Everything measured on one agent."""
+
+    name: str
+    final_cycle: int
+    fe_jobs: int
+    fe_deadline_misses: int
+    fe_mean_response_cycles: float
+    pr_outputs: int
+    pr_frame_gaps: list[int]
+    estimated_trajectory: list[Pose]
+    true_trajectory: list[Pose]
+    ate_meters: float
+    #: Intra-agent loop closures detected by PR, and the corrected ATE
+    #: (equals ate_meters when no closure fired).
+    loop_closures: int = 0
+    ate_optimized_meters: float | None = None
+
+
+@dataclass
+class E10Result:
+    """The DSLAM experiment outcome."""
+
+    agents: list[AgentOutcome]
+    frame_period_cycles: int
+    matches: list[PlaceMatch]
+    match_precision: float
+    merge: MergeResult | None
+    merged_ate_meters: float | None
+    #: Fused landmark map statistics (None when no merge happened).
+    merged_map_landmarks: int | None = None
+    merged_map_rmse_meters: float | None = None
+
+    def mean_pr_gap(self) -> float:
+        gaps = [gap for agent in self.agents for gap in agent.pr_frame_gaps]
+        if not gaps:
+            raise DslamError("no PR cadence data: PR produced fewer than 2 outputs")
+        return sum(gaps) / len(gaps)
+
+    def total_deadline_misses(self) -> int:
+        return sum(agent.fe_deadline_misses for agent in self.agents)
+
+    def format(self) -> str:
+        lines = ["E10: ROS-based DSLAM on the interruptible accelerator"]
+        for agent in self.agents:
+            gaps = agent.pr_frame_gaps
+            gap_text = f"{min(gaps)}..{max(gaps)}" if gaps else "n/a"
+            closure_text = ""
+            if agent.ate_optimized_meters is not None:
+                closure_text = (
+                    f" ({agent.loop_closures} loop closures -> "
+                    f"{agent.ate_optimized_meters:.2f} m)"
+                )
+            lines.append(
+                f"  {agent.name}: {agent.fe_jobs} FE frames "
+                f"({agent.fe_deadline_misses} deadline misses), "
+                f"{agent.pr_outputs} PR outputs (every {gap_text} frames), "
+                f"ATE {agent.ate_meters:.2f} m{closure_text}"
+            )
+        lines.append(
+            f"  mean PR cadence: one PR per {self.mean_pr_gap():.1f} input frames "
+            f"(paper: 7~10)"
+        )
+        lines.append(
+            f"  cross-agent matches: {len(self.matches)} "
+            f"(precision {self.match_precision * 100:.0f}%)"
+        )
+        if self.merge is not None:
+            lines.append(
+                f"  map merge: {self.merge.shared_landmarks} shared landmarks, "
+                f"residual {self.merge.residual_rms:.2f} m, "
+                f"merged ATE {self.merged_ate_meters:.2f} m"
+            )
+            if self.merged_map_landmarks is not None:
+                lines.append(
+                    f"  fused map: {self.merged_map_landmarks} landmarks, "
+                    f"RMSE {self.merged_map_rmse_meters:.2f} m"
+                )
+        else:
+            lines.append("  map merge: no acceptable match found")
+        return "\n".join(lines)
+
+
+def build_agent(
+    name: str,
+    world: World,
+    fe_compiled: CompiledNetwork,
+    pr_compiled: CompiledNetwork,
+    scenario: DslamScenario,
+    start_fraction: float,
+    clockwise: bool,
+    seed: int,
+) -> DslamAgent:
+    """Wire one robot: accelerator system, executor, and the four nodes."""
+    config = fe_compiled.config
+    system = MultiTaskSystem(config, iau_mode="virtual", functional=False)
+    system.add_task(0, fe_compiled, vi_mode="vi")
+    system.add_task(1, pr_compiled, vi_mode="vi")
+    executor = Executor(system)
+
+    poses = perimeter_trajectory(
+        world,
+        scenario.num_frames,
+        fps=scenario.fps,
+        speed=scenario.speed,
+        start_fraction=start_fraction,
+        clockwise=clockwise,
+    )
+    period = frame_period_cycles(config.clock.hz, scenario.fps)
+    camera = Camera(world, scenario.camera, seed=seed)
+    camera_node = CameraNode(executor, camera, poses, period, agent_name=name)
+    frontend_config = FrontendConfig()
+    fe_shape = fe_compiled.graph.input_shape
+    fe_node = FeNode(
+        executor,
+        FeatureExtractor(frontend_config),
+        agent_name=name,
+        postproc_cycles=frontend_config.postprocessing_cycles(
+            fe_shape.height, fe_shape.width, config.clock.hz
+        ),
+    )
+    vo_node = VoNode(executor, agent_name=name, start_pose=(0.0, 0.0, 0.0))
+    loop_closer = LoopCloser() if scenario.loop_closure else None
+    pr_node = PrNode(executor, PlaceEncoder(), agent_name=name, loop_closer=loop_closer)
+    return DslamAgent(
+        name=name,
+        executor=executor,
+        camera_node=camera_node,
+        fe_node=fe_node,
+        vo_node=vo_node,
+        pr_node=pr_node,
+        true_poses=poses,
+    )
+
+
+def run_dslam(
+    fe_compiled: CompiledNetwork,
+    pr_compiled: CompiledNetwork,
+    scenario: DslamScenario | None = None,
+) -> E10Result:
+    """Run the full two-agent experiment and evaluate it."""
+    scenario = scenario or DslamScenario()
+    world = World.generate(scenario.world)
+    period = frame_period_cycles(fe_compiled.config.clock.hz, scenario.fps)
+
+    agents: list[DslamAgent] = []
+    outcomes: list[AgentOutcome] = []
+    for index, (start_fraction, clockwise) in enumerate(scenario.starts):
+        agent = build_agent(
+            f"agent{index + 1}",
+            world,
+            fe_compiled,
+            pr_compiled,
+            scenario,
+            start_fraction=start_fraction,
+            clockwise=clockwise,
+            seed=scenario.seed + index,
+        )
+        final_cycle = agent.run()
+        outcomes.append(_evaluate_agent(agent, final_cycle, period))
+        agents.append(agent)
+
+    database = PlaceDatabase()
+    for agent in agents:
+        for descriptor in agent.descriptors:
+            database.add(descriptor)
+    matches = database.cross_agent_matches(
+        threshold=scenario.match_threshold,
+        min_shared_landmarks=scenario.min_shared_landmarks,
+    )
+    quality = match_precision(matches)
+
+    merge = None
+    merged_ate = None
+    map_landmarks = None
+    map_error = None
+    if matches:
+        merge, merged_ate = _merge_and_score(agents, outcomes, matches[0])
+        if merge is not None:
+            map_landmarks, map_error = _fuse_and_score_maps(agents, world, merge, matches[0])
+    return E10Result(
+        agents=outcomes,
+        frame_period_cycles=period,
+        matches=matches,
+        match_precision=quality.precision,
+        merge=merge,
+        merged_ate_meters=merged_ate,
+        merged_map_landmarks=map_landmarks,
+        merged_map_rmse_meters=map_error,
+    )
+
+
+def _evaluate_agent(agent: DslamAgent, final_cycle: int, period: int) -> AgentOutcome:
+    fe_jobs = agent.fe_node.jobs
+    responses = [job.response_cycles for job in fe_jobs]
+    misses = sum(1 for job in fe_jobs if job.turnaround_cycles > period)
+    estimated = agent.vo_node.vo.trajectory
+    true_local = _to_local_frame(agent.true_poses)
+    ate = absolute_trajectory_error(estimated, true_local[: len(estimated)])
+    closures, ate_optimized = _apply_loop_closures(agent, estimated, true_local)
+    return AgentOutcome(
+        name=agent.name,
+        final_cycle=final_cycle,
+        fe_jobs=len(fe_jobs),
+        fe_deadline_misses=misses,
+        fe_mean_response_cycles=sum(responses) / len(responses) if responses else 0.0,
+        pr_outputs=len(agent.pr_node.processed_seqs),
+        pr_frame_gaps=agent.pr_frame_gaps(),
+        estimated_trajectory=list(estimated),
+        true_trajectory=true_local,
+        ate_meters=ate,
+        loop_closures=closures,
+        ate_optimized_meters=ate_optimized,
+    )
+
+
+def _apply_loop_closures(
+    agent: DslamAgent, estimated: list[Pose], true_local: list[Pose]
+) -> tuple[int, float | None]:
+    """Map PR loop closures into frame space and optimise the trajectory."""
+    closer = agent.pr_node.loop_closer
+    if closer is None or not closer.closures:
+        return 0, None
+    seqs = agent.pr_node.processed_seqs
+    constraints = []
+    for closure in closer.closures:
+        frame_i = seqs[closure.i]
+        frame_j = seqs[closure.j]
+        if frame_j < len(estimated):
+            constraints.append((frame_i, frame_j, closure.relative))
+    if not constraints:
+        return len(closer.closures), None
+    optimized = close_loops(estimated, constraints, loop_weight=25.0)
+    ate = absolute_trajectory_error(optimized, true_local[: len(optimized)])
+    return len(closer.closures), ate
+
+
+def _merge_and_score(
+    agents: list[DslamAgent],
+    outcomes: list[AgentOutcome],
+    match: PlaceMatch,
+) -> tuple[MergeResult | None, float | None]:
+    """Merge through the best match; score the combined trajectory ATE."""
+    by_name = {agent.name: agent for agent in agents}
+    first = by_name[match.query.agent]
+    second = by_name[match.candidate.agent]
+    frame_a = first.camera_node.frames[match.query.header.seq]
+    frame_b = second.camera_node.frames[match.candidate.header.seq]
+    pose_a = first.vo_node.pose_by_frame.get(frame_a.header.seq)
+    pose_b = second.vo_node.pose_by_frame.get(frame_b.header.seq)
+    if pose_a is None or pose_b is None:
+        return None, None
+    try:
+        merge = merge_from_frames(frame_a, pose_a, frame_b, pose_b)
+    except DslamError:
+        return None, None
+    outcome_a = next(o for o in outcomes if o.name == first.name)
+    outcome_b = next(o for o in outcomes if o.name == second.name)
+    combined_est = merged_trajectories(
+        outcome_a.estimated_trajectory, outcome_b.estimated_trajectory, merge
+    )
+    # Ground truth: both agents' true poses in agent A's local frame.
+    truth_a = outcome_a.true_trajectory[: len(outcome_a.estimated_trajectory)]
+    truth_b_global = second.true_poses[: len(outcome_b.estimated_trajectory)]
+    truth_b = _reframe(truth_b_global, first.true_poses[0])
+    ate = absolute_trajectory_error(combined_est, truth_a + truth_b)
+    return merge, ate
+
+
+def _fuse_and_score_maps(
+    agents: list[DslamAgent],
+    world: World,
+    merge: MergeResult,
+    match: PlaceMatch,
+) -> tuple[int, float]:
+    """Fuse both agents' landmark estimates into one map and score it."""
+    by_name = {agent.name: agent for agent in agents}
+    first = by_name[match.query.agent]
+    second = by_name[match.candidate.agent]
+    map_a = LandmarkMap.from_estimates(first.vo_node.vo.landmark_estimates)
+    map_b = LandmarkMap.from_estimates(second.vo_node.vo.landmark_estimates)
+    fused = fuse_maps(map_a, map_b, merge)
+    error = map_rmse(fused, world, first.true_poses[0])
+    return len(fused), error
+
+
+def _to_local_frame(poses: list[Pose]) -> list[Pose]:
+    """Express a global trajectory in the frame of its first pose."""
+    return _reframe(poses, poses[0])
+
+
+def _reframe(poses: list[Pose], origin: Pose) -> list[Pose]:
+    ox, oy, otheta = origin
+    cos_o, sin_o = np.cos(-otheta), np.sin(-otheta)
+    result = []
+    for x, y, theta in poses:
+        dx, dy = x - ox, y - oy
+        result.append(
+            (
+                cos_o * dx - sin_o * dy,
+                sin_o * dx + cos_o * dy,
+                float(np.arctan2(np.sin(theta - otheta), np.cos(theta - otheta))),
+            )
+        )
+    return result

@@ -1,0 +1,158 @@
+"""Visual odometry: frame-to-frame 2-D rigid motion from matched features.
+
+VO matches features between consecutive frames by descriptor (nearest
+neighbour with a ratio test — no identity leakage from the synthetic
+landmark ids), estimates the rigid transform with a RANSAC-wrapped Kabsch
+solve, and integrates the motion into a pose estimate.  Measurement noise
+accumulates into drift, exactly the error a map merge must absorb.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import DslamError
+from repro.ros.messages import Feature
+
+Pose = tuple[float, float, float]
+
+
+def estimate_rigid_2d(
+    source: np.ndarray, target: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Least-squares rotation R and translation t with target ~= R @ source + t.
+
+    Standard 2-D Kabsch/Umeyama (without scale).
+    """
+    if source.shape != target.shape or source.ndim != 2 or source.shape[1] != 2:
+        raise DslamError(f"point sets must both be (n, 2); got {source.shape} and {target.shape}")
+    if source.shape[0] < 2:
+        raise DslamError("rigid estimation needs at least 2 correspondences")
+    source_mean = source.mean(axis=0)
+    target_mean = target.mean(axis=0)
+    covariance = (target - target_mean).T @ (source - source_mean)
+    u, _, vt = np.linalg.svd(covariance)
+    det = np.linalg.det(u @ vt)
+    rotation = u @ np.diag([1.0, float(np.sign(det))]) @ vt
+    translation = target_mean - rotation @ source_mean
+    return rotation, translation
+
+
+def match_features(
+    previous: tuple[Feature, ...],
+    current: tuple[Feature, ...],
+    ratio: float = 0.8,
+) -> list[tuple[Feature, Feature]]:
+    """Descriptor nearest-neighbour matching with Lowe's ratio test."""
+    if not previous or not current:
+        return []
+    prev_desc = np.stack([feature.descriptor for feature in previous])
+    curr_desc = np.stack([feature.descriptor for feature in current])
+    similarity = prev_desc @ curr_desc.T  # unit descriptors: cosine
+    matches = []
+    for row, feature in enumerate(previous):
+        order = np.argsort(-similarity[row])
+        best = order[0]
+        if len(order) > 1:
+            best_distance = 1.0 - similarity[row, best]
+            second_distance = 1.0 - similarity[row, order[1]]
+            if best_distance > ratio * second_distance and second_distance > 1e-9:
+                continue
+        matches.append((feature, current[best]))
+    return matches
+
+
+def ransac_rigid_2d(
+    source: np.ndarray,
+    target: np.ndarray,
+    iterations: int = 32,
+    inlier_threshold: float = 0.25,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(R, t, inlier mask) robust to mismatches."""
+    count = source.shape[0]
+    if count < 2:
+        raise DslamError("RANSAC needs at least 2 correspondences")
+    rng = np.random.default_rng(seed)
+    best_mask = np.zeros(count, dtype=bool)
+    for _ in range(iterations):
+        pick = rng.choice(count, size=2, replace=False)
+        if np.linalg.norm(source[pick[0]] - source[pick[1]]) < 1e-6:
+            continue
+        rotation, translation = estimate_rigid_2d(source[pick], target[pick])
+        residuals = np.linalg.norm(target - (source @ rotation.T + translation), axis=1)
+        mask = residuals < inlier_threshold
+        if mask.sum() > best_mask.sum():
+            best_mask = mask
+    if best_mask.sum() < 2:
+        best_mask = np.ones(count, dtype=bool)
+    rotation, translation = estimate_rigid_2d(source[best_mask], target[best_mask])
+    return rotation, translation, best_mask
+
+
+def compose(pose: Pose, motion: Pose) -> Pose:
+    """SE(2) composition: apply ``motion`` (in the robot frame) to ``pose``."""
+    x, y, theta = pose
+    dx, dy, dtheta = motion
+    cos_t, sin_t = np.cos(theta), np.sin(theta)
+    return (
+        x + cos_t * dx - sin_t * dy,
+        y + sin_t * dx + cos_t * dy,
+        float(np.arctan2(np.sin(theta + dtheta), np.cos(theta + dtheta))),
+    )
+
+
+def transform_point(pose: Pose, point: tuple[float, float]) -> tuple[float, float]:
+    """Robot-frame point -> world frame under ``pose``."""
+    x, y, theta = pose
+    px, py = point
+    cos_t, sin_t = np.cos(theta), np.sin(theta)
+    return (x + cos_t * px - sin_t * py, y + sin_t * px + cos_t * py)
+
+
+@dataclass
+class VisualOdometry:
+    """Integrates frame-to-frame motion; keeps an estimated landmark map."""
+
+    start_pose: Pose = (0.0, 0.0, 0.0)
+    min_matches: int = 4
+    pose: Pose = field(init=False)
+    num_frames: int = field(init=False, default=0)
+    trajectory: list[Pose] = field(init=False, default_factory=list)
+    #: Estimated world positions keyed by the matched feature's landmark id
+    #: (used only for map merging, as a stand-in for the local point map).
+    landmark_estimates: dict[int, tuple[float, float]] = field(init=False, default_factory=dict)
+    _previous: tuple[Feature, ...] | None = field(init=False, default=None)
+
+    def __post_init__(self) -> None:
+        self.pose = self.start_pose
+
+    def update(self, features: tuple[Feature, ...]) -> tuple[Pose, int]:
+        """Advance the estimate with one frame's features.
+
+        Returns (pose estimate, inlier count).
+        """
+        inliers = 0
+        if self._previous is not None and features:
+            matches = match_features(self._previous, features)
+            if len(matches) >= self.min_matches:
+                current_points = np.array([[m[1].x, m[1].y] for m in matches])
+                previous_points = np.array([[m[0].x, m[0].y] for m in matches])
+                # Motion of the robot between frames: current-frame points map
+                # onto previous-frame points under the forward motion.
+                rotation, translation, mask = ransac_rigid_2d(
+                    current_points, previous_points, seed=self.num_frames
+                )
+                inliers = int(mask.sum())
+                dtheta = float(np.arctan2(rotation[1, 0], rotation[0, 0]))
+                self.pose = compose(self.pose, (float(translation[0]), float(translation[1]), dtheta))
+        self.num_frames += 1
+        self.trajectory.append(self.pose)
+        for feature in features:
+            self.landmark_estimates[feature.landmark_id] = transform_point(
+                self.pose, (feature.x, feature.y)
+            )
+        self._previous = features
+        return self.pose, inliers

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the INCA reproduction.
+
+Every error raised by this package derives from :class:`IncaError` so that
+callers can catch the whole family with a single ``except`` clause while the
+sub-classes keep failure modes distinguishable in tests and logs.
+"""
+
+from __future__ import annotations
+
+
+class IncaError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class GraphError(IncaError):
+    """A network graph is malformed (bad wiring, shape mismatch, cycles)."""
+
+
+class QuantizationError(IncaError):
+    """A tensor cannot be represented in the requested fixed-point format."""
+
+
+class IsaError(IncaError):
+    """An instruction is malformed or cannot be encoded/decoded."""
+
+
+class ProgramError(IncaError):
+    """An instruction *sequence* violates a program-level invariant."""
+
+
+class CompileError(IncaError):
+    """The compiler cannot lower a network onto the configured hardware."""
+
+
+class HardwareError(IncaError):
+    """A hardware configuration is invalid (e.g. buffer too small to tile)."""
+
+
+class MemoryMapError(IncaError):
+    """A DDR allocation failed or an access fell outside its region."""
+
+
+class ExecutionError(IncaError):
+    """The accelerator simulator hit an illegal state at runtime."""
+
+
+class IauError(IncaError):
+    """The instruction arrangement unit was driven illegally."""
+
+
+class SchedulerError(IncaError):
+    """The multi-task runtime was misused (bad priority, double submit...)."""
+
+
+class RosError(IncaError):
+    """The ROS-like middleware was misused (unknown topic, bad node...)."""
+
+
+class DslamError(IncaError):
+    """A DSLAM component failed (no landmarks in view, bad trajectory...)."""

@@ -1,0 +1,84 @@
+"""On-chip buffer models.
+
+Each buffer tracks a *tag* describing what it currently holds (which layer,
+which rows, which channels).  A read with a mismatched tag raises — this is
+how the simulator catches incorrect interrupt recovery: if the IAU fails to
+re-issue a load after a context switch, the consumer finds stale data and the
+simulation fails loudly instead of silently producing garbage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+import numpy as np
+
+from repro.errors import ExecutionError, HardwareError
+
+
+@dataclass
+class TaggedBuffer:
+    """A capacity-checked on-chip memory holding one tagged payload."""
+
+    name: str
+    capacity: int
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise HardwareError(f"buffer {self.name!r} capacity must be positive")
+        self._tag: Hashable | None = None
+        self._payload: object | None = None
+        self._payload_bytes: int = 0
+
+    # -- state ------------------------------------------------------------
+
+    @property
+    def tag(self) -> Hashable | None:
+        return self._tag
+
+    @property
+    def occupied_bytes(self) -> int:
+        return self._payload_bytes
+
+    def fill(self, tag: Hashable, payload: object, num_bytes: int | None = None) -> None:
+        """Replace the buffer contents. numpy payloads size themselves."""
+        if num_bytes is None:
+            if not isinstance(payload, np.ndarray):
+                raise HardwareError(
+                    f"buffer {self.name!r}: num_bytes required for non-array payloads"
+                )
+            num_bytes = payload.nbytes
+        if num_bytes > self.capacity:
+            raise ExecutionError(
+                f"buffer {self.name!r}: payload {tag!r} needs {num_bytes} bytes, "
+                f"capacity is {self.capacity}"
+            )
+        self._tag = tag
+        self._payload = payload
+        self._payload_bytes = num_bytes
+
+    def read(self, expected_tag: Hashable) -> object:
+        """Fetch the payload, verifying the tag matches what the consumer expects."""
+        if self._tag != expected_tag:
+            raise ExecutionError(
+                f"buffer {self.name!r}: consumer expects {expected_tag!r} but buffer "
+                f"holds {self._tag!r} — missing reload after a context switch?"
+            )
+        return self._payload
+
+    def holds(self, tag: Hashable) -> bool:
+        return self._tag == tag
+
+    def invalidate(self) -> None:
+        self._tag = None
+        self._payload = None
+        self._payload_bytes = 0
+
+    # -- snapshots (CPU-like interrupt support) -----------------------------
+
+    def snapshot(self) -> tuple[Hashable | None, object | None, int]:
+        return (self._tag, self._payload, self._payload_bytes)
+
+    def restore(self, state: tuple[Hashable | None, object | None, int]) -> None:
+        self._tag, self._payload, self._payload_bytes = state

@@ -1,0 +1,117 @@
+"""DDR model: named regions with numpy backing and a bump allocator.
+
+The simulator addresses DDR through *regions* (feature maps, weight blobs,
+instruction spaces).  Each region has a base address in one flat address
+space — instructions carry the base address, exactly as the compiled
+``instruction.bin`` would — and a numpy array holding its contents, so the
+functional simulation reads and writes real data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import MemoryMapError
+
+#: Alignment of every allocation (DMA burst friendly).
+DDR_ALIGNMENT = 64
+
+
+@dataclass
+class DdrRegion:
+    """One allocated region: a base address plus its backing array."""
+
+    name: str
+    base: int
+    size: int
+    array: np.ndarray
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+
+@dataclass
+class Ddr:
+    """A flat DDR address space with named, non-overlapping regions."""
+
+    capacity: int = 1 << 32
+    base: int = 0
+    _cursor: int = field(init=False)
+    _regions: dict[str, DdrRegion] = field(init=False, default_factory=dict)
+    _by_base: dict[int, DdrRegion] = field(init=False, default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise MemoryMapError(f"DDR capacity must be positive, got {self.capacity}")
+        self._cursor = self.base
+
+    # -- allocation ----------------------------------------------------------
+
+    def allocate(
+        self,
+        name: str,
+        shape: tuple[int, ...],
+        dtype: np.dtype | type = np.int8,
+    ) -> DdrRegion:
+        """Reserve an aligned region backed by a zeroed array of ``shape``."""
+        if name in self._regions:
+            raise MemoryMapError(f"region {name!r} already allocated")
+        array = np.zeros(shape, dtype=dtype)
+        size = _aligned(array.nbytes)
+        if self._cursor + size > self.base + self.capacity:
+            raise MemoryMapError(
+                f"DDR exhausted allocating {name!r} "
+                f"({size} bytes at {self._cursor:#x}, capacity {self.capacity:#x})"
+            )
+        region = DdrRegion(name=name, base=self._cursor, size=size, array=array)
+        self._cursor += size
+        self._regions[name] = region
+        self._by_base[region.base] = region
+        return region
+
+    def adopt(self, region: DdrRegion) -> DdrRegion:
+        """Register a region allocated by another :class:`Ddr` (multi-network
+        composition: each compiled network brings its own regions)."""
+        if region.name in self._regions:
+            raise MemoryMapError(f"region {region.name!r} already present")
+        for existing in self._regions.values():
+            if region.base < existing.end and existing.base < region.end:
+                raise MemoryMapError(
+                    f"region {region.name!r} [{region.base:#x}, {region.end:#x}) "
+                    f"overlaps {existing.name!r} [{existing.base:#x}, {existing.end:#x})"
+                )
+        self._regions[region.name] = region
+        self._by_base[region.base] = region
+        return region
+
+    # -- lookup ----------------------------------------------------------------
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(region.size for region in self._regions.values())
+
+    def region(self, name: str) -> DdrRegion:
+        try:
+            return self._regions[name]
+        except KeyError:
+            raise MemoryMapError(f"no DDR region named {name!r}") from None
+
+    def region_at(self, base: int) -> DdrRegion:
+        """Resolve an instruction's ``ddr_addr`` to its region (exact base)."""
+        try:
+            return self._by_base[base]
+        except KeyError:
+            raise MemoryMapError(f"no DDR region based at address {base:#x}") from None
+
+    def regions(self) -> list[DdrRegion]:
+        return sorted(self._regions.values(), key=lambda region: region.base)
+
+
+def _aligned(num_bytes: int) -> int:
+    remainder = num_bytes % DDR_ALIGNMENT
+    if remainder == 0:
+        return max(num_bytes, DDR_ALIGNMENT)
+    return num_bytes + DDR_ALIGNMENT - remainder

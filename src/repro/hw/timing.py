@@ -1,0 +1,75 @@
+"""Per-instruction timing model, calibrated against the paper.
+
+The MAC array retires ``Para_in x Para_out x Para_height`` MACs per cycle.
+One CALC instruction convolves ``Para_height`` output lines across the full
+output width for one (input-channel group x output-channel group) pair, so
+
+    cycles(CALC) = W_out * K_h * K_w  (+ fixed pipeline overhead)
+
+which matches the paper's statement that a single CALC's time grows with the
+feature-map width, and — at 300 MHz — reproduces the per-layer numbers in the
+paper's backup-vs-convolution table (e.g. the 30x40x512->512 3x3 layer:
+32 CALCs x 40 x 9 cycles = 38.4 us vs the paper's 39.36 us).
+"""
+
+from __future__ import annotations
+
+from repro.errors import HardwareError
+from repro.hw.config import AcceleratorConfig
+from repro.units import ceil_div
+
+
+def calc_cycles(
+    config: AcceleratorConfig,
+    out_width: int,
+    kernel: tuple[int, int],
+) -> int:
+    """Cycles of one CALC instruction (either CALC_I or CALC_F)."""
+    if out_width <= 0:
+        raise HardwareError(f"out_width must be positive, got {out_width}")
+    kh, kw = kernel
+    if kh <= 0 or kw <= 0:
+        raise HardwareError(f"kernel must be positive, got {kernel}")
+    return out_width * kh * kw + config.calc_overhead_cycles
+
+
+def blob_calc_count(in_channels: int, para_in: int) -> int:
+    """CALC instructions per CalcBlob: ceil(Ch_in / Para_in)."""
+    return ceil_div(in_channels, para_in)
+
+
+def blob_cycles(
+    config: AcceleratorConfig,
+    in_channels: int,
+    out_width: int,
+    kernel: tuple[int, int],
+) -> int:
+    """Worst-case wait to finish the in-flight CalcBlob (the VI method's t1)."""
+    return blob_calc_count(in_channels, config.para_in) * calc_cycles(config, out_width, kernel)
+
+
+def layer_calc_cycles(
+    config: AcceleratorConfig,
+    in_channels: int,
+    out_channels: int,
+    out_height: int,
+    out_width: int,
+    kernel: tuple[int, int],
+) -> int:
+    """Total CALC time of a whole convolution layer (the layer-by-layer t1
+    upper bound): blobs = ceil(Cout/Para_out) x ceil(H/Para_height)."""
+    blobs = ceil_div(out_channels, config.para_out) * ceil_div(out_height, config.para_height)
+    return blobs * blob_cycles(config, in_channels, out_width, kernel)
+
+
+def transfer_cycles(config: AcceleratorConfig, num_bytes: int) -> int:
+    """Cycles of one DMA descriptor moving ``num_bytes`` between DDR and chip."""
+    return config.ddr.transfer_cycles(num_bytes)
+
+
+def fetch_cycles(config: AcceleratorConfig, num_instructions: int = 1) -> int:
+    """Instruction-fetch cost the IAU pays, including for skipped virtual
+    instructions — the source of the (<=0.3 %) multi-tasking degradation."""
+    if num_instructions < 0:
+        raise HardwareError("cannot fetch a negative number of instructions")
+    return config.instruction_fetch_cycles * num_instructions

@@ -1,0 +1,7 @@
+"""Instruction Arrangement Unit: VI-ISA -> original-ISA translation with
+per-task contexts, interrupt capture, and SAVE rewriting."""
+
+from repro.iau.context import JobRecord, TaskContext
+from repro.iau.unit import IAU_MODES, MAX_TASKS, Iau
+
+__all__ = ["IAU_MODES", "Iau", "JobRecord", "MAX_TASKS", "TaskContext"]

@@ -1,0 +1,113 @@
+"""Per-task state of the Instruction Arrangement Unit.
+
+The paper's IAU keeps, for each of four task slots: ``InstrAddr`` (resume
+point), ``InputOffset``/``OutputOffset`` (software-configured I/O bases) and
+``SaveID``/``SaveAddr``/``SaveLength`` (the interrupt-status registers that
+drive SAVE rewriting).  Task 0 has the highest priority and is never
+interrupted.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.compiler.compile import CompiledNetwork
+from repro.errors import IauError
+from repro.isa.instructions import NO_SAVE_ID
+from repro.isa.program import Program
+
+
+@dataclass
+class JobRecord:
+    """Lifecycle of one inference request on one task slot."""
+
+    task_id: int
+    request_cycle: int
+    start_cycle: int | None = None
+    complete_cycle: int | None = None
+
+    @property
+    def response_cycles(self) -> int:
+        """Request-to-first-instruction latency (the paper's t_latency)."""
+        if self.start_cycle is None:
+            raise IauError("job has not started yet")
+        return self.start_cycle - self.request_cycle
+
+    @property
+    def turnaround_cycles(self) -> int:
+        if self.complete_cycle is None:
+            raise IauError("job has not completed yet")
+        return self.complete_cycle - self.request_cycle
+
+
+@dataclass
+class TaskContext:
+    """One IAU task slot."""
+
+    task_id: int
+    compiled: CompiledNetwork
+    program: Program
+    #: InstrAddr — next instruction to translate.
+    instr_index: int = 0
+    #: Software-configured base offsets (modelled registers; the runtime
+    #: writes input data directly into the task's input region instead).
+    input_offset: int = 0
+    output_offset: int = 0
+    #: SaveID / SaveLength registers: channels already stored for a section.
+    save_id: int = NO_SAVE_ID
+    saved_chs: int = 0
+    #: True while re-executing the virtual recovery loads after a resume.
+    in_recovery: bool = False
+    #: Whether a job is currently in flight on this slot.
+    active: bool = False
+    #: CPU-like interrupts snapshot the whole core state here.
+    snapshot: object | None = None
+    #: Pending (not yet started) requests.
+    queue: deque[JobRecord] = field(default_factory=deque)
+    #: The in-flight job's record.
+    current_job: JobRecord | None = None
+    #: Completed jobs, oldest first.
+    completed: list[JobRecord] = field(default_factory=list)
+    #: Cycles spent executing this task's instructions (incl. fetches).
+    busy_cycles: int = 0
+
+    @property
+    def runnable(self) -> bool:
+        return self.active or bool(self.queue)
+
+    def enqueue(self, record: JobRecord) -> None:
+        self.queue.append(record)
+
+    def begin_next_job(self) -> JobRecord:
+        if self.active:
+            raise IauError(f"task {self.task_id} already has a job in flight")
+        if not self.queue:
+            raise IauError(f"task {self.task_id} has no queued job to begin")
+        self.current_job = self.queue.popleft()
+        self.active = True
+        self.instr_index = 0
+        self.in_recovery = False
+        self.save_id = NO_SAVE_ID
+        self.saved_chs = 0
+        self.snapshot = None
+        return self.current_job
+
+    def finish_job(self, clock: int) -> JobRecord:
+        if not self.active or self.current_job is None:
+            raise IauError(f"task {self.task_id} has no job to finish")
+        job = self.current_job
+        job.complete_cycle = clock
+        self.completed.append(job)
+        self.current_job = None
+        self.active = False
+        self.instr_index = 0
+        self.in_recovery = False
+        self.save_id = NO_SAVE_ID
+        self.saved_chs = 0
+        self.snapshot = None
+        return job
+
+    def clear_save_state(self) -> None:
+        self.save_id = NO_SAVE_ID
+        self.saved_chs = 0

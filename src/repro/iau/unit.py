@@ -1,0 +1,304 @@
+"""The Instruction Arrangement Unit (IAU).
+
+The IAU sits between the instruction spaces in DDR and the (unchanged)
+accelerator core.  Each cycle chunk it fetches the next VI-ISA instruction of
+the highest-priority runnable task and either
+
+* **forwards** it to the core (real instructions; SAVEs may first be
+  rewritten against the ``SaveID``/``SaveLength`` registers to skip bytes a
+  VIR_SAVE already stored),
+* **discards** it (virtual instruction, no pre-emption pending),
+* **expands** it (virtual instruction, pre-emption pending: perform the
+  backup it encodes, record the interrupt status, and switch tasks), or
+* **re-executes** it (virtual recovery loads, while resuming a task).
+
+Two interrupt disciplines are modelled on top of the same task table:
+
+* ``mode="virtual"`` — the paper's method (also used for the layer-by-layer
+  baseline, whose programs simply carry fewer interrupt points);
+* ``mode="cpu"`` — the CPU-like baseline: switch after *any* instruction by
+  spilling/restoring every on-chip buffer (paper §IV-B).
+"""
+
+from __future__ import annotations
+
+from repro.accel.core import AcceleratorCore
+from repro.accel.trace import ExecutionTrace, TraceEvent
+from repro.compiler.compile import CompiledNetwork
+from repro.errors import IauError
+from repro.hw.timing import fetch_cycles, transfer_cycles
+from repro.iau.context import JobRecord, TaskContext
+from repro.isa.instructions import NO_SAVE_ID, Instruction
+from repro.isa.opcodes import Opcode
+
+#: Number of task slots in the hardware (paper's Fig. IAU).
+MAX_TASKS = 4
+
+#: Interrupt disciplines.
+IAU_MODES = ("virtual", "cpu")
+
+
+class Iau:
+    """Behavioural model of the Instruction Arrangement Unit."""
+
+    def __init__(
+        self,
+        core: AcceleratorCore,
+        mode: str = "virtual",
+        trace: ExecutionTrace | None = None,
+    ):
+        if mode not in IAU_MODES:
+            raise IauError(f"mode must be one of {IAU_MODES}, got {mode!r}")
+        self.core = core
+        self.config = core.config
+        self.mode = mode
+        self.trace = trace
+        self.clock = 0
+        self.contexts: list[TaskContext | None] = [None] * MAX_TASKS
+        self.current: int | None = None
+        #: Extra cycles spent on interrupt backup / restore transfers.
+        self.backup_cycles = 0
+        self.restore_cycles = 0
+        self.num_switches = 0
+        #: Optional hook called as ``on_complete(task_id, job)`` whenever a
+        #: job finishes (the ROS layer uses it to schedule callbacks).
+        self.on_complete = None
+
+    # -- task management -----------------------------------------------------
+
+    def attach_task(
+        self, task_id: int, compiled: CompiledNetwork, vi_mode: str = "vi"
+    ) -> TaskContext:
+        """Bind a compiled network to a priority slot (0 = highest)."""
+        if not 0 <= task_id < MAX_TASKS:
+            raise IauError(f"task_id must be in [0, {MAX_TASKS}), got {task_id}")
+        if self.contexts[task_id] is not None:
+            raise IauError(f"task slot {task_id} already attached")
+        if self.mode == "cpu" and vi_mode != "none":
+            # The CPU-like discipline needs no virtual instructions.
+            vi_mode = "none"
+        context = TaskContext(
+            task_id=task_id,
+            compiled=compiled,
+            program=compiled.program_for(vi_mode),
+        )
+        self.contexts[task_id] = context
+        return context
+
+    def context(self, task_id: int) -> TaskContext:
+        context = self.contexts[task_id]
+        if context is None:
+            raise IauError(f"no task attached at slot {task_id}")
+        return context
+
+    def request(self, task_id: int, at_cycle: int | None = None) -> JobRecord:
+        """A software thread asks for one inference on its task slot.
+
+        ``at_cycle`` back-dates the request to its true arrival time when the
+        caller delivers it mid-instruction (response latency is measured from
+        arrival, exactly as a hardware interrupt line would be timed).
+        """
+        record = JobRecord(
+            task_id=task_id,
+            request_cycle=self.clock if at_cycle is None else at_cycle,
+        )
+        self.context(task_id).enqueue(record)
+        return record
+
+    # -- scheduling ---------------------------------------------------------
+
+    def _highest_runnable(self) -> TaskContext | None:
+        for context in self.contexts:
+            if context is not None and context.runnable:
+                return context
+        return None
+
+    def _preempting_task(self, current_priority: int) -> TaskContext | None:
+        for context in self.contexts[:current_priority]:
+            if context is not None and context.runnable:
+                return context
+        return None
+
+    @property
+    def idle(self) -> bool:
+        return self._highest_runnable() is None
+
+    # -- execution ------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Translate + execute one instruction; False when nothing is runnable."""
+        if self.current is None:
+            context = self._highest_runnable()
+            if context is None:
+                return False
+            self._switch_in(context)
+        context = self.context(self.current)
+
+        if context.instr_index >= len(context.program):
+            self._complete_job(context)
+            return True
+
+        instruction = context.program[context.instr_index]
+        fetch = fetch_cycles(self.config)
+        self.clock += fetch
+        context.busy_cycles += fetch
+
+        if self.mode == "cpu" and self._maybe_cpu_preempt(context):
+            return True
+
+        if instruction.is_virtual:
+            self._handle_virtual(context, instruction)
+        else:
+            self._handle_real(context, instruction)
+        return True
+
+    def run_until_idle(self, max_steps: int = 100_000_000) -> None:
+        """Drain every queued job (no new arrivals)."""
+        for _ in range(max_steps):
+            if not self.step():
+                return
+        raise IauError(f"IAU did not go idle within {max_steps} steps")
+
+    # -- switching ------------------------------------------------------------
+
+    def _switch_in(self, context: TaskContext) -> None:
+        """Make ``context`` the running task, starting a queued job if needed."""
+        if self.current == context.task_id:
+            return
+        self.current = context.task_id
+        self.num_switches += 1
+        if not context.active:
+            job = context.begin_next_job()
+            job.start_cycle = self.clock
+        if self.mode == "cpu" and context.snapshot is not None:
+            # Restore every on-chip buffer from DDR.
+            cycles = transfer_cycles(self.config, self.config.total_buffer_bytes)
+            self.clock += cycles
+            self.restore_cycles += cycles
+            context.busy_cycles += cycles
+            self.core.restore(context.snapshot)
+            context.snapshot = None
+
+    def _maybe_cpu_preempt(self, context: TaskContext) -> bool:
+        """CPU-like discipline: check for a higher-priority task before every
+        instruction, spilling the whole chip state on pre-emption."""
+        if self._preempting_task(context.task_id) is None:
+            return False
+        cycles = transfer_cycles(self.config, self.config.total_buffer_bytes)
+        self.clock += cycles
+        self.backup_cycles += cycles
+        context.busy_cycles += cycles
+        context.snapshot = self.core.snapshot()
+        self.core.invalidate()
+        self.current = None
+        return True
+
+    def _complete_job(self, context: TaskContext) -> None:
+        job = context.finish_job(self.clock)
+        self.current = None
+        if self.on_complete is not None:
+            self.on_complete(context.task_id, job)
+
+    # -- instruction handling -----------------------------------------------------
+
+    def _handle_real(self, context: TaskContext, instruction: Instruction) -> None:
+        if context.in_recovery:
+            context.in_recovery = False
+        if (
+            instruction.opcode == Opcode.SAVE
+            and instruction.save_id != NO_SAVE_ID
+            and instruction.save_id == context.save_id
+        ):
+            instruction = self._rewrite_save(context, instruction)
+            context.clear_save_state()
+            if instruction is None:
+                context.instr_index += 1
+                return
+        self._execute(context, instruction)
+        context.instr_index += 1
+
+    def _rewrite_save(
+        self, context: TaskContext, instruction: Instruction
+    ) -> Instruction | None:
+        """Trim a SAVE by the channels its VIR_SAVE already stored."""
+        remaining = instruction.chs - context.saved_chs
+        if remaining < 0:
+            raise IauError(
+                f"task {context.task_id}: SaveLength {context.saved_chs} exceeds "
+                f"SAVE window of {instruction.chs} channels"
+            )
+        if remaining == 0:
+            return None  # everything already in DDR: drop the SAVE
+        bytes_per_channel = instruction.length // instruction.chs
+        return instruction.with_channel_range(
+            ch0=instruction.ch0 + context.saved_chs,
+            chs=remaining,
+            length=bytes_per_channel * remaining,
+        )
+
+    def _handle_virtual(self, context: TaskContext, instruction: Instruction) -> None:
+        is_recovery_load = instruction.opcode in (Opcode.VIR_LOAD_D, Opcode.VIR_LOAD_W)
+        if context.in_recovery and is_recovery_load:
+            # Resuming: materialize the recovery loads (this is t4).
+            cycles = self._execute(context, instruction.materialized())
+            self.restore_cycles += cycles
+            context.instr_index += 1
+            return
+        if context.in_recovery and not is_recovery_load:
+            context.in_recovery = False
+
+        can_switch = (
+            instruction.is_switch_point
+            and self._preempting_task(context.task_id) is not None
+        )
+        if not can_switch:
+            context.instr_index += 1  # discard: no interrupt pending here
+            return
+        self._preempt_at(context, instruction)
+
+    def _preempt_at(self, context: TaskContext, instruction: Instruction) -> None:
+        """Perform the interrupt encoded by a virtual instruction."""
+        if instruction.opcode == Opcode.VIR_SAVE:
+            already = context.saved_chs if context.save_id == instruction.save_id else 0
+            backup_chs = instruction.chs - already
+            if backup_chs > 0:
+                bytes_per_channel = instruction.length // instruction.chs
+                backup = instruction.materialized().with_channel_range(
+                    ch0=instruction.ch0 + already,
+                    chs=backup_chs,
+                    length=bytes_per_channel * backup_chs,
+                )
+                cycles = self._execute(context, backup)
+                self.backup_cycles += cycles
+            context.save_id = instruction.save_id
+            context.saved_chs = instruction.chs
+            context.instr_index += 1  # resume at the recovery loads that follow
+            context.in_recovery = True
+        elif instruction.opcode in (Opcode.VIR_LOAD_D, Opcode.VIR_LOAD_W):
+            # Interrupt point after a SAVE: nothing to back up; on resume the
+            # recovery loads (starting with this one) re-execute.
+            context.in_recovery = True
+        elif instruction.opcode == Opcode.VIR_BARRIER:
+            context.instr_index += 1  # free switch point: nothing to recover
+        else:  # pragma: no cover
+            raise IauError(f"unexpected virtual opcode {instruction.opcode.name}")
+        self.core.invalidate()
+        self.current = None
+
+    def _execute(self, context: TaskContext, instruction: Instruction) -> int:
+        layer = context.compiled.layer_config(instruction.layer_id)
+        cycles = self.core.execute(instruction, layer)
+        if self.trace is not None:
+            self.trace.record(
+                TraceEvent(
+                    task_id=context.task_id,
+                    program_index=context.instr_index,
+                    opcode=instruction.opcode,
+                    layer_id=instruction.layer_id,
+                    start_cycle=self.clock,
+                    cycles=cycles,
+                )
+            )
+        self.clock += cycles
+        context.busy_cycles += cycles
+        return cycles

@@ -1,0 +1,41 @@
+"""Interrupt methods: descriptors, closed-form model, measurement drivers."""
+
+from repro.interrupt.analytic import (
+    LayerGeometry,
+    latency_reduction_ratio,
+    measured_ratio,
+    worst_wait_layer_by_layer,
+    worst_wait_virtual,
+)
+from repro.interrupt.base import (
+    CPU_LIKE,
+    LAYER_BY_LAYER,
+    METHODS,
+    VIRTUAL_INSTRUCTION,
+    InterruptMethod,
+    method_by_name,
+)
+from repro.interrupt.measure import (
+    InterruptMeasurement,
+    measure_interrupt,
+    run_alone,
+    sample_positions,
+)
+
+__all__ = [
+    "CPU_LIKE",
+    "InterruptMeasurement",
+    "InterruptMethod",
+    "LAYER_BY_LAYER",
+    "LayerGeometry",
+    "METHODS",
+    "VIRTUAL_INSTRUCTION",
+    "latency_reduction_ratio",
+    "measure_interrupt",
+    "measured_ratio",
+    "method_by_name",
+    "run_alone",
+    "sample_positions",
+    "worst_wait_layer_by_layer",
+    "worst_wait_virtual",
+]

@@ -1,0 +1,67 @@
+"""Closed-form latency model (paper §IV-C, Eq. 1).
+
+For an interrupt arriving at the start of a convolution layer:
+
+* layer-by-layer waits for the whole layer:
+  ``t1_layer = Ch_in*Ch_out*H / (Para_in*Para_out*Para_height) * t_instr(W)``
+* the VI method waits for one CalcBlob:
+  ``t1_VI = Ch_in / Para_in * t_instr(W)``
+
+so the worst-case latency ratio is
+
+  ``R_l = t1_VI / t1_layer = (Para_out * Para_height) / (Ch_out * H)``  (Eq. 1)
+
+The paper's worked example (80x60 map, 48->32 channels, Para 8/8/4) gives
+R_l = 8*4 / (32*60) = 1.7 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.config import AcceleratorConfig
+from repro.hw.timing import blob_cycles, layer_calc_cycles
+
+
+@dataclass(frozen=True)
+class LayerGeometry:
+    """The shape facts Eq. 1 needs about one convolution layer."""
+
+    in_channels: int
+    out_channels: int
+    out_height: int
+    out_width: int
+    kernel: tuple[int, int] = (3, 3)
+
+
+def worst_wait_layer_by_layer(config: AcceleratorConfig, layer: LayerGeometry) -> int:
+    """t1 upper bound of the layer-by-layer method (cycles)."""
+    return layer_calc_cycles(
+        config,
+        layer.in_channels,
+        layer.out_channels,
+        layer.out_height,
+        layer.out_width,
+        layer.kernel,
+    )
+
+
+def worst_wait_virtual(config: AcceleratorConfig, layer: LayerGeometry) -> int:
+    """t1 upper bound of the VI method: one CalcBlob (cycles)."""
+    return blob_cycles(config, layer.in_channels, layer.out_width, layer.kernel)
+
+
+def latency_reduction_ratio(config: AcceleratorConfig, layer: LayerGeometry) -> float:
+    """Eq. 1: R_l = (Para_out * Para_height) / (Ch_out * H).
+
+    >>> from repro.hw.config import AcceleratorConfig
+    >>> cfg = AcceleratorConfig.worked_example()
+    >>> round(latency_reduction_ratio(cfg, LayerGeometry(48, 32, 60, 80)), 4)
+    0.0167
+    """
+    return (config.para_out * config.para_height) / (layer.out_channels * layer.out_height)
+
+
+def measured_ratio(config: AcceleratorConfig, layer: LayerGeometry) -> float:
+    """t1_VI / t1_layer computed from the cycle model (should track Eq. 1)."""
+    return worst_wait_virtual(config, layer) / worst_wait_layer_by_layer(config, layer)

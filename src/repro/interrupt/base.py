@@ -1,0 +1,60 @@
+"""Interrupt method descriptors.
+
+The three disciplines the paper compares are configurations of the same
+machinery (program variant x IAU mode):
+
+==================  ===========  ==========  =========================
+method              IAU mode     program     paper section
+==================  ===========  ==========  =========================
+cpu-like            ``cpu``      ``none``    §IV-B "CPU-Like"
+layer-by-layer      ``virtual``  ``layer``   §IV-B "Layer-by-layer"
+virtual-instruction ``virtual``  ``vi``      §IV-B/C (the contribution)
+==================  ===========  ==========  =========================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class InterruptMethod:
+    """One interrupt discipline: how programs are compiled and arbitrated."""
+
+    name: str
+    iau_mode: str
+    vi_mode: str
+    description: str
+
+
+CPU_LIKE = InterruptMethod(
+    name="cpu-like",
+    iau_mode="cpu",
+    vi_mode="none",
+    description="switch after any instruction; spill/restore all on-chip caches",
+)
+
+LAYER_BY_LAYER = InterruptMethod(
+    name="layer-by-layer",
+    iau_mode="virtual",
+    vi_mode="layer",
+    description="switch only at layer boundaries; no backup/recovery",
+)
+
+VIRTUAL_INSTRUCTION = InterruptMethod(
+    name="virtual-instruction",
+    iau_mode="virtual",
+    vi_mode="vi",
+    description="switch after SAVE/CALC_F via virtual instructions (INCA)",
+)
+
+#: All methods, in the order the paper's figures present them.
+METHODS: tuple[InterruptMethod, ...] = (CPU_LIKE, LAYER_BY_LAYER, VIRTUAL_INSTRUCTION)
+
+
+def method_by_name(name: str) -> InterruptMethod:
+    for method in METHODS:
+        if method.name == name:
+            return method
+    raise KeyError(f"unknown interrupt method {name!r}; choose from "
+                   f"{[method.name for method in METHODS]}")

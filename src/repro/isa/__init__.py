@@ -1,0 +1,51 @@
+"""Original ISA + virtual-instruction extension (VI-ISA)."""
+
+from repro.isa.encoding import (
+    INSTRUCTION_BYTES,
+    decode_instruction,
+    decode_stream,
+    encode_instruction,
+    encode_stream,
+)
+from repro.isa.instructions import (
+    FLAG_BIAS,
+    FLAG_LAST_SAVE_OF_LAYER,
+    FLAG_RELU,
+    NO_SAVE_ID,
+    Instruction,
+)
+from repro.isa.opcodes import (
+    INSTRUCTION_TABLE,
+    ORIGINAL_OPCODES,
+    VIRTUAL_OPCODES,
+    Opcode,
+    OpcodeInfo,
+    is_calc,
+    is_load,
+    is_virtual,
+)
+from repro.isa.program import Program
+from repro.isa.validate import validate_program
+
+__all__ = [
+    "FLAG_BIAS",
+    "FLAG_LAST_SAVE_OF_LAYER",
+    "FLAG_RELU",
+    "INSTRUCTION_BYTES",
+    "INSTRUCTION_TABLE",
+    "Instruction",
+    "NO_SAVE_ID",
+    "ORIGINAL_OPCODES",
+    "Opcode",
+    "OpcodeInfo",
+    "Program",
+    "VIRTUAL_OPCODES",
+    "decode_instruction",
+    "decode_stream",
+    "encode_instruction",
+    "encode_stream",
+    "is_calc",
+    "is_load",
+    "is_virtual",
+    "validate_program",
+]

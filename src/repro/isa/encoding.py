@@ -1,0 +1,104 @@
+"""Binary encoding of instruction words (the ``instruction.bin`` format).
+
+Each instruction encodes to exactly :data:`INSTRUCTION_BYTES` bytes,
+little-endian.  The layout matches the field table in
+:mod:`repro.isa.instructions`; two reserved u16 fields pad the word to a
+power-of-two size, as a DMA-friendly hardware instruction fetcher wants.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import IsaError
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Opcode
+
+#: struct layout: opcode, flags(u8), layer, save_id, shift(i16), addr, length,
+#: row0, rows, ch0, chs, in_ch0, in_chs, reserved x2 -> 32 bytes.
+_WORD = struct.Struct("<BBHHhIIHHHHHHHH")
+
+INSTRUCTION_BYTES = _WORD.size
+assert INSTRUCTION_BYTES == 32
+
+
+def encode_instruction(instruction: Instruction) -> bytes:
+    """Encode one instruction to its 32-byte word."""
+    if instruction.flags > 0xFF:
+        raise IsaError(f"flags={instruction.flags:#x} exceed the encoded u8 field")
+    return _WORD.pack(
+        int(instruction.opcode),
+        instruction.flags,
+        instruction.layer_id,
+        instruction.save_id,
+        instruction.shift,
+        instruction.ddr_addr,
+        instruction.length,
+        instruction.row0,
+        instruction.rows,
+        instruction.ch0,
+        instruction.chs,
+        instruction.in_ch0,
+        instruction.in_chs,
+        0,
+        0,
+    )
+
+
+def decode_instruction(word: bytes) -> Instruction:
+    """Decode one 32-byte word back into an :class:`Instruction`."""
+    if len(word) != INSTRUCTION_BYTES:
+        raise IsaError(f"instruction word must be {INSTRUCTION_BYTES} bytes, got {len(word)}")
+    (
+        opcode_value,
+        flags,
+        layer_id,
+        save_id,
+        shift,
+        ddr_addr,
+        length,
+        row0,
+        rows,
+        ch0,
+        chs,
+        in_ch0,
+        in_chs,
+        _reserved0,
+        _reserved1,
+    ) = _WORD.unpack(word)
+    try:
+        opcode = Opcode(opcode_value)
+    except ValueError as exc:
+        raise IsaError(f"unknown opcode byte {opcode_value:#04x}") from exc
+    return Instruction(
+        opcode=opcode,
+        layer_id=layer_id,
+        save_id=save_id,
+        ddr_addr=ddr_addr,
+        length=length,
+        row0=row0,
+        rows=rows,
+        ch0=ch0,
+        chs=chs,
+        in_ch0=in_ch0,
+        in_chs=in_chs,
+        shift=shift,
+        flags=flags,
+    )
+
+
+def encode_stream(instructions: list[Instruction] | tuple[Instruction, ...]) -> bytes:
+    """Concatenate the encodings of a whole instruction sequence."""
+    return b"".join(encode_instruction(instruction) for instruction in instructions)
+
+
+def decode_stream(blob: bytes) -> list[Instruction]:
+    """Decode a concatenated instruction stream."""
+    if len(blob) % INSTRUCTION_BYTES != 0:
+        raise IsaError(
+            f"stream length {len(blob)} is not a multiple of {INSTRUCTION_BYTES}"
+        )
+    return [
+        decode_instruction(blob[offset : offset + INSTRUCTION_BYTES])
+        for offset in range(0, len(blob), INSTRUCTION_BYTES)
+    ]

@@ -1,0 +1,105 @@
+"""Opcodes of the original ISA and the virtual-instruction extension (VI-ISA).
+
+The original ISA is the paper's Table 1: three categories — LOAD (LOAD_W /
+LOAD_D), CALC (CALC_I / CALC_F), SAVE — shared by instruction-driven
+accelerators such as Angel-Eye and the DPU.
+
+The VI-ISA adds *virtual* instructions that the Instruction Arrangement Unit
+(IAU) consumes: they are skipped (discarded) when no interrupt is pending and
+expanded into real backup/recovery transfers when one is.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Opcode(enum.IntEnum):
+    """Instruction opcodes. Values are stable — they are the binary encoding."""
+
+    LOAD_W = 0x01
+    LOAD_D = 0x02
+    CALC_I = 0x03
+    CALC_F = 0x04
+    SAVE = 0x05
+    #: Virtual: on interrupt, back up finalized-but-unsaved results.
+    VIR_SAVE = 0x11
+    #: Virtual: on resume, restore the input feature-map tile.
+    VIR_LOAD_D = 0x12
+    #: Virtual: on resume, restore a weight tile (defined for completeness;
+    #: the reference schedule never needs it because every CalcBlob begins
+    #: with its own LOAD_W).
+    VIR_LOAD_W = 0x13
+    #: Virtual: a zero-cost interrupt point (used at layer boundaries by the
+    #: layer-by-layer baseline — nothing to back up, nothing to recover).
+    VIR_BARRIER = 0x14
+
+
+#: Opcodes the original (non-interruptible) accelerator understands.
+ORIGINAL_OPCODES = frozenset(
+    {Opcode.LOAD_W, Opcode.LOAD_D, Opcode.CALC_I, Opcode.CALC_F, Opcode.SAVE}
+)
+
+#: Opcodes only the IAU understands.
+VIRTUAL_OPCODES = frozenset(
+    {Opcode.VIR_SAVE, Opcode.VIR_LOAD_D, Opcode.VIR_LOAD_W, Opcode.VIR_BARRIER}
+)
+
+
+def is_virtual(opcode: Opcode) -> bool:
+    return opcode in VIRTUAL_OPCODES
+
+
+def is_calc(opcode: Opcode) -> bool:
+    return opcode in (Opcode.CALC_I, Opcode.CALC_F)
+
+
+def is_load(opcode: Opcode) -> bool:
+    return opcode in (Opcode.LOAD_W, Opcode.LOAD_D)
+
+
+@dataclass(frozen=True)
+class OpcodeInfo:
+    """Documentation row for one opcode — reproduces the paper's Table 1."""
+
+    opcode: Opcode
+    description: str
+    backup: str
+    recovery: str
+
+
+#: The paper's Table 1 ("Description for the basic instructions"), kept as
+#: data so the E3 benchmark can regenerate the table from the ISA itself.
+INSTRUCTION_TABLE: tuple[OpcodeInfo, ...] = (
+    OpcodeInfo(
+        Opcode.LOAD_W,
+        "Load weights/bias from DDR to on-chip weight buffer.",
+        "-",
+        "Weight / Input data",
+    ),
+    OpcodeInfo(
+        Opcode.LOAD_D,
+        "Load input feature maps from DDR to on-chip data buffer.",
+        "-",
+        "Weight / Input data",
+    ),
+    OpcodeInfo(
+        Opcode.CALC_I,
+        "Calculate intermediate results for some output channels from partial input channels.",
+        "Previous final results / Intermediate data",
+        "Weight / Input data / Intermediate data",
+    ),
+    OpcodeInfo(
+        Opcode.CALC_F,
+        "Calculate the results for some output channels from all input channels.",
+        "Final results",
+        "Weight / Input data",
+    ),
+    OpcodeInfo(
+        Opcode.SAVE,
+        "Save the results from on-chip data buffer to DDR.",
+        "-",
+        "Weight / Input data",
+    ),
+)

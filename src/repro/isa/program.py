@@ -1,0 +1,117 @@
+"""Program container and ``instruction.bin`` serialization.
+
+A :class:`Program` is an ordered instruction sequence for one network, as
+dumped by the compiler and loaded into the FPGA's DDR instruction space in
+the paper's flow.  The on-disk format is a small header followed by packed
+32-byte instruction words.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ProgramError
+from repro.isa.encoding import INSTRUCTION_BYTES, decode_stream, encode_stream
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Opcode
+
+_MAGIC = b"INCA"
+_VERSION = 1
+_HEADER = struct.Struct("<4sHHI")  # magic, version, reserved, instruction count
+
+
+@dataclass(frozen=True)
+class Program:
+    """An immutable instruction sequence plus its identity."""
+
+    name: str
+    instructions: tuple[Instruction, ...]
+
+    def __post_init__(self) -> None:
+        if not self.instructions:
+            raise ProgramError(f"program {self.name!r} is empty")
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __getitem__(self, index: int) -> Instruction:
+        return self.instructions[index]
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+    # -- queries -----------------------------------------------------------
+
+    def opcode_histogram(self) -> dict[Opcode, int]:
+        counts: dict[Opcode, int] = {}
+        for instruction in self.instructions:
+            counts[instruction.opcode] = counts.get(instruction.opcode, 0) + 1
+        return counts
+
+    def num_virtual(self) -> int:
+        return sum(1 for instruction in self.instructions if instruction.is_virtual)
+
+    def interrupt_points(self) -> list[int]:
+        """Indices at which the IAU may switch tasks (virtual instructions)."""
+        return [
+            index
+            for index, instruction in enumerate(self.instructions)
+            if instruction.is_virtual
+        ]
+
+    def layer_span(self, layer_id: int) -> tuple[int, int]:
+        """(first, last+1) instruction indices belonging to ``layer_id``."""
+        indices = [
+            index
+            for index, instruction in enumerate(self.instructions)
+            if instruction.layer_id == layer_id
+        ]
+        if not indices:
+            raise ProgramError(f"program {self.name!r} has no layer {layer_id}")
+        return indices[0], indices[-1] + 1
+
+    def without_virtual(self) -> "Program":
+        """The original-ISA view of this program (virtual instructions dropped)."""
+        real = tuple(
+            instruction for instruction in self.instructions if not instruction.is_virtual
+        )
+        if not real:
+            raise ProgramError(f"program {self.name!r} has no real instructions")
+        return Program(name=self.name, instructions=real)
+
+    # -- serialization -------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        header = _HEADER.pack(_MAGIC, _VERSION, 0, len(self.instructions))
+        return header + encode_stream(self.instructions)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes, name: str = "loaded") -> "Program":
+        if len(blob) < _HEADER.size:
+            raise ProgramError("blob too short to hold a program header")
+        magic, version, _reserved, count = _HEADER.unpack_from(blob, 0)
+        if magic != _MAGIC:
+            raise ProgramError(f"bad magic {magic!r}; not an instruction.bin")
+        if version != _VERSION:
+            raise ProgramError(f"unsupported instruction.bin version {version}")
+        body = blob[_HEADER.size :]
+        expected = count * INSTRUCTION_BYTES
+        if len(body) != expected:
+            raise ProgramError(
+                f"instruction.bin declares {count} instructions ({expected} bytes), "
+                f"body has {len(body)} bytes"
+            )
+        return cls(name=name, instructions=tuple(decode_stream(body)))
+
+    def dump(self, path: str | Path) -> Path:
+        """Write ``instruction.bin`` to disk; returns the path."""
+        path = Path(path)
+        path.write_bytes(self.to_bytes())
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Program":
+        path = Path(path)
+        return cls.from_bytes(path.read_bytes(), name=path.stem)

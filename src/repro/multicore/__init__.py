@@ -1,0 +1,18 @@
+"""Multi-core multi-tasking for CNN accelerators (the paper's future work)."""
+
+from repro.multicore.experiments import (
+    ScalingResult,
+    ScalingRow,
+    compare_deployments,
+    run_fe_pr_deployment,
+)
+from repro.multicore.system import PLACEMENTS, MultiCoreSystem
+
+__all__ = [
+    "MultiCoreSystem",
+    "PLACEMENTS",
+    "ScalingResult",
+    "ScalingRow",
+    "compare_deployments",
+    "run_fe_pr_deployment",
+]

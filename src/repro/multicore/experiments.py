@@ -1,0 +1,131 @@
+"""Multi-core scaling experiments (the future-work ablation).
+
+Compares the single-core pre-emptive deployment (the paper's system) against
+spatial multi-core deployments on the same workload: a high-priority
+periodic task (FE-like) plus a low-priority continuous task (PR-like).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.tables import format_table
+from repro.compiler.compile import CompiledNetwork
+from repro.multicore.system import MultiCoreSystem
+from repro.runtime.stats import summarize_jobs
+
+
+@dataclass(frozen=True)
+class ScalingRow:
+    """One deployment's outcome."""
+
+    label: str
+    num_cores: int
+    placement: str
+    high_mean_response_cycles: float
+    high_max_turnaround_cycles: int
+    high_deadline_misses: int
+    low_jobs_completed: int
+    makespan_cycles: int
+    core_busy_cycles: tuple[int, ...]
+
+    def utilisation(self) -> float:
+        return sum(self.core_busy_cycles) / (self.num_cores * self.makespan_cycles)
+
+
+@dataclass(frozen=True)
+class ScalingResult:
+    rows: list[ScalingRow]
+    clock_hz: float
+
+    def row(self, label: str) -> ScalingRow:
+        for candidate in self.rows:
+            if candidate.label == label:
+                return candidate
+        raise KeyError(f"no deployment {label!r}")
+
+    def format(self) -> str:
+        table = []
+        for row in self.rows:
+            table.append(
+                [
+                    row.label,
+                    row.num_cores,
+                    row.placement,
+                    f"{row.high_mean_response_cycles * 1e6 / self.clock_hz:.1f} us",
+                    row.high_deadline_misses,
+                    row.low_jobs_completed,
+                    f"{row.makespan_cycles * 1e3 / self.clock_hz:.1f} ms",
+                    f"{row.utilisation() * 100:.0f}%",
+                ]
+            )
+        return format_table(
+            ["deployment", "cores", "placement", "FE mean response", "FE misses",
+             "PR jobs done", "makespan", "utilisation"],
+            table,
+            title="Multi-core multi-tasking (paper future work)",
+        )
+
+
+def run_fe_pr_deployment(
+    high: CompiledNetwork,
+    low: CompiledNetwork,
+    num_cores: int,
+    placement: str,
+    label: str,
+    high_period_cycles: int,
+    high_count: int,
+    low_count: int,
+) -> ScalingRow:
+    """One deployment: periodic high-priority jobs + queued low-priority jobs."""
+    system = MultiCoreSystem(high.config, num_cores=num_cores, placement=placement)
+    if placement == "static" and num_cores >= 2:
+        system.add_task(0, high, core=0)
+        system.add_task(1, low, core=1)
+    elif placement == "static":
+        system.add_task(0, high, core=0)
+        system.add_task(1, low, core=0)
+    else:
+        system.add_task(0, high)
+        system.add_task(1, low)
+    system.submit_periodic(0, period_cycles=high_period_cycles, count=high_count)
+    for _ in range(low_count):
+        system.submit(1, 0)
+    makespan = system.run()
+    high_stats = summarize_jobs(0, system.jobs(0), deadline_cycles=high_period_cycles)
+    return ScalingRow(
+        label=label,
+        num_cores=num_cores,
+        placement=placement,
+        high_mean_response_cycles=high_stats.mean_response,
+        high_max_turnaround_cycles=high_stats.max_turnaround,
+        high_deadline_misses=high_stats.deadline_misses,
+        low_jobs_completed=len(system.jobs(1)),
+        makespan_cycles=makespan,
+        core_busy_cycles=tuple(system.core_busy_cycles()),
+    )
+
+
+def compare_deployments(
+    high: CompiledNetwork,
+    low: CompiledNetwork,
+    high_period_cycles: int,
+    high_count: int = 20,
+    low_count: int = 4,
+) -> ScalingResult:
+    """Single-core pre-emptive vs two-core spatial vs two-core dynamic."""
+    rows = [
+        run_fe_pr_deployment(
+            high, low, 1, "static", "1-core (INCA, pre-emptive)",
+            high_period_cycles, high_count, low_count,
+        ),
+        run_fe_pr_deployment(
+            high, low, 2, "static", "2-core (spatial isolation)",
+            high_period_cycles, high_count, low_count,
+        ),
+        run_fe_pr_deployment(
+            high, low, 2, "least-loaded", "2-core (dynamic dispatch)",
+            high_period_cycles, high_count, low_count,
+        ),
+    ]
+    return ScalingResult(rows=rows, clock_hz=high.config.clock.hz)

@@ -1,0 +1,195 @@
+"""Multi-core multi-tasking (the paper's stated future work, §VI).
+
+INCA's conclusion: "INCA currently focuses on interrupt support for
+single-core multi-tasking. We plan to investigate the multi-core
+multi-tasking for CNN accelerators as part of future work."
+
+This module provides that investigation as a simulator: N accelerator cores
+(each an unchanged core + IAU pair) sharing one DDR address space, with a
+dispatcher placing jobs onto cores.  Two placement policies:
+
+* ``static`` — each task is pinned to one core (spatial isolation);
+* ``least-loaded`` — each *job* goes to the idle core with the smallest
+  clock, falling back to the core with the fewest queued jobs; priorities
+  still pre-empt within a core via the VI mechanism.
+
+DDR bandwidth contention between cores is not modelled (each core sees the
+configured bandwidth); the ablation benchmark documents this.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.accel.core import AcceleratorCore
+from repro.compiler.compile import CompiledNetwork
+from repro.errors import SchedulerError
+from repro.hw.config import AcceleratorConfig
+from repro.hw.ddr import Ddr
+from repro.iau.context import JobRecord
+from repro.iau.unit import Iau
+
+PLACEMENTS = ("static", "least-loaded")
+
+
+@dataclass(frozen=True, order=True)
+class _Request:
+    cycle: int
+    sequence: int
+    task_id: int
+
+
+@dataclass
+class _TaskBinding:
+    compiled: CompiledNetwork
+    vi_mode: str
+    static_core: int | None
+
+
+class MultiCoreSystem:
+    """N independent (core, IAU) pairs behind one job dispatcher."""
+
+    def __init__(
+        self,
+        config: AcceleratorConfig,
+        num_cores: int,
+        iau_mode: str = "virtual",
+        placement: str = "static",
+        functional: bool = False,
+    ):
+        if num_cores < 1:
+            raise SchedulerError(f"num_cores must be >= 1, got {num_cores}")
+        if placement not in PLACEMENTS:
+            raise SchedulerError(f"placement must be one of {PLACEMENTS}")
+        self.config = config
+        self.placement = placement
+        self.ddr = Ddr()
+        self.cores: list[Iau] = [
+            Iau(AcceleratorCore(config, self.ddr, functional=functional), mode=iau_mode)
+            for _ in range(num_cores)
+        ]
+        self._bindings: dict[int, _TaskBinding] = {}
+        self._requests: list[_Request] = []
+        self._sequence = 0
+
+    @property
+    def num_cores(self) -> int:
+        return len(self.cores)
+
+    # -- setup ----------------------------------------------------------------
+
+    def add_task(
+        self,
+        task_id: int,
+        compiled: CompiledNetwork,
+        vi_mode: str = "vi",
+        core: int | None = None,
+    ) -> None:
+        """Bind a network to a priority slot; ``core`` pins it (static).
+
+        With dynamic placement the task is attached to *every* core so any
+        of them can run its jobs.
+        """
+        if task_id in self._bindings:
+            raise SchedulerError(f"task {task_id} already attached")
+        if self.placement == "static":
+            if core is None:
+                core = task_id % self.num_cores
+            if not 0 <= core < self.num_cores:
+                raise SchedulerError(f"core {core} out of range")
+            targets = [core]
+        else:
+            if core is not None:
+                raise SchedulerError("core pinning requires placement='static'")
+            targets = list(range(self.num_cores))
+        for region in compiled.layout.ddr.regions():
+            if region.name not in {r.name for r in self.ddr.regions()}:
+                self.ddr.adopt(region)
+        for target in targets:
+            self.cores[target].attach_task(task_id, compiled, vi_mode=vi_mode)
+        self._bindings[task_id] = _TaskBinding(
+            compiled=compiled, vi_mode=vi_mode, static_core=core
+        )
+
+    def submit(self, task_id: int, at_cycle: int = 0) -> None:
+        if task_id not in self._bindings:
+            raise SchedulerError(f"no task attached at slot {task_id}")
+        heapq.heappush(self._requests, _Request(at_cycle, self._sequence, task_id))
+        self._sequence += 1
+
+    def submit_periodic(self, task_id: int, period_cycles: int, count: int, offset: int = 0) -> None:
+        for index in range(count):
+            self.submit(task_id, offset + index * period_cycles)
+
+    # -- dispatch ---------------------------------------------------------------
+
+    def _advance_core_to(self, core: Iau, cycle: int, max_steps: int) -> None:
+        steps = 0
+        while not core.idle and core.clock < cycle:
+            core.step()
+            steps += 1
+            if steps > max_steps:
+                raise SchedulerError("core failed to reach dispatch time")
+        if core.idle:
+            core.clock = max(core.clock, cycle)
+
+    def _choose_core(self, task_id: int, cycle: int, max_steps: int) -> Iau:
+        binding = self._bindings[task_id]
+        if self.placement == "static":
+            return self.cores[binding.static_core]
+        # Bring every core's view up to the request time, then pick the
+        # emptiest one (idle beats busy; fewer queued jobs beats more).
+        for core in self.cores:
+            self._advance_core_to(core, cycle, max_steps)
+
+        def load(core: Iau) -> tuple[int, int, int]:
+            pending = sum(
+                (1 if context.active else 0) + len(context.queue)
+                for context in core.contexts
+                if context is not None
+            )
+            return (0 if core.idle else 1, pending, core.clock)
+
+        return min(self.cores, key=load)
+
+    def run(self, max_steps: int = 500_000_000) -> int:
+        """Dispatch every request and drain every core; returns max clock."""
+        while self._requests:
+            request = heapq.heappop(self._requests)
+            core = self._choose_core(request.task_id, request.cycle, max_steps)
+            self._advance_core_to(core, request.cycle, max_steps)
+            core.request(request.task_id, at_cycle=request.cycle)
+        steps = 0
+        for core in self.cores:
+            while core.step():
+                steps += 1
+                if steps > max_steps:
+                    raise SchedulerError(f"drain exceeded {max_steps} steps")
+        return max(core.clock for core in self.cores)
+
+    # -- results ---------------------------------------------------------------
+
+    def jobs(self, task_id: int) -> list[JobRecord]:
+        """All completed jobs of a task across cores, in request order."""
+        collected: list[JobRecord] = []
+        for core in self.cores:
+            context = core.contexts[task_id] if task_id < len(core.contexts) else None
+            if context is not None:
+                collected.extend(context.completed)
+        collected.sort(key=lambda job: job.request_cycle)
+        return collected
+
+    def core_busy_cycles(self) -> list[int]:
+        """Per-core busy time (for utilisation/balance analysis)."""
+        return [
+            sum(
+                context.busy_cycles
+                for context in core.contexts
+                if context is not None
+            )
+            for core in self.cores
+        ]
+
+    def makespan(self) -> int:
+        return max(core.clock for core in self.cores)

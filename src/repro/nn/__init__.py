@@ -1,0 +1,35 @@
+"""Network IR: tensor shapes, layers, and the shape-checked layer DAG."""
+
+from repro.nn.builder import GraphBuilder
+from repro.nn.graph import NetworkGraph
+from repro.nn.layers import (
+    Add,
+    Conv2d,
+    DepthwiseConv2d,
+    FullyConnected,
+    GlobalPool,
+    Input,
+    Layer,
+    Pool2d,
+)
+from repro.nn.stats import LayerStats, conv_layer_stats, heaviest_layer, network_gops
+from repro.nn.tensor import TensorShape, conv_output_hw
+
+__all__ = [
+    "Add",
+    "Conv2d",
+    "DepthwiseConv2d",
+    "FullyConnected",
+    "GlobalPool",
+    "GraphBuilder",
+    "Input",
+    "Layer",
+    "LayerStats",
+    "NetworkGraph",
+    "Pool2d",
+    "TensorShape",
+    "conv_layer_stats",
+    "conv_output_hw",
+    "heaviest_layer",
+    "network_gops",
+]

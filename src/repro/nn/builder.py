@@ -1,0 +1,134 @@
+"""Fluent builder for :class:`~repro.nn.graph.NetworkGraph`.
+
+The model zoo uses this to express architectures compactly::
+
+    b = GraphBuilder("tiny", input_shape=TensorShape(32, 32, 3))
+    b.conv("conv1", out_channels=16, kernel=3, padding=1)
+    b.pool("pool1", kernel=2, stride=2)
+    net = b.build()
+
+Unless an explicit ``after=`` is given, each call chains onto the previously
+added layer.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GraphError
+from repro.nn.graph import NetworkGraph
+from repro.nn.layers import (
+    Add,
+    Conv2d,
+    DepthwiseConv2d,
+    FullyConnected,
+    GlobalPool,
+    Input,
+    Layer,
+    Pool2d,
+)
+from repro.nn.tensor import TensorShape
+
+
+class GraphBuilder:
+    """Incrementally assemble a layer DAG, then :meth:`build` it."""
+
+    def __init__(self, name: str, input_shape: TensorShape, input_name: str = "input"):
+        self.name = name
+        self._layers: list[Layer] = [Input(input_name, shape=input_shape)]
+        self._tail = input_name
+
+    # -- plumbing ----------------------------------------------------------
+
+    @property
+    def tail(self) -> str:
+        """Name of the most recently added layer (the implicit wiring point)."""
+        return self._tail
+
+    def _add(self, layer: Layer) -> str:
+        if any(existing.name == layer.name for existing in self._layers):
+            raise GraphError(f"builder {self.name!r}: duplicate layer {layer.name!r}")
+        self._layers.append(layer)
+        self._tail = layer.name
+        return layer.name
+
+    def _source(self, after: str | None) -> str:
+        return self._tail if after is None else after
+
+    # -- layer helpers -------------------------------------------------------
+
+    def conv(
+        self,
+        name: str,
+        out_channels: int,
+        kernel: int | tuple[int, int],
+        stride: int | tuple[int, int] = 1,
+        padding: int | tuple[int, int] = 0,
+        relu: bool = True,
+        after: str | None = None,
+    ) -> str:
+        return self._add(
+            Conv2d(
+                name,
+                inputs=(self._source(after),),
+                out_channels=out_channels,
+                kernel=kernel if isinstance(kernel, tuple) else (kernel, kernel),
+                stride=stride if isinstance(stride, tuple) else (stride, stride),
+                padding=padding if isinstance(padding, tuple) else (padding, padding),
+                relu=relu,
+            )
+        )
+
+    def depthwise(
+        self,
+        name: str,
+        kernel: int | tuple[int, int] = 3,
+        stride: int | tuple[int, int] = 1,
+        padding: int | tuple[int, int] = 1,
+        relu: bool = True,
+        after: str | None = None,
+    ) -> str:
+        return self._add(
+            DepthwiseConv2d(
+                name,
+                inputs=(self._source(after),),
+                kernel=kernel if isinstance(kernel, tuple) else (kernel, kernel),
+                stride=stride if isinstance(stride, tuple) else (stride, stride),
+                padding=padding if isinstance(padding, tuple) else (padding, padding),
+                relu=relu,
+            )
+        )
+
+    def pool(
+        self,
+        name: str,
+        kernel: int | tuple[int, int] = 2,
+        stride: int | tuple[int, int] = 2,
+        padding: int | tuple[int, int] = 0,
+        mode: str = "max",
+        after: str | None = None,
+    ) -> str:
+        return self._add(
+            Pool2d(
+                name,
+                inputs=(self._source(after),),
+                kernel=kernel if isinstance(kernel, tuple) else (kernel, kernel),
+                stride=stride if isinstance(stride, tuple) else (stride, stride),
+                padding=padding if isinstance(padding, tuple) else (padding, padding),
+                mode=mode,
+            )
+        )
+
+    def add(self, name: str, lhs: str, rhs: str, relu: bool = True) -> str:
+        return self._add(Add(name, inputs=(lhs, rhs), relu=relu))
+
+    def global_pool(self, name: str, mode: str = "avg", p: float = 3.0, after: str | None = None) -> str:
+        return self._add(GlobalPool(name, inputs=(self._source(after),), mode=mode, p=p))
+
+    def fc(self, name: str, out_features: int, relu: bool = False, after: str | None = None) -> str:
+        return self._add(
+            FullyConnected(name, inputs=(self._source(after),), out_features=out_features, relu=relu)
+        )
+
+    # -- finish --------------------------------------------------------------
+
+    def build(self) -> NetworkGraph:
+        return NetworkGraph.from_layers(self.name, self._layers)

@@ -1,0 +1,183 @@
+"""Network graph: a DAG of layers with shape inference.
+
+A :class:`NetworkGraph` is the unit the compiler consumes.  It owns:
+
+* the layer table (ordered, names unique),
+* inferred output shapes for every layer,
+* convenience queries (topological order, producers/consumers, totals).
+
+Graphs are immutable once built; use :class:`repro.nn.builder.GraphBuilder`
+to construct one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import GraphError
+from repro.nn.layers import Conv2d, DepthwiseConv2d, FullyConnected, Input, Layer
+from repro.nn.tensor import TensorShape
+
+
+@dataclass(frozen=True)
+class NetworkGraph:
+    """An immutable, shape-checked layer DAG.
+
+    ``layers`` is in topological order (producers before consumers) and
+    ``shapes`` maps layer name to its inferred output shape.
+    """
+
+    name: str
+    layers: tuple[Layer, ...]
+    shapes: dict[str, TensorShape]
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_layers(cls, name: str, layers: list[Layer]) -> "NetworkGraph":
+        """Validate wiring, topologically sort, infer shapes, fill in the
+        derived ``in_channels`` / ``in_features`` fields."""
+        if not layers:
+            raise GraphError(f"network {name!r} has no layers")
+        by_name: dict[str, Layer] = {}
+        for layer in layers:
+            if layer.name in by_name:
+                raise GraphError(f"duplicate layer name {layer.name!r} in network {name!r}")
+            by_name[layer.name] = layer
+
+        for layer in layers:
+            for src in layer.inputs:
+                if src not in by_name:
+                    raise GraphError(
+                        f"layer {layer.name!r} consumes unknown layer {src!r}"
+                    )
+            if len(layer.inputs) != layer.arity:
+                raise GraphError(
+                    f"layer {layer.name!r} ({layer.kind}) expects {layer.arity} "
+                    f"input(s), wired with {len(layer.inputs)}"
+                )
+
+        ordered = _topological_sort(name, layers)
+        shapes: dict[str, TensorShape] = {}
+        resolved: list[Layer] = []
+        for layer in ordered:
+            input_shapes = [shapes[src] for src in layer.inputs]
+            layer = _resolve_derived_fields(layer, input_shapes)
+            shapes[layer.name] = layer.output_shape(input_shapes)
+            resolved.append(layer)
+
+        n_inputs = sum(1 for layer in resolved if isinstance(layer, Input))
+        if n_inputs != 1:
+            raise GraphError(f"network {name!r} must have exactly 1 Input layer, has {n_inputs}")
+        return cls(name=name, layers=tuple(resolved), shapes=shapes)
+
+    # -- queries ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def layer(self, name: str) -> Layer:
+        for candidate in self.layers:
+            if candidate.name == name:
+                return candidate
+        raise GraphError(f"network {self.name!r} has no layer {name!r}")
+
+    @property
+    def input_layer(self) -> Input:
+        for layer in self.layers:
+            if isinstance(layer, Input):
+                return layer
+        raise GraphError(f"network {self.name!r} has no Input layer")  # pragma: no cover
+
+    @property
+    def input_shape(self) -> TensorShape:
+        return self.input_layer.shape
+
+    @property
+    def output_layer(self) -> Layer:
+        """The unique layer nobody consumes."""
+        consumed = {src for layer in self.layers for src in layer.inputs}
+        sinks = [layer for layer in self.layers if layer.name not in consumed]
+        if len(sinks) != 1:
+            raise GraphError(
+                f"network {self.name!r} has {len(sinks)} output layers "
+                f"({[s.name for s in sinks]}); expected exactly 1"
+            )
+        return sinks[0]
+
+    @property
+    def output_shape(self) -> TensorShape:
+        return self.shapes[self.output_layer.name]
+
+    def consumers(self, name: str) -> list[Layer]:
+        return [layer for layer in self.layers if name in layer.inputs]
+
+    def input_shapes_of(self, layer: Layer) -> list[TensorShape]:
+        return [self.shapes[src] for src in layer.inputs]
+
+    def conv_layers(self) -> list[Conv2d | DepthwiseConv2d]:
+        """All convolution layers in topological order (what the accelerator runs)."""
+        return [
+            layer
+            for layer in self.layers
+            if isinstance(layer, (Conv2d, DepthwiseConv2d))
+        ]
+
+    def total_params(self) -> int:
+        return sum(layer.num_params() for layer in self.layers)
+
+    def total_macs(self) -> int:
+        return sum(
+            layer.num_macs(self.input_shapes_of(layer)) for layer in self.layers
+        )
+
+    def summary(self) -> str:
+        """Human-readable per-layer table (name, kind, output shape, MACs)."""
+        lines = [f"network {self.name}: {len(self.layers)} layers"]
+        for layer in self.layers:
+            macs = layer.num_macs(self.input_shapes_of(layer))
+            lines.append(
+                f"  {layer.name:<24} {layer.kind:<16} -> {self.shapes[layer.name]!s:<14}"
+                f" {macs / 1e6:10.2f} MMACs"
+            )
+        lines.append(
+            f"  total: {self.total_params() / 1e6:.2f} M params, "
+            f"{2 * self.total_macs() / 1e9:.2f} GOPs"
+        )
+        return "\n".join(lines)
+
+
+def _resolve_derived_fields(layer: Layer, input_shapes: list[TensorShape]) -> Layer:
+    """Fill ``in_channels`` / ``in_features`` from the producer's shape."""
+    if isinstance(layer, (Conv2d, DepthwiseConv2d)):
+        (src,) = input_shapes
+        return replace(layer, in_channels=src.channels)
+    if isinstance(layer, FullyConnected):
+        (src,) = input_shapes
+        return replace(layer, in_features=src.num_elements)
+    return layer
+
+
+def _topological_sort(graph_name: str, layers: list[Layer]) -> list[Layer]:
+    """Kahn's algorithm; raises :class:`GraphError` on cycles."""
+    by_name = {layer.name: layer for layer in layers}
+    in_degree = {layer.name: len(layer.inputs) for layer in layers}
+    consumers: dict[str, list[str]] = {layer.name: [] for layer in layers}
+    for layer in layers:
+        for src in layer.inputs:
+            consumers[src].append(layer.name)
+
+    # Seed with zero-in-degree nodes in declaration order for determinism.
+    ready = [layer.name for layer in layers if in_degree[layer.name] == 0]
+    ordered: list[Layer] = []
+    while ready:
+        current = ready.pop(0)
+        ordered.append(by_name[current])
+        for consumer in consumers[current]:
+            in_degree[consumer] -= 1
+            if in_degree[consumer] == 0:
+                ready.append(consumer)
+    if len(ordered) != len(layers):
+        stuck = sorted(name for name, deg in in_degree.items() if deg > 0)
+        raise GraphError(f"network {graph_name!r} contains a cycle through {stuck}")
+    return ordered

@@ -1,0 +1,251 @@
+"""Layer definitions for the network IR.
+
+Each layer knows how to infer its output shape from its input shapes and how
+to report its parameter/MAC counts.  These are the only properties the INCA
+compiler needs; actual numeric evaluation lives in :mod:`repro.quant.qops`
+and :mod:`repro.accel.functional`.
+
+The set of layers mirrors what the paper's workloads use: plain and
+depthwise convolution (VGG / ResNet / MobileNet), pooling, residual addition,
+fully-connected heads, and the GeM generalised-mean pooling used by the place
+recognition network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import GraphError
+from repro.nn.tensor import TensorShape, conv_output_hw
+
+
+def _pair(value: int | tuple[int, int]) -> tuple[int, int]:
+    if isinstance(value, tuple):
+        if len(value) != 2:
+            raise GraphError(f"expected an (h, w) pair, got {value!r}")
+        return value
+    return (value, value)
+
+
+@dataclass(frozen=True)
+class Layer:
+    """Base class for all IR layers.
+
+    ``name`` is unique within a graph.  ``inputs`` lists the producer layer
+    names; the input layer has none.
+    """
+
+    name: str
+    inputs: tuple[str, ...] = field(default=(), kw_only=True)
+
+    @property
+    def kind(self) -> str:
+        return type(self).__name__
+
+    @property
+    def arity(self) -> int:
+        """Number of inputs this layer expects."""
+        return 1
+
+    def output_shape(self, input_shapes: list[TensorShape]) -> TensorShape:
+        raise NotImplementedError
+
+    def num_params(self) -> int:
+        """Number of learned parameters (weights + biases)."""
+        return 0
+
+    def num_macs(self, input_shapes: list[TensorShape]) -> int:
+        """Multiply-accumulate operations for one inference."""
+        return 0
+
+    def _check_arity(self, input_shapes: list[TensorShape]) -> None:
+        if len(input_shapes) != self.arity:
+            raise GraphError(
+                f"layer {self.name!r} ({self.kind}) expects {self.arity} input(s), "
+                f"got {len(input_shapes)}"
+            )
+
+
+@dataclass(frozen=True)
+class Input(Layer):
+    """Graph entry point carrying the network input shape."""
+
+    shape: TensorShape = field(kw_only=True)
+
+    @property
+    def arity(self) -> int:
+        return 0
+
+    def output_shape(self, input_shapes: list[TensorShape]) -> TensorShape:
+        self._check_arity(input_shapes)
+        return self.shape
+
+
+@dataclass(frozen=True)
+class Conv2d(Layer):
+    """Standard 2-D convolution, optionally fused with bias + ReLU.
+
+    Batch-norm in the source models is assumed folded into the weights, the
+    standard deployment transformation the paper's toolchain (Angel-Eye's
+    quantizing compiler) performs.
+    """
+
+    out_channels: int = field(kw_only=True)
+    kernel: tuple[int, int] = field(kw_only=True)
+    stride: tuple[int, int] = field(default=(1, 1), kw_only=True)
+    padding: tuple[int, int] = field(default=(0, 0), kw_only=True)
+    relu: bool = field(default=True, kw_only=True)
+    bias: bool = field(default=True, kw_only=True)
+    in_channels: int = field(default=0, kw_only=True)  # filled by the graph
+
+    def __post_init__(self) -> None:
+        if self.out_channels <= 0:
+            raise GraphError(f"conv {self.name!r}: out_channels must be positive")
+        kh, kw = _pair(self.kernel)
+        object.__setattr__(self, "kernel", (kh, kw))
+        object.__setattr__(self, "stride", _pair(self.stride))
+        object.__setattr__(self, "padding", _pair(self.padding))
+
+    def output_shape(self, input_shapes: list[TensorShape]) -> TensorShape:
+        self._check_arity(input_shapes)
+        (src,) = input_shapes
+        out_h, out_w = conv_output_hw(src.height, src.width, self.kernel, self.stride, self.padding)
+        return TensorShape(out_h, out_w, self.out_channels)
+
+    def num_params(self) -> int:
+        kh, kw = self.kernel
+        weights = kh * kw * self.in_channels * self.out_channels
+        return weights + (self.out_channels if self.bias else 0)
+
+    def num_macs(self, input_shapes: list[TensorShape]) -> int:
+        out = self.output_shape(input_shapes)
+        kh, kw = self.kernel
+        return out.height * out.width * out.channels * kh * kw * self.in_channels
+
+
+@dataclass(frozen=True)
+class DepthwiseConv2d(Layer):
+    """Depthwise convolution (one filter per channel), as in MobileNet."""
+
+    kernel: tuple[int, int] = field(kw_only=True)
+    stride: tuple[int, int] = field(default=(1, 1), kw_only=True)
+    padding: tuple[int, int] = field(default=(0, 0), kw_only=True)
+    relu: bool = field(default=True, kw_only=True)
+    bias: bool = field(default=True, kw_only=True)
+    in_channels: int = field(default=0, kw_only=True)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "kernel", _pair(self.kernel))
+        object.__setattr__(self, "stride", _pair(self.stride))
+        object.__setattr__(self, "padding", _pair(self.padding))
+
+    @property
+    def out_channels(self) -> int:
+        return self.in_channels
+
+    def output_shape(self, input_shapes: list[TensorShape]) -> TensorShape:
+        self._check_arity(input_shapes)
+        (src,) = input_shapes
+        out_h, out_w = conv_output_hw(src.height, src.width, self.kernel, self.stride, self.padding)
+        return TensorShape(out_h, out_w, src.channels)
+
+    def num_params(self) -> int:
+        kh, kw = self.kernel
+        return kh * kw * self.in_channels + (self.in_channels if self.bias else 0)
+
+    def num_macs(self, input_shapes: list[TensorShape]) -> int:
+        out = self.output_shape(input_shapes)
+        kh, kw = self.kernel
+        return out.height * out.width * out.channels * kh * kw
+
+
+@dataclass(frozen=True)
+class Pool2d(Layer):
+    """Max or average pooling."""
+
+    kernel: tuple[int, int] = field(kw_only=True)
+    stride: tuple[int, int] = field(default=(2, 2), kw_only=True)
+    padding: tuple[int, int] = field(default=(0, 0), kw_only=True)
+    mode: str = field(default="max", kw_only=True)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "kernel", _pair(self.kernel))
+        object.__setattr__(self, "stride", _pair(self.stride))
+        object.__setattr__(self, "padding", _pair(self.padding))
+        if self.mode not in ("max", "avg"):
+            raise GraphError(f"pool {self.name!r}: mode must be 'max' or 'avg', got {self.mode!r}")
+
+    def output_shape(self, input_shapes: list[TensorShape]) -> TensorShape:
+        self._check_arity(input_shapes)
+        (src,) = input_shapes
+        out_h, out_w = conv_output_hw(src.height, src.width, self.kernel, self.stride, self.padding)
+        return TensorShape(out_h, out_w, src.channels)
+
+
+@dataclass(frozen=True)
+class Add(Layer):
+    """Element-wise residual addition (ResNet shortcut), with optional ReLU."""
+
+    relu: bool = field(default=True, kw_only=True)
+
+    @property
+    def arity(self) -> int:
+        return 2
+
+    def output_shape(self, input_shapes: list[TensorShape]) -> TensorShape:
+        self._check_arity(input_shapes)
+        lhs, rhs = input_shapes
+        if lhs != rhs:
+            raise GraphError(
+                f"add {self.name!r}: operand shapes differ ({lhs} vs {rhs})"
+            )
+        return lhs
+
+
+@dataclass(frozen=True)
+class GlobalPool(Layer):
+    """Global spatial pooling to a 1x1 map. ``mode='gem'`` is generalised-mean
+    pooling with exponent ``p`` — the retrieval head of the paper's PR network
+    (GeM, Radenovic et al.)."""
+
+    mode: str = field(default="avg", kw_only=True)
+    p: float = field(default=3.0, kw_only=True)
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("avg", "max", "gem"):
+            raise GraphError(f"global pool {self.name!r}: bad mode {self.mode!r}")
+        if self.mode == "gem" and self.p <= 0:
+            raise GraphError(f"global pool {self.name!r}: GeM exponent must be positive")
+
+    def output_shape(self, input_shapes: list[TensorShape]) -> TensorShape:
+        self._check_arity(input_shapes)
+        (src,) = input_shapes
+        return TensorShape(1, 1, src.channels)
+
+
+@dataclass(frozen=True)
+class FullyConnected(Layer):
+    """Dense layer on a flattened feature map (whitening/classifier heads)."""
+
+    out_features: int = field(kw_only=True)
+    relu: bool = field(default=False, kw_only=True)
+    bias: bool = field(default=True, kw_only=True)
+    in_features: int = field(default=0, kw_only=True)
+
+    def __post_init__(self) -> None:
+        if self.out_features <= 0:
+            raise GraphError(f"fc {self.name!r}: out_features must be positive")
+
+    def output_shape(self, input_shapes: list[TensorShape]) -> TensorShape:
+        self._check_arity(input_shapes)
+        return TensorShape(1, 1, self.out_features)
+
+    def num_params(self) -> int:
+        return self.in_features * self.out_features + (self.out_features if self.bias else 0)
+
+    def num_macs(self, input_shapes: list[TensorShape]) -> int:
+        return self.in_features * self.out_features
+
+
+#: Layers that the compiler maps onto the accelerator's CALC datapath.
+COMPUTE_LAYER_KINDS = ("Conv2d", "DepthwiseConv2d", "FullyConnected")

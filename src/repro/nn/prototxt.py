@@ -1,0 +1,359 @@
+"""Caffe prototxt import/export (the paper's model input format).
+
+The paper's toolchain consumes ``*.prototxt``/``*.caffemodel`` files.  This
+module reads the topology subset those deployments use — Convolution,
+ReLU (folded into its producer, as the deployment quantizer does), Pooling
+(incl. global), Eltwise SUM, InnerProduct, Input — and writes networks back
+out, so models round-trip through the format the original flow used.
+
+The parser handles the prototxt grammar generically (nested ``key { ... }``
+blocks, ``key: value`` fields, repeated keys) rather than pattern-matching
+specific layers, so real-world files with extra parameters degrade
+gracefully (unknown layer types raise a clear error; unknown fields are
+ignored).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+from repro.errors import GraphError
+from repro.nn.graph import NetworkGraph
+from repro.nn.layers import (
+    Add,
+    Conv2d,
+    DepthwiseConv2d,
+    FullyConnected,
+    GlobalPool,
+    Input,
+    Layer,
+    Pool2d,
+)
+from repro.nn.tensor import TensorShape
+
+
+# -- generic prototxt grammar ---------------------------------------------------
+
+
+@dataclass
+class Block:
+    """One ``{ ... }`` block: scalar fields and nested blocks, both repeatable."""
+
+    fields: dict[str, list[str]] = field(default_factory=dict)
+    blocks: dict[str, list["Block"]] = field(default_factory=dict)
+
+    def first(self, key: str, default: str | None = None) -> str | None:
+        values = self.fields.get(key)
+        return values[0] if values else default
+
+    def integer(self, key: str, default: int | None = None) -> int | None:
+        value = self.first(key)
+        return int(value) if value is not None else default
+
+    def block(self, key: str) -> "Block | None":
+        blocks = self.blocks.get(key)
+        return blocks[0] if blocks else None
+
+
+def tokenize(text: str) -> list[str]:
+    """Split prototxt into tokens; braces and colons separate, comments drop."""
+    tokens: list[str] = []
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0]
+        line = line.replace("{", " { ").replace("}", " } ").replace(":", " : ")
+        tokens.extend(line.split())
+    return tokens
+
+
+def parse_block(tokens: list[str], position: int = 0, top: bool = True) -> tuple[Block, int]:
+    """Parse tokens into a :class:`Block`; returns (block, next position)."""
+    block = Block()
+    while position < len(tokens):
+        token = tokens[position]
+        if token == "}":
+            if top:
+                raise GraphError("unbalanced '}' in prototxt")
+            return block, position + 1
+        key = token
+        position += 1
+        if position >= len(tokens):
+            raise GraphError(f"prototxt ends after key {key!r}")
+        if tokens[position] == ":":
+            position += 1
+            if position >= len(tokens):
+                raise GraphError(f"prototxt ends after '{key}:'")
+            value = tokens[position].strip('"')
+            block.fields.setdefault(key, []).append(value)
+            position += 1
+        elif tokens[position] == "{":
+            nested, position = parse_block(tokens, position + 1, top=False)
+            block.blocks.setdefault(key, []).append(nested)
+        else:
+            raise GraphError(
+                f"expected ':' or '{{' after {key!r}, got {tokens[position]!r}"
+            )
+    if not top:
+        raise GraphError("prototxt ends inside a block")
+    return block, position
+
+
+# -- prototxt -> NetworkGraph ---------------------------------------------------
+
+
+def parse_prototxt(text: str) -> NetworkGraph:
+    """Build a :class:`NetworkGraph` from prototxt text."""
+    root, _ = parse_block(tokenize(text))
+    name = root.first("name", "prototxt_net")
+
+    layers: list[Layer] = []
+    index_of: dict[str, int] = {}
+    #: Caffe "top" name -> producing layer name in our graph.
+    top_to_layer: dict[str, str] = {}
+
+    def append(layer: Layer, tops: list[str]) -> None:
+        index_of[layer.name] = len(layers)
+        layers.append(layer)
+        for top in tops:
+            top_to_layer[top] = layer.name
+
+    input_name = root.first("input")
+    if input_name is not None:
+        dims = [int(v) for v in root.fields.get("input_dim", [])]
+        if len(dims) != 4:
+            raise GraphError("top-level input needs 4 input_dim entries (N, C, H, W)")
+        append(Input(input_name, shape=TensorShape(dims[2], dims[3], dims[1])), [input_name])
+
+    for spec in root.blocks.get("layer", []):
+        layer_type = spec.first("type")
+        layer_name = spec.first("name")
+        if layer_type is None or layer_name is None:
+            raise GraphError("every layer needs 'name' and 'type'")
+        bottoms = [
+            _resolve(top_to_layer, bottom, layer_name)
+            for bottom in spec.fields.get("bottom", [])
+        ]
+        tops = spec.fields.get("top", [layer_name])
+
+        if layer_type == "ReLU":
+            # Fold into the producer, exactly as the deployment flow does.
+            producer = bottoms[0]
+            position = index_of[producer]
+            folded = layers[position]
+            if not hasattr(folded, "relu"):
+                raise GraphError(
+                    f"ReLU {layer_name!r} follows {folded.kind}, which cannot fuse it"
+                )
+            layers[position] = replace(folded, relu=True)
+            for top in tops:
+                top_to_layer[top] = producer
+            continue
+
+        append(_convert_layer(layer_type, layer_name, spec, bottoms), tops)
+    return NetworkGraph.from_layers(name, layers)
+
+
+def load_prototxt(path: str | Path) -> NetworkGraph:
+    return parse_prototxt(Path(path).read_text())
+
+
+def _resolve(top_to_layer: dict[str, str], bottom: str, consumer: str) -> str:
+    try:
+        return top_to_layer[bottom]
+    except KeyError:
+        raise GraphError(
+            f"layer {consumer!r} consumes unknown bottom {bottom!r}"
+        ) from None
+
+
+def _convert_layer(layer_type: str, layer_name: str, spec: Block, bottoms: list[str]) -> Layer:
+    if layer_type == "Input":
+        param = spec.block("input_param")
+        shape_block = param.block("shape") if param else None
+        dims = [int(v) for v in (shape_block.fields.get("dim", []) if shape_block else [])]
+        if len(dims) != 4:
+            raise GraphError(f"Input layer {layer_name!r} needs 4 shape dims")
+        return Input(layer_name, shape=TensorShape(dims[2], dims[3], dims[1]))
+
+    if layer_type == "Convolution":
+        param = spec.block("convolution_param")
+        if param is None:
+            raise GraphError(f"conv {layer_name!r} missing convolution_param")
+        num_output = param.integer("num_output")
+        if num_output is None:
+            raise GraphError(f"conv {layer_name!r} missing num_output")
+        kernel = param.integer("kernel_size", 1)
+        stride = param.integer("stride", 1)
+        pad = param.integer("pad", 0)
+        group = param.integer("group", 1)
+        bias = param.first("bias_term", "true").lower() != "false"
+        if group > 1 and group == num_output:
+            return DepthwiseConv2d(
+                layer_name,
+                inputs=(bottoms[0],),
+                kernel=(kernel, kernel),
+                stride=(stride, stride),
+                padding=(pad, pad),
+                relu=False,
+                bias=bias,
+            )
+        if group > 1:
+            raise GraphError(
+                f"conv {layer_name!r}: grouped convolution (group={group}) is only "
+                f"supported in its depthwise form (group == num_output)"
+            )
+        return Conv2d(
+            layer_name,
+            inputs=(bottoms[0],),
+            out_channels=num_output,
+            kernel=(kernel, kernel),
+            stride=(stride, stride),
+            padding=(pad, pad),
+            relu=False,
+            bias=bias,
+        )
+
+    if layer_type == "Pooling":
+        param = spec.block("pooling_param")
+        if param is None:
+            raise GraphError(f"pool {layer_name!r} missing pooling_param")
+        mode = "max" if param.first("pool", "MAX").upper() == "MAX" else "avg"
+        if param.first("global_pooling", "false").lower() == "true":
+            return GlobalPool(layer_name, inputs=(bottoms[0],), mode=mode)
+        kernel = param.integer("kernel_size", 2)
+        stride = param.integer("stride", kernel)
+        pad = param.integer("pad", 0)
+        return Pool2d(
+            layer_name,
+            inputs=(bottoms[0],),
+            kernel=(kernel, kernel),
+            stride=(stride, stride),
+            padding=(pad, pad),
+            mode=mode,
+        )
+
+    if layer_type == "Eltwise":
+        param = spec.block("eltwise_param")
+        operation = (param.first("operation", "SUM") if param else "SUM").upper()
+        if operation != "SUM":
+            raise GraphError(f"eltwise {layer_name!r}: only SUM is supported")
+        if len(bottoms) != 2:
+            raise GraphError(f"eltwise {layer_name!r} needs exactly 2 bottoms")
+        return Add(layer_name, inputs=(bottoms[0], bottoms[1]), relu=False)
+
+    if layer_type == "InnerProduct":
+        param = spec.block("inner_product_param")
+        if param is None:
+            raise GraphError(f"fc {layer_name!r} missing inner_product_param")
+        num_output = param.integer("num_output")
+        if num_output is None:
+            raise GraphError(f"fc {layer_name!r} missing num_output")
+        return FullyConnected(
+            layer_name,
+            inputs=(bottoms[0],),
+            out_features=num_output,
+            bias=param.first("bias_term", "true").lower() != "false",
+        )
+
+    raise GraphError(f"unsupported prototxt layer type {layer_type!r}")
+
+
+# -- NetworkGraph -> prototxt ---------------------------------------------------
+
+
+def to_prototxt(graph: NetworkGraph) -> str:
+    """Render a network back to prototxt (round-trips through the parser)."""
+    lines = [f'name: "{graph.name}"']
+    for layer in graph.layers:
+        lines.extend(_render_layer(graph, layer))
+    return "\n".join(lines) + "\n"
+
+
+def save_prototxt(graph: NetworkGraph, path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(to_prototxt(graph))
+    return path
+
+
+def _render_layer(graph: NetworkGraph, layer: Layer) -> list[str]:
+    if isinstance(layer, Input):
+        shape = layer.shape
+        return [
+            "layer {",
+            f'  name: "{layer.name}"',
+            '  type: "Input"',
+            f'  top: "{layer.name}"',
+            "  input_param { shape { dim: 1 dim: %d dim: %d dim: %d } }"
+            % (shape.channels, shape.height, shape.width),
+            "}",
+        ]
+
+    bottoms = [f'  bottom: "{src}"' for src in layer.inputs]
+    head = ["layer {", f'  name: "{layer.name}"']
+    tail = [f'  top: "{layer.name}"', "}"]
+    relu_suffix: list[str] = []
+    if getattr(layer, "relu", False):
+        relu_suffix = [
+            "layer {",
+            f'  name: "{layer.name}_relu"',
+            '  type: "ReLU"',
+            f'  bottom: "{layer.name}"',
+            f'  top: "{layer.name}"',
+            "}",
+        ]
+
+    if isinstance(layer, Conv2d):
+        body = [
+            '  type: "Convolution"',
+            *bottoms,
+            "  convolution_param { num_output: %d kernel_size: %d stride: %d pad: %d"
+            " bias_term: %s }"
+            % (
+                layer.out_channels,
+                layer.kernel[0],
+                layer.stride[0],
+                layer.padding[0],
+                "true" if layer.bias else "false",
+            ),
+        ]
+    elif isinstance(layer, DepthwiseConv2d):
+        body = [
+            '  type: "Convolution"',
+            *bottoms,
+            "  convolution_param { num_output: %d kernel_size: %d stride: %d pad: %d"
+            " group: %d bias_term: %s }"
+            % (
+                layer.in_channels,
+                layer.kernel[0],
+                layer.stride[0],
+                layer.padding[0],
+                layer.in_channels,
+                "true" if layer.bias else "false",
+            ),
+        ]
+    elif isinstance(layer, Pool2d):
+        body = [
+            '  type: "Pooling"',
+            *bottoms,
+            "  pooling_param { pool: %s kernel_size: %d stride: %d pad: %d }"
+            % (layer.mode.upper(), layer.kernel[0], layer.stride[0], layer.padding[0]),
+        ]
+    elif isinstance(layer, GlobalPool):
+        mode = "MAX" if layer.mode == "max" else "AVE"
+        body = [
+            '  type: "Pooling"',
+            *bottoms,
+            "  pooling_param { pool: %s global_pooling: true }" % mode,
+        ]
+    elif isinstance(layer, Add):
+        body = ['  type: "Eltwise"', *bottoms, "  eltwise_param { operation: SUM }"]
+    elif isinstance(layer, FullyConnected):
+        body = [
+            '  type: "InnerProduct"',
+            *bottoms,
+            "  inner_product_param { num_output: %d bias_term: %s }"
+            % (layer.out_features, "true" if layer.bias else "false"),
+        ]
+    else:
+        raise GraphError(f"no prototxt rendering for {layer.kind}")
+    return head + body + tail + relu_suffix

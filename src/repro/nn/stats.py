@@ -1,0 +1,73 @@
+"""Per-network statistics used by reports and the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nn.graph import NetworkGraph
+from repro.nn.layers import Conv2d, DepthwiseConv2d
+
+
+@dataclass(frozen=True)
+class LayerStats:
+    """Shape/size facts about one convolution layer."""
+
+    name: str
+    kind: str
+    in_height: int
+    in_width: int
+    in_channels: int
+    out_height: int
+    out_width: int
+    out_channels: int
+    kernel: tuple[int, int]
+    stride: tuple[int, int]
+    macs: int
+    params: int
+
+
+def conv_layer_stats(graph: NetworkGraph) -> list[LayerStats]:
+    """Collect :class:`LayerStats` for every conv layer in topological order."""
+    rows: list[LayerStats] = []
+    for layer in graph.conv_layers():
+        (src_shape,) = graph.input_shapes_of(layer)
+        out_shape = graph.shapes[layer.name]
+        rows.append(
+            LayerStats(
+                name=layer.name,
+                kind=layer.kind,
+                in_height=src_shape.height,
+                in_width=src_shape.width,
+                in_channels=src_shape.channels,
+                out_height=out_shape.height,
+                out_width=out_shape.width,
+                out_channels=out_shape.channels,
+                kernel=layer.kernel,
+                stride=layer.stride,
+                macs=layer.num_macs([src_shape]),
+                params=layer.num_params(),
+            )
+        )
+    return rows
+
+
+def network_gops(graph: NetworkGraph) -> float:
+    """Total operations (2 ops per MAC) in GOPs, as the paper quotes
+    (SuperPoint: 39 GOPs, GeM/ResNet-101: 192 GOPs)."""
+    return 2.0 * graph.total_macs() / 1e9
+
+
+def heaviest_layer(graph: NetworkGraph) -> LayerStats:
+    """The conv layer with the most MACs (dominates layer-by-layer latency)."""
+    rows = conv_layer_stats(graph)
+    if not rows:
+        raise ValueError(f"network {graph.name!r} has no conv layers")
+    return max(rows, key=lambda row: row.macs)
+
+
+def is_depthwise(stats: LayerStats) -> bool:
+    return stats.kind == DepthwiseConv2d.__name__
+
+
+def is_pointwise(stats: LayerStats) -> bool:
+    return stats.kind == Conv2d.__name__ and stats.kernel == (1, 1)

@@ -1,0 +1,83 @@
+"""Tensor shape arithmetic for the network IR.
+
+The accelerator (and the paper) think of activations as *feature maps*:
+``height x width x channels``.  All shape inference in the compiler is done on
+:class:`TensorShape` values; no actual tensor data is attached to the graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import GraphError
+
+
+@dataclass(frozen=True, order=True)
+class TensorShape:
+    """Shape of a feature map: ``height x width x channels``.
+
+    >>> TensorShape(480, 640, 3).num_elements
+    921600
+    """
+
+    height: int
+    width: int
+    channels: int
+
+    def __post_init__(self) -> None:
+        for field_name in ("height", "width", "channels"):
+            value = getattr(self, field_name)
+            if not isinstance(value, int) or value <= 0:
+                raise GraphError(
+                    f"TensorShape.{field_name} must be a positive int, got {value!r}"
+                )
+
+    @property
+    def num_elements(self) -> int:
+        return self.height * self.width * self.channels
+
+    @property
+    def hw(self) -> tuple[int, int]:
+        """Spatial extent ``(height, width)``."""
+        return (self.height, self.width)
+
+    def num_bytes(self, bytes_per_element: int = 1) -> int:
+        """Storage footprint; the accelerator uses 8-bit activations."""
+        if bytes_per_element <= 0:
+            raise GraphError(f"bytes_per_element must be positive, got {bytes_per_element}")
+        return self.num_elements * bytes_per_element
+
+    def with_channels(self, channels: int) -> "TensorShape":
+        return TensorShape(self.height, self.width, channels)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.height}x{self.width}x{self.channels}"
+
+
+def conv_output_hw(
+    in_h: int, in_w: int, kernel: tuple[int, int], stride: tuple[int, int], padding: tuple[int, int]
+) -> tuple[int, int]:
+    """Spatial output size of a convolution / pooling window.
+
+    Uses the standard floor formula ``(in + 2*pad - k) // stride + 1``.
+
+    >>> conv_output_hw(480, 640, (7, 7), (2, 2), (3, 3))
+    (240, 320)
+    """
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    if kh <= 0 or kw <= 0:
+        raise GraphError(f"kernel must be positive, got {kernel}")
+    if sh <= 0 or sw <= 0:
+        raise GraphError(f"stride must be positive, got {stride}")
+    if ph < 0 or pw < 0:
+        raise GraphError(f"padding must be non-negative, got {padding}")
+    out_h = (in_h + 2 * ph - kh) // sh + 1
+    out_w = (in_w + 2 * pw - kw) // sw + 1
+    if out_h <= 0 or out_w <= 0:
+        raise GraphError(
+            f"window {kernel} stride {stride} pad {padding} produces empty output "
+            f"from {in_h}x{in_w}"
+        )
+    return out_h, out_w

@@ -1,0 +1,41 @@
+"""8-bit fixed-point quantization: formats, calibration, reference ops."""
+
+from repro.quant.calibrate import calibrate_tensor, choose_format, relative_rms_error
+from repro.quant.float_ref import float_inference
+from repro.quant.fixed_point import (
+    ACC_BITS,
+    DATA_BITS,
+    INT8_MAX,
+    INT8_MIN,
+    FixedPointFormat,
+    requantize_shift,
+    saturating_shift,
+)
+from repro.quant.qops import (
+    conv2d,
+    depthwise_conv2d,
+    eltwise_add,
+    fully_connected,
+    global_pool,
+    pool2d,
+)
+
+__all__ = [
+    "ACC_BITS",
+    "DATA_BITS",
+    "INT8_MAX",
+    "INT8_MIN",
+    "FixedPointFormat",
+    "calibrate_tensor",
+    "choose_format",
+    "conv2d",
+    "depthwise_conv2d",
+    "eltwise_add",
+    "float_inference",
+    "fully_connected",
+    "global_pool",
+    "pool2d",
+    "relative_rms_error",
+    "requantize_shift",
+    "saturating_shift",
+]

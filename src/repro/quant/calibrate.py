@@ -1,0 +1,53 @@
+"""Range calibration: choose fractional bits per tensor.
+
+The deployment flow in the paper quantizes a trained Caffe model by analysing
+the dynamic range of each layer's weights and activations.  We reproduce the
+standard "max-abs" policy: pick the largest ``frac_bits`` whose representable
+range still covers the observed values (optionally a high percentile of them,
+which trades clipping for resolution).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import QuantizationError
+from repro.quant.fixed_point import INT8_MAX, FixedPointFormat
+
+
+def choose_format(
+    values: np.ndarray,
+    percentile: float = 100.0,
+    max_frac_bits: int = 14,
+) -> FixedPointFormat:
+    """Pick the finest 8-bit format covering ``percentile`` % of ``values``.
+
+    >>> choose_format(np.array([0.5, -0.25])).frac_bits
+    7
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise QuantizationError("cannot calibrate an empty tensor")
+    if not 0 < percentile <= 100:
+        raise QuantizationError(f"percentile must be in (0, 100], got {percentile}")
+    magnitude = float(np.percentile(np.abs(values), percentile))
+    if magnitude == 0.0:
+        return FixedPointFormat(max_frac_bits)
+    # Finest format whose max representable value covers `magnitude`.
+    frac_bits = int(np.floor(np.log2(INT8_MAX / magnitude)))
+    return FixedPointFormat(max(min(frac_bits, max_frac_bits), -16))
+
+
+def calibrate_tensor(values: np.ndarray, percentile: float = 100.0) -> FixedPointFormat:
+    """Alias of :func:`choose_format` kept for API symmetry with layer-level
+    calibration."""
+    return choose_format(values, percentile=percentile)
+
+
+def relative_rms_error(values: np.ndarray, fmt: FixedPointFormat) -> float:
+    """Quantization RMS error relative to the tensor's RMS magnitude."""
+    values = np.asarray(values, dtype=np.float64)
+    rms = float(np.sqrt(np.mean(values**2)))
+    if rms == 0.0:
+        return 0.0
+    return fmt.quantization_error(values) / rms

@@ -1,0 +1,144 @@
+"""Floating-point reference inference (the pre-quantization model).
+
+The Angel-Eye deployment flow quantizes a trained float model; judging that
+quantization needs the float model's outputs.  This module evaluates a
+compiled network's layers in float64, using the *dequantized* weights (the
+real values the int8 codes represent), so the int8 pipeline can be scored
+against its own ideal — per-layer signal-to-noise ratios.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.quant.fixed_point import ACTIVATION_FRAC_BITS
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.compiler.compile import CompiledNetwork
+
+
+def float_inference(
+    compiled: CompiledNetwork, input_map: np.ndarray
+) -> dict[str, np.ndarray]:
+    """Evaluate every layer in float; returns real-valued activations.
+
+    ``input_map`` is the int8 feature map fed to the accelerator; its real
+    value is ``codes * 2**-ACTIVATION_FRAC_BITS``.
+    """
+    input_map = np.asarray(input_map, dtype=np.int8)
+    scale = 2.0**-ACTIVATION_FRAC_BITS
+    ddr = compiled.layout.ddr
+    outputs: dict[str, np.ndarray] = {
+        compiled.graph.input_layer.name: input_map.astype(np.float64) * scale
+    }
+    by_name = {cfg.name: cfg for cfg in compiled.layer_configs}
+
+    for layer in compiled.graph.layers[1:]:
+        cfg = by_name[layer.name]
+        sources = [outputs[src] for src in layer.inputs]
+        if cfg.kind in ("conv", "depthwise"):
+            quant = compiled.quantization.get(cfg.name)
+            if quant is None:
+                raise ExecutionError(
+                    f"layer {cfg.name!r} has no quantization entry; compile with "
+                    f"weights='random'"
+                )
+            weight_scale = quant.weight_format.scale
+            weights = ddr.region(cfg.weight_region).array.astype(np.float64) * weight_scale
+            bias_scale = 2.0 ** -(ACTIVATION_FRAC_BITS + quant.weight_format.frac_bits)
+            bias = (
+                ddr.region(cfg.bias_region).array.astype(np.float64) * bias_scale
+                if cfg.bias
+                else None
+            )
+            if cfg.kind == "conv":
+                result = _float_conv(sources[0], weights, bias, cfg)
+            else:
+                result = _float_depthwise(sources[0], weights, bias, cfg)
+            if cfg.relu:
+                result = np.maximum(result, 0.0)
+        elif cfg.kind == "pool":
+            result = _float_pool(sources[0], cfg)
+        elif cfg.kind == "add":
+            result = sources[0] + sources[1]
+            if cfg.relu:
+                result = np.maximum(result, 0.0)
+        elif cfg.kind == "global":
+            result = _float_global(sources[0], cfg)
+        else:  # pragma: no cover
+            raise ExecutionError(f"no float op for kind {cfg.kind!r}")
+        outputs[layer.name] = result
+    return outputs
+
+
+def _pad(data: np.ndarray, padding: tuple[int, int], value: float = 0.0) -> np.ndarray:
+    ph, pw = padding
+    if ph == 0 and pw == 0:
+        return data
+    return np.pad(data, ((ph, ph), (pw, pw), (0, 0)), constant_values=value)
+
+
+def _float_conv(data, weights, bias, cfg) -> np.ndarray:
+    kh, kw, _, cout = weights.shape
+    sh, sw = cfg.stride
+    padded = _pad(data, cfg.padding)
+    out_h = (padded.shape[0] - kh) // sh + 1
+    out_w = (padded.shape[1] - kw) // sw + 1
+    acc = np.zeros((out_h, out_w, cout))
+    for dy in range(kh):
+        for dx in range(kw):
+            window = padded[dy : dy + out_h * sh : sh, dx : dx + out_w * sw : sw, :]
+            acc += np.tensordot(window, weights[dy, dx], axes=([2], [0]))
+    if bias is not None:
+        acc += bias.reshape(1, 1, -1)
+    return acc
+
+
+def _float_depthwise(data, weights, bias, cfg) -> np.ndarray:
+    kh, kw, channels = weights.shape
+    sh, sw = cfg.stride
+    padded = _pad(data, cfg.padding)
+    out_h = (padded.shape[0] - kh) // sh + 1
+    out_w = (padded.shape[1] - kw) // sw + 1
+    acc = np.zeros((out_h, out_w, channels))
+    for dy in range(kh):
+        for dx in range(kw):
+            window = padded[dy : dy + out_h * sh : sh, dx : dx + out_w * sw : sw, :]
+            acc += window * weights[dy, dx].reshape(1, 1, -1)
+    if bias is not None:
+        acc += bias.reshape(1, 1, -1)
+    return acc
+
+
+def _float_pool(data, cfg) -> np.ndarray:
+    kh, kw = cfg.kernel
+    sh, sw = cfg.stride
+    pad_value = -np.inf if cfg.mode == "max" else 0.0
+    padded = _pad(data, cfg.padding, value=pad_value)
+    out_h = (padded.shape[0] - kh) // sh + 1
+    out_w = (padded.shape[1] - kw) // sw + 1
+    stacked = np.stack(
+        [
+            padded[dy : dy + out_h * sh : sh, dx : dx + out_w * sw : sw, :]
+            for dy in range(kh)
+            for dx in range(kw)
+        ]
+    )
+    if cfg.mode == "max":
+        return stacked.max(axis=0)
+    return stacked.mean(axis=0)
+
+
+def _float_global(data, cfg) -> np.ndarray:
+    if cfg.mode == "max":
+        return data.max(axis=(0, 1), keepdims=True)
+    if cfg.mode == "avg":
+        return data.mean(axis=(0, 1), keepdims=True)
+    clipped = np.maximum(data, 1e-6)
+    return np.power(
+        np.mean(np.power(clipped, cfg.gem_p), axis=(0, 1), keepdims=True),
+        1.0 / cfg.gem_p,
+    )

@@ -1,0 +1,215 @@
+"""Reference quantized operators (the "golden model").
+
+These numpy implementations define the bit-exact semantics of every layer the
+accelerator executes: int8 feature maps in HWC layout, int8 weights in
+``(kh, kw, cin, cout)`` layout, int32/int64 accumulation, round-half-up
+requantization shift, saturation, then ReLU.
+
+The simulator in :mod:`repro.accel.functional` computes the *same* arithmetic
+tile by tile; tests assert equality code-for-code, including across
+interrupts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import QuantizationError
+from repro.quant.fixed_point import saturating_shift
+
+
+def _check_feature_map(data: np.ndarray, name: str) -> np.ndarray:
+    data = np.asarray(data)
+    if data.ndim != 3:
+        raise QuantizationError(f"{name} must be HWC (3-D), got shape {data.shape}")
+    if data.dtype != np.int8:
+        raise QuantizationError(f"{name} must be int8, got {data.dtype}")
+    return data
+
+
+def pad_hw(data: np.ndarray, padding: tuple[int, int]) -> np.ndarray:
+    """Zero-pad the spatial dims of an HWC map."""
+    ph, pw = padding
+    if ph == 0 and pw == 0:
+        return data
+    return np.pad(data, ((ph, ph), (pw, pw), (0, 0)), mode="constant")
+
+
+def conv2d(
+    data: np.ndarray,
+    weights: np.ndarray,
+    bias: np.ndarray | None,
+    stride: tuple[int, int],
+    padding: tuple[int, int],
+    shift: int,
+    relu: bool,
+) -> np.ndarray:
+    """Quantized 2-D convolution.
+
+    ``weights`` has shape ``(kh, kw, cin, cout)``; ``bias`` is int32 in
+    accumulator scale (i.e. already shifted left by the requantization shift).
+    Returns an int8 HWC map.
+    """
+    data = _check_feature_map(data, "conv input")
+    weights = np.asarray(weights)
+    if weights.ndim != 4:
+        raise QuantizationError(f"conv weights must be (kh, kw, cin, cout), got {weights.shape}")
+    kh, kw, cin, cout = weights.shape
+    if cin != data.shape[2]:
+        raise QuantizationError(
+            f"conv weights expect {cin} input channels, feature map has {data.shape[2]}"
+        )
+    sh, sw = stride
+    padded = pad_hw(data, padding)
+    out_h = (padded.shape[0] - kh) // sh + 1
+    out_w = (padded.shape[1] - kw) // sw + 1
+
+    acc = np.zeros((out_h, out_w, cout), dtype=np.int64)
+    w64 = weights.astype(np.int64)
+    for dy in range(kh):
+        for dx in range(kw):
+            # Strided window of the padded input aligned to tap (dy, dx).
+            window = padded[dy : dy + out_h * sh : sh, dx : dx + out_w * sw : sw, :]
+            acc += np.tensordot(window.astype(np.int64), w64[dy, dx], axes=([2], [0]))
+    if bias is not None:
+        acc += np.asarray(bias, dtype=np.int64).reshape(1, 1, cout)
+    out = saturating_shift(acc, shift)
+    if relu:
+        out = np.maximum(out, 0).astype(np.int8)
+    return out
+
+
+def depthwise_conv2d(
+    data: np.ndarray,
+    weights: np.ndarray,
+    bias: np.ndarray | None,
+    stride: tuple[int, int],
+    padding: tuple[int, int],
+    shift: int,
+    relu: bool,
+) -> np.ndarray:
+    """Quantized depthwise convolution; ``weights`` has shape ``(kh, kw, c)``."""
+    data = _check_feature_map(data, "depthwise input")
+    weights = np.asarray(weights)
+    if weights.ndim != 3:
+        raise QuantizationError(f"depthwise weights must be (kh, kw, c), got {weights.shape}")
+    kh, kw, channels = weights.shape
+    if channels != data.shape[2]:
+        raise QuantizationError(
+            f"depthwise weights expect {channels} channels, feature map has {data.shape[2]}"
+        )
+    sh, sw = stride
+    padded = pad_hw(data, padding)
+    out_h = (padded.shape[0] - kh) // sh + 1
+    out_w = (padded.shape[1] - kw) // sw + 1
+
+    acc = np.zeros((out_h, out_w, channels), dtype=np.int64)
+    w64 = weights.astype(np.int64)
+    for dy in range(kh):
+        for dx in range(kw):
+            window = padded[dy : dy + out_h * sh : sh, dx : dx + out_w * sw : sw, :]
+            acc += window.astype(np.int64) * w64[dy, dx].reshape(1, 1, channels)
+    if bias is not None:
+        acc += np.asarray(bias, dtype=np.int64).reshape(1, 1, channels)
+    out = saturating_shift(acc, shift)
+    if relu:
+        out = np.maximum(out, 0).astype(np.int8)
+    return out
+
+
+def pool2d(
+    data: np.ndarray,
+    kernel: tuple[int, int],
+    stride: tuple[int, int],
+    padding: tuple[int, int],
+    mode: str,
+) -> np.ndarray:
+    """Quantized max/average pooling (average truncates toward -inf, as a
+    hardware shift-based divider does for power-of-two windows)."""
+    data = _check_feature_map(data, "pool input")
+    kh, kw = kernel
+    sh, sw = stride
+    if mode == "max":
+        # Pad with the most negative code so padding never wins the max.
+        ph, pw = padding
+        padded = np.pad(
+            data, ((ph, ph), (pw, pw), (0, 0)), mode="constant", constant_values=-128
+        )
+    elif mode == "avg":
+        padded = pad_hw(data, padding)
+    else:
+        raise QuantizationError(f"pool mode must be 'max' or 'avg', got {mode!r}")
+    out_h = (padded.shape[0] - kh) // sh + 1
+    out_w = (padded.shape[1] - kw) // sw + 1
+
+    stacked = np.stack(
+        [
+            padded[dy : dy + out_h * sh : sh, dx : dx + out_w * sw : sw, :]
+            for dy in range(kh)
+            for dx in range(kw)
+        ],
+        axis=0,
+    )
+    if mode == "max":
+        return stacked.max(axis=0).astype(np.int8)
+    total = stacked.astype(np.int64).sum(axis=0)
+    return (total // (kh * kw)).astype(np.int8)
+
+
+def eltwise_add(lhs: np.ndarray, rhs: np.ndarray, relu: bool) -> np.ndarray:
+    """Quantized residual addition with int8 saturation."""
+    lhs = _check_feature_map(lhs, "add lhs")
+    rhs = _check_feature_map(rhs, "add rhs")
+    if lhs.shape != rhs.shape:
+        raise QuantizationError(f"add shapes differ: {lhs.shape} vs {rhs.shape}")
+    total = lhs.astype(np.int64) + rhs.astype(np.int64)
+    out = np.clip(total, -128, 127).astype(np.int8)
+    if relu:
+        out = np.maximum(out, 0).astype(np.int8)
+    return out
+
+
+def fully_connected(
+    data: np.ndarray,
+    weights: np.ndarray,
+    bias: np.ndarray | None,
+    shift: int,
+    relu: bool,
+) -> np.ndarray:
+    """Quantized dense layer on a flattened HWC map; returns (1, 1, out)."""
+    data = _check_feature_map(data, "fc input")
+    weights = np.asarray(weights)
+    if weights.ndim != 2:
+        raise QuantizationError(f"fc weights must be (in, out), got {weights.shape}")
+    flat = data.reshape(-1).astype(np.int64)
+    if flat.shape[0] != weights.shape[0]:
+        raise QuantizationError(
+            f"fc expects {weights.shape[0]} inputs, feature map flattens to {flat.shape[0]}"
+        )
+    acc = flat @ weights.astype(np.int64)
+    if bias is not None:
+        acc = acc + np.asarray(bias, dtype=np.int64)
+    out = saturating_shift(acc, shift)
+    if relu:
+        out = np.maximum(out, 0).astype(np.int8)
+    return out.reshape(1, 1, -1)
+
+
+def global_pool(data: np.ndarray, mode: str, p: float = 3.0) -> np.ndarray:
+    """Global pooling to (1, 1, C).
+
+    GeM pooling is evaluated in floating point (the paper runs it in
+    post-processing, not on the CALC datapath) and re-quantized to int8 codes
+    of the same format as the input.
+    """
+    data = _check_feature_map(data, "global pool input")
+    if mode == "max":
+        return data.max(axis=(0, 1), keepdims=True).astype(np.int8)
+    if mode == "avg":
+        total = data.astype(np.int64).sum(axis=(0, 1), keepdims=True)
+        return (total // (data.shape[0] * data.shape[1])).astype(np.int8)
+    if mode == "gem":
+        real = np.maximum(data.astype(np.float64), 1e-6)
+        pooled = np.power(np.mean(np.power(real, p), axis=(0, 1), keepdims=True), 1.0 / p)
+        return np.clip(np.rint(pooled), -128, 127).astype(np.int8)
+    raise QuantizationError(f"global pool mode must be max/avg/gem, got {mode!r}")

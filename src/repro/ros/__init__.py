@@ -1,0 +1,26 @@
+"""ROS-like discrete-event middleware: topics, nodes, executor, messages."""
+
+from repro.ros.executor import Executor
+from repro.ros.messages import (
+    CameraFrame,
+    Feature,
+    FeatureArray,
+    Header,
+    Odometry,
+    PlaceDescriptor,
+)
+from repro.ros.node import Node
+from repro.ros.topic import Topic, TopicRegistry
+
+__all__ = [
+    "CameraFrame",
+    "Executor",
+    "Feature",
+    "FeatureArray",
+    "Header",
+    "Node",
+    "Odometry",
+    "PlaceDescriptor",
+    "Topic",
+    "TopicRegistry",
+]

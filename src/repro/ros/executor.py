@@ -1,0 +1,143 @@
+"""Discrete-event executor co-simulating ROS callbacks with the accelerator.
+
+Time is the accelerator's cycle counter.  The executor interleaves:
+
+* dispatching due scheduled callbacks (timers, delayed work), which may
+  publish messages and submit accelerator jobs, and
+* stepping the :class:`~repro.runtime.system.MultiTaskSystem`'s IAU, whose
+  job-completion hook schedules the corresponding node callbacks.
+
+This reproduces the property INCA needs from ROS — independent threads
+issuing accelerator requests at unpredictable times — with a deterministic,
+repeatable timeline.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import RosError
+from repro.iau.context import JobRecord
+from repro.ros.topic import TopicRegistry
+from repro.runtime.system import MultiTaskSystem
+
+
+@dataclass(order=True)
+class _Event:
+    cycle: int
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+
+
+class Executor:
+    """One agent's event loop, bound to that agent's accelerator system."""
+
+    def __init__(self, system: MultiTaskSystem | None = None):
+        self.system = system
+        self.topics = TopicRegistry()
+        self._events: list[_Event] = []
+        self._sequence = 0
+        self.clock = 0
+        #: While dispatching an event, its scheduled cycle — job requests
+        #: issued from the callback are back-dated to this (the accelerator
+        #: may have been mid-instruction when the event "really" fired).
+        self._dispatch_cycle: int | None = None
+        self._completion_handlers: dict[int, list[Callable[[JobRecord], None]]] = {}
+        if system is not None:
+            system.iau.on_complete = self._job_completed
+
+    # -- scheduling --------------------------------------------------------
+
+    def schedule(self, at_cycle: int, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at ``at_cycle`` (>= now)."""
+        if at_cycle < self.clock:
+            raise RosError(
+                f"cannot schedule in the past (at {at_cycle}, now {self.clock})"
+            )
+        heapq.heappush(self._events, _Event(at_cycle, self._sequence, callback))
+        self._sequence += 1
+
+    def schedule_after(self, delay_cycles: int, callback: Callable[[], None]) -> None:
+        self.schedule(self.clock + delay_cycles, callback)
+
+    def create_timer(
+        self, period_cycles: int, callback: Callable[[], None], count: int, offset: int = 0
+    ) -> None:
+        """Fire ``callback`` ``count`` times, ``period_cycles`` apart."""
+        if period_cycles <= 0:
+            raise RosError(f"timer period must be positive, got {period_cycles}")
+        for index in range(count):
+            self.schedule(offset + index * period_cycles, callback)
+
+    # -- pub/sub ----------------------------------------------------------------
+
+    def publish(self, topic_name: str, message: object) -> None:
+        """Deliver a message to all subscribers immediately (same timestamp)."""
+        self.topics.topic(topic_name).deliver(message)
+
+    def subscribe(self, topic_name: str, callback) -> None:
+        self.topics.topic(topic_name).subscribe(callback)
+
+    # -- accelerator integration ----------------------------------------------------
+
+    def submit_job(
+        self, task_id: int, on_done: Callable[[JobRecord], None] | None = None
+    ) -> None:
+        """Submit one inference on the agent's accelerator, now."""
+        if self.system is None:
+            raise RosError("this executor has no accelerator system attached")
+        if on_done is not None:
+            self._completion_handlers.setdefault(task_id, []).append(on_done)
+        iau = self.system.iau
+        if iau.idle:
+            iau.clock = max(iau.clock, self.clock)
+        arrival = self._dispatch_cycle if self._dispatch_cycle is not None else self.clock
+        iau.request(task_id, at_cycle=arrival)
+
+    def _job_completed(self, task_id: int, job: JobRecord) -> None:
+        handlers = self._completion_handlers.get(task_id)
+        if handlers:
+            handler = handlers.pop(0)
+            # Completion callbacks run at the completion timestamp.
+            self.schedule(max(self.clock, job.complete_cycle), lambda: handler(job))
+
+    # -- main loop --------------------------------------------------------------------
+
+    def run(self, until_cycle: int | None = None, max_steps: int = 500_000_000) -> int:
+        """Run events + accelerator until both are drained (or ``until_cycle``)."""
+        steps = 0
+        while True:
+            steps += 1
+            if steps > max_steps:
+                raise RosError(f"executor did not finish within {max_steps} steps")
+            next_event = self._events[0].cycle if self._events else None
+            if until_cycle is not None and next_event is not None:
+                next_event = min(next_event, until_cycle)
+
+            if self.system is not None and not self.system.iau.idle:
+                # Advance the accelerator; it may complete jobs that schedule
+                # new events, so re-evaluate after every step.
+                if next_event is None or self.system.iau.clock < next_event:
+                    self.system.iau.step()
+                    self.clock = max(self.clock, self.system.iau.clock)
+                    continue
+
+            if not self._events:
+                break
+            event = self._events[0]
+            if until_cycle is not None and event.cycle > until_cycle:
+                break
+            heapq.heappop(self._events)
+            self.clock = max(self.clock, event.cycle)
+            if self.system is not None and self.system.iau.idle:
+                self.system.iau.clock = max(self.system.iau.clock, self.clock)
+            self._dispatch_cycle = event.cycle
+            try:
+                event.callback()
+            finally:
+                self._dispatch_cycle = None
+        if until_cycle is not None:
+            self.clock = max(self.clock, until_cycle)
+        return self.clock

@@ -1,0 +1,81 @@
+"""Message types of the ROS-like middleware.
+
+Messages carry a :class:`Header` (sequence number + timestamp in accelerator
+cycles) and a typed payload.  The DSLAM message vocabulary (camera frames,
+feature arrays, place descriptors, odometry) lives here because the paper's
+point is exactly that independent ROS nodes exchange these while sharing one
+accelerator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Header:
+    """Standard message header."""
+
+    seq: int
+    stamp_cycles: int
+    frame_id: str = ""
+
+
+@dataclass(frozen=True)
+class CameraFrame:
+    """One synthetic camera frame: the landmarks visible from a pose.
+
+    ``observations`` maps landmark id -> (x, y) in the camera frame with
+    measurement noise applied; ``descriptors`` maps landmark id -> the
+    landmark's appearance vector as observed (noisy).  ``true_pose`` is
+    carried for evaluation only — no estimator reads it.
+    """
+
+    header: Header
+    observations: dict[int, tuple[float, float]]
+    descriptors: dict[int, np.ndarray]
+    true_pose: tuple[float, float, float]
+
+
+@dataclass(frozen=True)
+class Feature:
+    """One extracted feature point."""
+
+    landmark_id: int
+    x: float
+    y: float
+    score: float
+    descriptor: np.ndarray
+
+
+@dataclass(frozen=True)
+class FeatureArray:
+    """Output of the feature-extraction (FE) node for one frame."""
+
+    header: Header
+    features: tuple[Feature, ...]
+    true_pose: tuple[float, float, float]
+    #: Accelerator cycles the CNN inference took (for deadline accounting).
+    inference_cycles: int = 0
+
+
+@dataclass(frozen=True)
+class PlaceDescriptor:
+    """Output of the place-recognition (PR) node: a global image code."""
+
+    header: Header
+    agent: str
+    code: np.ndarray
+    true_pose: tuple[float, float, float]
+    landmark_ids: frozenset[int] = field(default_factory=frozenset)
+
+
+@dataclass(frozen=True)
+class Odometry:
+    """Output of the visual-odometry (VO) node: the integrated pose estimate."""
+
+    header: Header
+    pose: tuple[float, float, float]
+    num_inliers: int

@@ -1,0 +1,40 @@
+"""Nodes: named participants wiring subscriptions, timers and publications.
+
+A node corresponds to one independent component/thread in ROS — the paper's
+motivating scenario is that FE and PR live in different nodes written by
+different developers, both needing the accelerator.
+"""
+
+from __future__ import annotations
+
+from repro.errors import RosError
+from repro.ros.executor import Executor
+
+
+class Node:
+    """Base class for middleware participants."""
+
+    def __init__(self, name: str, executor: Executor):
+        if not name:
+            raise RosError("node name must be non-empty")
+        self.name = name
+        self.executor = executor
+        self._seq = 0
+
+    def next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in accelerator cycles."""
+        return self.executor.clock
+
+    def subscribe(self, topic: str, callback) -> None:
+        self.executor.subscribe(topic, callback)
+
+    def publish(self, topic: str, message: object) -> None:
+        self.executor.publish(topic, message)
+
+    def create_timer(self, period_cycles: int, callback, count: int, offset: int = 0) -> None:
+        self.executor.create_timer(period_cycles, callback, count, offset)

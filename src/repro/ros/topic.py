@@ -1,0 +1,47 @@
+"""Topics: named pub/sub channels with recorded history."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import RosError
+
+#: A subscriber callback: receives the message object.
+Callback = Callable[[object], None]
+
+
+@dataclass
+class Topic:
+    """One named channel."""
+
+    name: str
+    subscribers: list[Callback] = field(default_factory=list)
+    history: list[object] = field(default_factory=list)
+    record: bool = True
+
+    def subscribe(self, callback: Callback) -> None:
+        self.subscribers.append(callback)
+
+    def deliver(self, message: object) -> None:
+        if self.record:
+            self.history.append(message)
+        for callback in list(self.subscribers):
+            callback(message)
+
+
+class TopicRegistry:
+    """All topics of one middleware instance."""
+
+    def __init__(self) -> None:
+        self._topics: dict[str, Topic] = {}
+
+    def topic(self, name: str) -> Topic:
+        if not name:
+            raise RosError("topic name must be non-empty")
+        if name not in self._topics:
+            self._topics[name] = Topic(name)
+        return self._topics[name]
+
+    def names(self) -> list[str]:
+        return sorted(self._topics)

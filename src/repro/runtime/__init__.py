@@ -1,0 +1,31 @@
+"""Multi-task runtime: timed requests, prioritised scheduling, statistics."""
+
+from repro.runtime.policies import (
+    PeriodicTask,
+    ResponseTimeResult,
+    is_schedulable,
+    liu_layland_bound,
+    rate_monotonic_order,
+    response_time_analysis,
+    total_utilisation,
+    worst_blocking_cycles,
+)
+from repro.runtime.stats import TaskStats, degradation_percent, summarize_jobs
+from repro.runtime.system import MultiTaskSystem, TimedRequest, compile_tasks
+
+__all__ = [
+    "MultiTaskSystem",
+    "PeriodicTask",
+    "ResponseTimeResult",
+    "TaskStats",
+    "TimedRequest",
+    "compile_tasks",
+    "degradation_percent",
+    "is_schedulable",
+    "liu_layland_bound",
+    "rate_monotonic_order",
+    "response_time_analysis",
+    "summarize_jobs",
+    "total_utilisation",
+    "worst_blocking_cycles",
+]

@@ -1,0 +1,170 @@
+"""Multi-task system: composed DDR + core + IAU + timed request injection.
+
+This is the full-system harness the experiments drive: several compiled
+networks attached to priority slots, inference requests arriving at given
+cycle times (from the ROS layer or from an experiment script), and the IAU
+arbitrating the single accelerator between them.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.accel.core import AcceleratorCore
+from repro.accel.trace import ExecutionTrace
+from repro.compiler.compile import CompiledNetwork, compile_network
+from repro.errors import SchedulerError
+from repro.hw.config import AcceleratorConfig
+from repro.hw.ddr import Ddr
+from repro.iau.context import JobRecord
+from repro.iau.unit import Iau
+from repro.nn.graph import NetworkGraph
+from repro.units import MIB
+
+
+@dataclass(frozen=True, order=True)
+class TimedRequest:
+    """An inference request scheduled for a future cycle."""
+
+    cycle: int
+    sequence: int
+    task_id: int
+
+
+class MultiTaskSystem:
+    """One accelerator, up to four prioritised tasks, timed job arrivals."""
+
+    def __init__(
+        self,
+        config: AcceleratorConfig,
+        iau_mode: str = "virtual",
+        functional: bool = False,
+        trace: bool = False,
+    ):
+        self.config = config
+        self.ddr = Ddr()
+        self.core = AcceleratorCore(config, self.ddr, functional=functional)
+        self.trace = ExecutionTrace() if trace else None
+        self.iau = Iau(self.core, mode=iau_mode, trace=self.trace)
+        self._requests: list[TimedRequest] = []
+        self._sequence = 0
+        self._task_ids: list[int] = []
+
+    # -- setup -------------------------------------------------------------
+
+    def add_task(self, task_id: int, compiled: CompiledNetwork, vi_mode: str = "vi") -> None:
+        """Attach a compiled network at a priority slot and map its DDR."""
+        for region in compiled.layout.ddr.regions():
+            self.ddr.adopt(region)
+        self.iau.attach_task(task_id, compiled, vi_mode=vi_mode)
+        self._task_ids.append(task_id)
+
+    # -- request injection ----------------------------------------------------
+
+    def submit(self, task_id: int, at_cycle: int = 0) -> None:
+        """Schedule one inference request for ``task_id`` at ``at_cycle``."""
+        if task_id not in self._task_ids:
+            raise SchedulerError(f"no task attached at slot {task_id}")
+        if at_cycle < self.iau.clock:
+            raise SchedulerError(
+                f"cannot submit in the past (at {at_cycle}, clock {self.iau.clock})"
+            )
+        heapq.heappush(self._requests, TimedRequest(at_cycle, self._sequence, task_id))
+        self._sequence += 1
+
+    def submit_if_free(self, task_id: int) -> bool:
+        """Submit a request *now* unless the task already has work pending.
+
+        This is the frame-dropping discipline soft-real-time nodes use (the
+        DSLAM PR node: process the newest frame when free, skip the rest).
+        Returns True when the job was accepted.  Only meaningful for "now"
+        submissions — the busy check reads the task's current state.
+        """
+        if task_id not in self._task_ids:
+            raise SchedulerError(f"no task attached at slot {task_id}")
+        context = self.iau.context(task_id)
+        if context.runnable:
+            return False
+        if any(request.task_id == task_id for request in self._requests):
+            return False
+        self.submit(task_id, at_cycle=self.iau.clock)
+        return True
+
+    def submit_periodic(self, task_id: int, period_cycles: int, count: int, offset: int = 0) -> None:
+        """Schedule ``count`` requests spaced ``period_cycles`` apart."""
+        for index in range(count):
+            self.submit(task_id, offset + index * period_cycles)
+
+    # -- simulation ---------------------------------------------------------------
+
+    def _deliver_due(self) -> None:
+        while self._requests and self._requests[0].cycle <= self.iau.clock:
+            request = heapq.heappop(self._requests)
+            # Back-date to the true arrival: the request may become visible
+            # only after the in-flight instruction retires, but its latency
+            # clock starts when the interrupt line was raised.
+            self.iau.request(request.task_id, at_cycle=request.cycle)
+
+    def run(self, max_steps: int = 500_000_000) -> int:
+        """Run until every request is delivered and every job drained.
+
+        Returns the final clock (cycles).
+        """
+        steps = 0
+        while True:
+            self._deliver_due()
+            if self.iau.idle:
+                if not self._requests:
+                    return self.iau.clock
+                # Fast-forward to the next arrival.
+                self.iau.clock = max(self.iau.clock, self._requests[0].cycle)
+                continue
+            self.iau.step()
+            steps += 1
+            if steps > max_steps:
+                raise SchedulerError(f"simulation did not finish in {max_steps} steps")
+
+    # -- results -------------------------------------------------------------------
+
+    def jobs(self, task_id: int) -> list[JobRecord]:
+        return self.iau.context(task_id).completed
+
+    def job(self, task_id: int, index: int = 0) -> JobRecord:
+        completed = self.jobs(task_id)
+        if index >= len(completed):
+            raise SchedulerError(
+                f"task {task_id} completed {len(completed)} job(s), wanted #{index}"
+            )
+        return completed[index]
+
+    def seconds(self, cycles: int) -> float:
+        return self.config.clock.cycles_to_s(cycles)
+
+
+def compile_tasks(
+    graphs: list[NetworkGraph],
+    config: AcceleratorConfig,
+    weights: str = "zeros",
+    seed: int = 0,
+    gap_bytes: int = 64 * MIB,
+) -> list[CompiledNetwork]:
+    """Compile several networks into disjoint DDR windows.
+
+    Each network gets its own base address so a :class:`MultiTaskSystem` can
+    adopt all regions into one flat address space.
+    """
+    compiled: list[CompiledNetwork] = []
+    base = 0
+    for index, graph in enumerate(graphs):
+        network = compile_network(
+            graph, config, base_addr=base, weights=weights, seed=seed + index
+        )
+        compiled.append(network)
+        base = _align_up(network.layout.ddr.base + network.layout.ddr.used_bytes + gap_bytes)
+    return compiled
+
+
+def _align_up(value: int, alignment: int = 1 * MIB) -> int:
+    remainder = value % alignment
+    return value if remainder == 0 else value + alignment - remainder

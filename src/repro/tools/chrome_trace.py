@@ -1,0 +1,55 @@
+"""Chrome-tracing export of execution traces.
+
+Writes the ``chrome://tracing`` / Perfetto JSON format so a pre-emption
+schedule can be inspected interactively: one row per task, one duration
+event per executed instruction, microsecond timestamps at the accelerator
+clock.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.accel.trace import ExecutionTrace
+from repro.units import Frequency
+
+
+def trace_to_chrome_events(trace: ExecutionTrace, clock: Frequency) -> list[dict]:
+    """Convert a trace into Chrome 'X' (complete) events."""
+    events = []
+    for event in trace.events:
+        events.append(
+            {
+                "name": event.opcode.name,
+                "cat": f"layer{event.layer_id}",
+                "ph": "X",
+                "ts": clock.cycles_to_us(event.start_cycle),
+                "dur": clock.cycles_to_us(event.cycles),
+                "pid": 0,
+                "tid": event.task_id,
+                "args": {
+                    "layer_id": event.layer_id,
+                    "program_index": event.program_index,
+                    "cycles": event.cycles,
+                },
+            }
+        )
+    return events
+
+
+def write_chrome_trace(
+    trace: ExecutionTrace, clock: Frequency, path: str | Path
+) -> Path:
+    """Write the trace file; open it in chrome://tracing or ui.perfetto.dev."""
+    path = Path(path)
+    payload = {
+        "traceEvents": trace_to_chrome_events(trace, clock),
+        "displayTimeUnit": "ns",
+        "metadata": {
+            "tool": "repro (INCA reproduction)",
+            "clock_hz": clock.hz,
+        },
+    }
+    path.write_text(json.dumps(payload))
+    return path

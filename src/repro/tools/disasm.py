@@ -1,0 +1,88 @@
+"""Disassembler for ``instruction.bin`` files and in-memory programs.
+
+Renders each instruction word with its operands, marks virtual instructions
+and interrupt points, and summarises per-layer instruction mixes — the tool
+you reach for when a compiled schedule looks wrong.
+
+Usable as a library (:func:`disassemble`) or a CLI::
+
+    python -m repro.tools.disasm instruction.bin [--limit N] [--layer K]
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.isa.opcodes import Opcode
+from repro.isa.program import Program
+
+
+def format_instruction(index: int, instruction) -> str:
+    """One listing line: index, virtual marker, rendered word, annotations."""
+    marker = "*" if instruction.is_virtual else " "
+    annotations = []
+    if instruction.is_virtual and instruction.is_switch_point:
+        annotations.append("interrupt point")
+    if instruction.opcode == Opcode.SAVE and instruction.is_last_save_of_layer:
+        annotations.append("last save of layer")
+    if instruction.operand_b:
+        annotations.append("operand B")
+    suffix = f"   ; {', '.join(annotations)}" if annotations else ""
+    return f"{index:6d} {marker} {instruction}{suffix}"
+
+
+def disassemble(
+    program: Program,
+    limit: int | None = None,
+    layer_id: int | None = None,
+) -> str:
+    """Full listing of a program (optionally one layer / first N lines)."""
+    lines = [f"; program {program.name}: {len(program)} instructions, "
+             f"{program.num_virtual()} virtual"]
+    emitted = 0
+    for index, instruction in enumerate(program):
+        if layer_id is not None and instruction.layer_id != layer_id:
+            continue
+        lines.append(format_instruction(index, instruction))
+        emitted += 1
+        if limit is not None and emitted >= limit:
+            lines.append(f"; ... truncated at {limit} lines")
+            break
+    return "\n".join(lines)
+
+
+def layer_summary(program: Program) -> str:
+    """Per-layer instruction mix table."""
+    per_layer: dict[int, dict[Opcode, int]] = {}
+    for instruction in program:
+        histogram = per_layer.setdefault(instruction.layer_id, {})
+        histogram[instruction.opcode] = histogram.get(instruction.opcode, 0) + 1
+    lines = ["; per-layer instruction mix"]
+    for layer_id in sorted(per_layer):
+        mix = ", ".join(
+            f"{opcode.name}={count}"
+            for opcode, count in sorted(per_layer[layer_id].items())
+        )
+        lines.append(f";   layer {layer_id:4d}: {mix}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("path", type=Path, help="instruction.bin to disassemble")
+    parser.add_argument("--limit", type=int, default=None, help="max lines")
+    parser.add_argument("--layer", type=int, default=None, help="only this layer id")
+    parser.add_argument("--summary", action="store_true", help="per-layer mix only")
+    args = parser.parse_args(argv)
+
+    program = Program.load(args.path)
+    if args.summary:
+        print(layer_summary(program))
+    else:
+        print(disassemble(program, limit=args.limit, layer_id=args.layer))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,88 @@
+"""ASCII map rendering: the world, trajectories, and merge results.
+
+Renders the Fig. env story on a terminal: landmarks as ``*``, pillars
+implied by their clusters, each agent's trajectory as digits, and (after a
+merge) the second agent's trajectory re-plotted in the first agent's frame.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dslam.vo import Pose
+from repro.dslam.world import World
+
+
+def render_map(
+    world: World,
+    trajectories: dict[str, list[Pose]] | None = None,
+    width: int = 78,
+    height: int = 30,
+) -> str:
+    """World + trajectories on a ``width x height`` character grid."""
+    grid = [[" "] * width for _ in range(height)]
+    scale_x = (width - 1) / world.config.width
+    scale_y = (height - 1) / world.config.height
+
+    def plot(x: float, y: float, glyph: str) -> None:
+        column = int(round(x * scale_x))
+        row = height - 1 - int(round(y * scale_y))
+        if 0 <= row < height and 0 <= column < width:
+            grid[row][column] = glyph
+
+    for landmark in world.landmarks.values():
+        plot(landmark.x, landmark.y, "*")
+    if trajectories:
+        for index, (name, poses) in enumerate(sorted(trajectories.items())):
+            glyph = str((index + 1) % 10)
+            for x, y, _ in poses:
+                plot(x, y, glyph)
+            if poses:
+                plot(poses[0][0], poses[0][1], "S")
+
+    border = "+" + "-" * width + "+"
+    lines = [border]
+    lines.extend("|" + "".join(row) + "|" for row in grid)
+    lines.append(border)
+    if trajectories:
+        legend = ", ".join(
+            f"{str((index + 1) % 10)}={name}"
+            for index, name in enumerate(sorted(trajectories))
+        )
+        lines.append(f"landmarks: *   start: S   trajectories: {legend}")
+    return "\n".join(lines)
+
+
+def render_merged(
+    world: World,
+    trajectory_a: list[Pose],
+    trajectory_b_in_a: list[Pose],
+    origin_a: Pose,
+) -> str:
+    """Both trajectories in world coordinates after a merge.
+
+    ``trajectory_b_in_a`` is agent 2's trajectory expressed in agent 1's map
+    frame (the merge output); ``origin_a`` places that frame in the world.
+    """
+    ox, oy, otheta = origin_a
+    cos_o, sin_o = np.cos(otheta), np.sin(otheta)
+
+    def to_world(poses: list[Pose]) -> list[Pose]:
+        result = []
+        for x, y, theta in poses:
+            result.append(
+                (
+                    ox + cos_o * x - sin_o * y,
+                    oy + sin_o * x + cos_o * y,
+                    theta + otheta,
+                )
+            )
+        return result
+
+    return render_map(
+        world,
+        {
+            "agent1": to_world(trajectory_a),
+            "agent2 (merged)": to_world(trajectory_b_in_a),
+        },
+    )

@@ -1,0 +1,78 @@
+"""ASCII timeline (Gantt) rendering of execution traces.
+
+Turns an :class:`~repro.accel.trace.ExecutionTrace` into a per-task timeline
+showing who held the accelerator when — the quickest way to *see* a
+pre-emption:
+
+    task 0 |                    HHHH                |
+    task 1 | LLLLLLLLLLLLLLLLLLL....LLLLLLLLLLLLLLL |
+
+Each column is one time bucket; a letter means the task executed during that
+bucket ('L'oad, 'C'alc, 'S'ave by dominant opcode), '.' means it was
+pre-empted while another task ran.
+"""
+
+from __future__ import annotations
+
+from repro.accel.trace import ExecutionTrace
+from repro.isa.opcodes import Opcode
+
+_OPCODE_GLYPHS = {
+    Opcode.LOAD_D: "L",
+    Opcode.LOAD_W: "l",
+    Opcode.CALC_I: "c",
+    Opcode.CALC_F: "C",
+    Opcode.SAVE: "S",
+}
+
+
+def render_timeline(trace: ExecutionTrace, width: int = 100) -> str:
+    """Render one row per task over ``width`` time buckets."""
+    if not trace.events:
+        return "(empty trace)"
+    total = trace.total_cycles()
+    start = min(event.start_cycle for event in trace.events)
+    span = max(total - start, 1)
+    bucket = span / width
+
+    task_ids = sorted({event.task_id for event in trace.events})
+    rows = {task_id: [" "] * width for task_id in task_ids}
+    busy = [False] * width
+
+    for event in trace.events:
+        glyph = _OPCODE_GLYPHS.get(event.opcode, "?")
+        first = int((event.start_cycle - start) / bucket)
+        last = int((event.end_cycle - 1 - start) / bucket)
+        for column in range(max(first, 0), min(last, width - 1) + 1):
+            rows[event.task_id][column] = glyph
+            busy[column] = True
+
+    # Mark pre-empted stretches: a task that ran both before and after a
+    # stretch where another task held the core.
+    for task_id in task_ids:
+        row = rows[task_id]
+        filled = [i for i, ch in enumerate(row) if ch != " "]
+        if not filled:
+            continue
+        for column in range(filled[0], filled[-1] + 1):
+            if row[column] == " " and busy[column]:
+                row[column] = "."
+
+    lines = [
+        f"task {task_id} |{''.join(rows[task_id])}|" for task_id in task_ids
+    ]
+    clock_note = f"{span} cycles in {width} buckets (~{bucket:.0f} cycles each)"
+    legend = "L/l load data/weights, c/C calc partial/final, S save, . pre-empted"
+    return "\n".join(lines + [clock_note, legend])
+
+
+def utilisation_report(trace: ExecutionTrace) -> str:
+    """Per-task busy share of the traced span."""
+    total = max(trace.total_cycles(), 1)
+    lines = ["utilisation:"]
+    for task_id in sorted({event.task_id for event in trace.events}):
+        busy = trace.busy_cycles(task_id)
+        lines.append(f"  task {task_id}: {busy} cycles ({100.0 * busy / total:.1f}%)")
+    idle = total - trace.busy_cycles(None)
+    lines.append(f"  idle/arbitration: {idle} cycles ({100.0 * idle / total:.1f}%)")
+    return "\n".join(lines)

@@ -1,0 +1,109 @@
+"""Units helpers: cycles, seconds, frequencies, and data sizes.
+
+The accelerator simulator works internally in integer *clock cycles* (at the
+accelerator clock, 300 MHz in the paper).  The analysis layer reports results
+in microseconds/milliseconds.  Keeping the conversions in one module avoids
+scattered magic constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Number of bytes in one kibibyte / mebibyte.
+KIB = 1024
+MIB = 1024 * 1024
+
+#: SI multipliers used for frequencies and bandwidths.
+KILO = 1_000
+MEGA = 1_000_000
+GIGA = 1_000_000_000
+
+
+@dataclass(frozen=True)
+class Frequency:
+    """A clock frequency in hertz.
+
+    >>> Frequency.mhz(300).cycles_to_us(300)
+    1.0
+    """
+
+    hz: float
+
+    def __post_init__(self) -> None:
+        if self.hz <= 0:
+            raise ValueError(f"frequency must be positive, got {self.hz}")
+
+    @classmethod
+    def mhz(cls, value: float) -> "Frequency":
+        return cls(value * MEGA)
+
+    @classmethod
+    def ghz(cls, value: float) -> "Frequency":
+        return cls(value * GIGA)
+
+    @property
+    def period_s(self) -> float:
+        """Length of one clock cycle in seconds."""
+        return 1.0 / self.hz
+
+    def cycles_to_s(self, cycles: float) -> float:
+        return cycles / self.hz
+
+    def cycles_to_us(self, cycles: float) -> float:
+        return cycles * 1e6 / self.hz
+
+    def cycles_to_ms(self, cycles: float) -> float:
+        return cycles * 1e3 / self.hz
+
+    def s_to_cycles(self, seconds: float) -> int:
+        return int(round(seconds * self.hz))
+
+    def us_to_cycles(self, microseconds: float) -> int:
+        return int(round(microseconds * 1e-6 * self.hz))
+
+
+def format_si_time(seconds: float) -> str:
+    """Render a duration with an auto-selected SI unit.
+
+    >>> format_si_time(3.2e-5)
+    '32.000 us'
+    """
+    if seconds == 0:
+        return "0 s"
+    magnitude = abs(seconds)
+    if magnitude >= 1.0:
+        return f"{seconds:.3f} s"
+    if magnitude >= 1e-3:
+        return f"{seconds * 1e3:.3f} ms"
+    if magnitude >= 1e-6:
+        return f"{seconds * 1e6:.3f} us"
+    return f"{seconds * 1e9:.1f} ns"
+
+
+def format_bytes(num_bytes: int) -> str:
+    """Render a byte count with a binary unit.
+
+    >>> format_bytes(2 * 1024 * 1024)
+    '2.00 MiB'
+    """
+    if num_bytes < 0:
+        raise ValueError(f"byte count must be non-negative, got {num_bytes}")
+    if num_bytes >= MIB:
+        return f"{num_bytes / MIB:.2f} MiB"
+    if num_bytes >= KIB:
+        return f"{num_bytes / KIB:.2f} KiB"
+    return f"{num_bytes} B"
+
+
+def ceil_div(numerator: int, denominator: int) -> int:
+    """Integer ceiling division for tile/blob counting.
+
+    >>> ceil_div(48, 16)
+    3
+    >>> ceil_div(49, 16)
+    4
+    """
+    if denominator <= 0:
+        raise ValueError(f"denominator must be positive, got {denominator}")
+    return -(-numerator // denominator)

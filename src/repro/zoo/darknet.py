@@ -1,0 +1,53 @@
+"""Darknet-19 (the YOLOv2 backbone).
+
+The paper's introduction motivates INCA with robot perception workloads
+beyond DSLAM — object detection among them.  Darknet-19 is the classic
+embedded detector backbone and gives the benchmark suite a third network
+family (besides VGG-style and residual) with its characteristic alternation
+of 3x3 and 1x1 "bottleneck" convolutions.
+"""
+
+from __future__ import annotations
+
+from repro.nn import GraphBuilder, NetworkGraph, TensorShape
+
+#: Plan: integers are 3x3 conv channels, (c,) is a 1x1 conv, "M" a 2x2 pool.
+_PLAN: tuple[object, ...] = (
+    32, "M",
+    64, "M",
+    128, (64,), 128, "M",
+    256, (128,), 256, "M",
+    512, (256,), 512, (256,), 512, "M",
+    1024, (512,), 1024, (512,), 1024,
+)
+
+
+def build_darknet19(
+    input_shape: TensorShape = TensorShape(224, 224, 3),
+    include_head: bool = False,
+    num_classes: int = 1000,
+) -> NetworkGraph:
+    """Build Darknet-19 (19 conv layers with the head, 18 without).
+
+    >>> len(build_darknet19().conv_layers())
+    18
+    """
+    builder = GraphBuilder("darknet19", input_shape=input_shape)
+    conv_index = 0
+    pool_index = 0
+    for entry in _PLAN:
+        if entry == "M":
+            pool_index += 1
+            builder.pool(f"pool{pool_index}", kernel=2, stride=2)
+        elif isinstance(entry, tuple):
+            conv_index += 1
+            builder.conv(f"conv{conv_index}", out_channels=entry[0], kernel=1)
+        else:
+            conv_index += 1
+            builder.conv(
+                f"conv{conv_index}", out_channels=int(entry), kernel=3, padding=1
+            )
+    if include_head:
+        builder.conv("conv_logits", out_channels=num_classes, kernel=1, relu=False)
+        builder.global_pool("gap", mode="avg")
+    return builder.build()

@@ -1,0 +1,41 @@
+"""GeM place-recognition network (Radenovic et al. 2018).
+
+The paper's PR module: a ResNet-101 backbone followed by generalised-mean
+(GeM) pooling and an FC whitening layer producing a compact global image
+descriptor.  A single 480x640 inference is ~192 GOPs, dominated by the
+backbone — which is exactly why PR is the *interruptible, low-priority*
+task in the DSLAM deployment.
+"""
+
+from __future__ import annotations
+
+from repro.nn import GraphBuilder, NetworkGraph, TensorShape
+from repro.zoo.resnet import build_resnet
+
+#: Dimensionality of the whitened GeM descriptor.
+GEM_DESCRIPTOR_DIM = 2048
+
+#: Default GeM pooling exponent from the paper's released models.
+GEM_EXPONENT = 3.0
+
+
+def build_gem(
+    input_shape: TensorShape = TensorShape(480, 640, 3),
+    backbone: str = "resnet101",
+    descriptor_dim: int = GEM_DESCRIPTOR_DIM,
+    p: float = GEM_EXPONENT,
+) -> NetworkGraph:
+    """Build the GeM retrieval network: backbone + GeM pool + whitening FC.
+
+    >>> build_gem().output_shape.channels
+    2048
+    """
+    base = build_resnet(backbone, input_shape=input_shape)
+    builder = GraphBuilder(f"gem_{backbone}", input_shape=input_shape)
+    # Re-emit the backbone layers into this builder (skipping its Input).
+    for layer in base.layers[1:]:
+        builder._layers.append(layer)
+    builder._tail = base.output_layer.name
+    builder.global_pool("gem_pool", mode="gem", p=p)
+    builder.fc("whiten", out_features=descriptor_dim)
+    return builder.build()

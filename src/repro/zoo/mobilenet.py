@@ -1,0 +1,55 @@
+"""MobileNet-V1 (Howard et al. 2017).
+
+The paper uses MobileNet as the "lightweight network" in Fig. barresult(b):
+layer-by-layer interrupt latency is already ~1 ms, and the VI method still
+wins by 2-3 orders of magnitude.
+"""
+
+from __future__ import annotations
+
+from repro.nn import GraphBuilder, NetworkGraph, TensorShape
+
+#: (stride, output channels) of each depthwise-separable block.
+_BLOCKS: tuple[tuple[int, int], ...] = (
+    (1, 64),
+    (2, 128),
+    (1, 128),
+    (2, 256),
+    (1, 256),
+    (2, 512),
+    (1, 512),
+    (1, 512),
+    (1, 512),
+    (1, 512),
+    (1, 512),
+    (2, 1024),
+    (1, 1024),
+)
+
+
+def build_mobilenet_v1(
+    input_shape: TensorShape = TensorShape(224, 224, 3),
+    width_multiplier: float = 1.0,
+    include_head: bool = False,
+    num_classes: int = 1000,
+) -> NetworkGraph:
+    """Build MobileNet-V1 with an optional width multiplier.
+
+    >>> build_mobilenet_v1().name
+    'mobilenet_v1'
+    """
+    if width_multiplier <= 0:
+        raise ValueError(f"width_multiplier must be positive, got {width_multiplier}")
+
+    def scaled(channels: int) -> int:
+        return max(8, int(channels * width_multiplier))
+
+    builder = GraphBuilder("mobilenet_v1", input_shape=input_shape)
+    builder.conv("conv1", out_channels=scaled(32), kernel=3, stride=2, padding=1)
+    for index, (stride, channels) in enumerate(_BLOCKS, start=1):
+        builder.depthwise(f"dw{index}", kernel=3, stride=stride, padding=1)
+        builder.conv(f"pw{index}", out_channels=scaled(channels), kernel=1)
+    if include_head:
+        builder.global_pool("gap", mode="avg")
+        builder.fc("logits", out_features=num_classes)
+    return builder.build()

@@ -1,0 +1,103 @@
+"""ResNet family (He et al. 2016).
+
+ResNet-101 is the backbone of the paper's place-recognition network (GeM) and
+the workload used for the 12-position interrupt experiment (Fig. barresult(a)).
+Batch-norm is assumed folded into the convolutions, as the deployment
+quantizer does.
+"""
+
+from __future__ import annotations
+
+from repro.nn import GraphBuilder, NetworkGraph, TensorShape
+
+#: (block type, blocks per stage) for each variant.
+_CONFIGS: dict[str, tuple[str, tuple[int, int, int, int]]] = {
+    "resnet18": ("basic", (2, 2, 2, 2)),
+    "resnet34": ("basic", (3, 4, 6, 3)),
+    "resnet50": ("bottleneck", (3, 4, 6, 3)),
+    "resnet101": ("bottleneck", (3, 4, 23, 3)),
+    "resnet152": ("bottleneck", (3, 8, 36, 3)),
+}
+
+_STAGE_WIDTHS = (64, 128, 256, 512)
+
+
+def _basic_block(
+    builder: GraphBuilder, name: str, residual: str, width: int, stride: int
+) -> str:
+    """Two 3x3 convs + identity/projection shortcut. Returns the output name."""
+    builder.conv(f"{name}_conv1", out_channels=width, kernel=3, stride=stride, padding=1, after=residual)
+    main = builder.conv(f"{name}_conv2", out_channels=width, kernel=3, padding=1, relu=False)
+    shortcut = _shortcut(builder, name, residual, width, stride)
+    return builder.add(f"{name}_add", main, shortcut)
+
+
+def _bottleneck_block(
+    builder: GraphBuilder, name: str, residual: str, width: int, stride: int
+) -> str:
+    """1x1 reduce, 3x3, 1x1 expand (x4) + shortcut. Returns the output name."""
+    builder.conv(f"{name}_conv1", out_channels=width, kernel=1, after=residual)
+    builder.conv(f"{name}_conv2", out_channels=width, kernel=3, stride=stride, padding=1)
+    main = builder.conv(f"{name}_conv3", out_channels=4 * width, kernel=1, relu=False)
+    shortcut = _shortcut(builder, name, residual, 4 * width, stride)
+    return builder.add(f"{name}_add", main, shortcut)
+
+
+def _shortcut(builder: GraphBuilder, name: str, residual: str, out_channels: int, stride: int) -> str:
+    """Projection shortcut when shape changes, identity otherwise."""
+    needs_projection = stride != 1 or _channels_of(builder, residual) != out_channels
+    if needs_projection:
+        return builder.conv(
+            f"{name}_proj",
+            out_channels=out_channels,
+            kernel=1,
+            stride=stride,
+            relu=False,
+            after=residual,
+        )
+    return residual
+
+
+def _channels_of(builder: GraphBuilder, name: str) -> int:
+    """Peek at the (so-far) output channel count of a layer in the builder.
+
+    Builders are append-only, so a partial build is enough to resolve shapes.
+    """
+    partial = NetworkGraph.from_layers("partial", list(builder._layers))
+    return partial.shapes[name].channels
+
+
+def build_resnet(
+    variant: str = "resnet101",
+    input_shape: TensorShape = TensorShape(224, 224, 3),
+    include_head: bool = False,
+    num_classes: int = 1000,
+) -> NetworkGraph:
+    """Build a ResNet backbone (optionally with GAP + classifier head).
+
+    >>> len(build_resnet("resnet101").conv_layers())
+    104
+    """
+    if variant not in _CONFIGS:
+        raise ValueError(f"unknown ResNet variant {variant!r}; choose from {sorted(_CONFIGS)}")
+    block_type, stage_blocks = _CONFIGS[variant]
+    block_fn = _basic_block if block_type == "basic" else _bottleneck_block
+
+    builder = GraphBuilder(variant, input_shape=input_shape)
+    builder.conv("conv1", out_channels=64, kernel=7, stride=2, padding=3)
+    residual = builder.pool("pool1", kernel=3, stride=2, padding=1)
+    for stage_index, (width, num_blocks) in enumerate(zip(_STAGE_WIDTHS, stage_blocks), start=2):
+        for block_index in range(num_blocks):
+            stride = 2 if (stage_index > 2 and block_index == 0) else 1
+            residual = block_fn(
+                builder, f"res{stage_index}_{block_index}", residual, width, stride
+            )
+    if include_head:
+        builder.global_pool("gap", mode="avg")
+        builder.fc("logits", out_features=num_classes)
+    return builder.build()
+
+
+def build_resnet101(input_shape: TensorShape = TensorShape(480, 640, 3)) -> NetworkGraph:
+    """ResNet-101 at the paper's PR input resolution (480x640x3)."""
+    return build_resnet("resnet101", input_shape=input_shape)

@@ -1,0 +1,55 @@
+"""Small synthetic networks for tests and quick examples.
+
+These run the full compile -> simulate -> verify pipeline in milliseconds,
+so the bit-exactness property tests can afford hundreds of cases.
+"""
+
+from __future__ import annotations
+
+from repro.nn import GraphBuilder, NetworkGraph, TensorShape
+
+
+def build_tiny_conv(
+    input_shape: TensorShape = TensorShape(16, 16, 8),
+    out_channels: int = 16,
+    kernel: int = 3,
+    stride: int = 1,
+) -> NetworkGraph:
+    """A single conv layer — the smallest compilable network."""
+    builder = GraphBuilder("tiny_conv", input_shape=input_shape)
+    builder.conv(
+        "conv1",
+        out_channels=out_channels,
+        kernel=kernel,
+        stride=stride,
+        padding=kernel // 2,
+    )
+    return builder.build()
+
+
+def build_tiny_cnn(input_shape: TensorShape = TensorShape(32, 32, 3)) -> NetworkGraph:
+    """Three convs with a pool — exercises multi-layer dependencies."""
+    builder = GraphBuilder("tiny_cnn", input_shape=input_shape)
+    builder.conv("conv1", out_channels=16, kernel=3, padding=1)
+    builder.pool("pool1", kernel=2, stride=2)
+    builder.conv("conv2", out_channels=32, kernel=3, padding=1)
+    builder.conv("conv3", out_channels=32, kernel=1)
+    return builder.build()
+
+
+def build_tiny_residual(input_shape: TensorShape = TensorShape(16, 16, 16)) -> NetworkGraph:
+    """One residual block — exercises Add lowering and two-consumer maps."""
+    builder = GraphBuilder("tiny_residual", input_shape=input_shape)
+    trunk = builder.tail
+    builder.conv("conv1", out_channels=16, kernel=3, padding=1)
+    main = builder.conv("conv2", out_channels=16, kernel=3, padding=1, relu=False)
+    builder.add("add", main, trunk)
+    return builder.build()
+
+
+def build_medium_layer_net() -> NetworkGraph:
+    """The paper's Section IV-C worked example: an 80x60 feature map with 48
+    input channels convolved to 32 output channels (R_l example, Eq. 1)."""
+    builder = GraphBuilder("medium_layer", input_shape=TensorShape(60, 80, 48))
+    builder.conv("conv", out_channels=32, kernel=3, padding=1)
+    return builder.build()

@@ -1,0 +1,66 @@
+"""VGG family (Simonyan & Zisserman 2014).
+
+The paper benchmarks interrupt latency on VGG (Fig. barresult(b)) and
+SuperPoint's encoder is a VGG-style stack, so we provide the classic
+configurations.  Classifier heads are optional: as a DSLAM backbone the
+network is fully convolutional.
+"""
+
+from __future__ import annotations
+
+from repro.nn import GraphBuilder, NetworkGraph, TensorShape
+
+#: Layer plans: numbers are conv output channels, "M" is a 2x2 max pool.
+_CONFIGS: dict[str, tuple[int | str, ...]] = {
+    "vgg11": (64, "M", 128, "M", 256, 256, "M", 512, 512, "M", 512, 512, "M"),
+    "vgg13": (64, 64, "M", 128, 128, "M", 256, 256, "M", 512, 512, "M", 512, 512, "M"),
+    "vgg16": (
+        64, 64, "M", 128, 128, "M", 256, 256, 256, "M",
+        512, 512, 512, "M", 512, 512, 512, "M",
+    ),
+    "vgg19": (
+        64, 64, "M", 128, 128, "M", 256, 256, 256, 256, "M",
+        512, 512, 512, 512, "M", 512, 512, 512, 512, "M",
+    ),
+}
+
+
+def build_vgg(
+    variant: str = "vgg16",
+    input_shape: TensorShape = TensorShape(224, 224, 3),
+    include_head: bool = False,
+    num_classes: int = 1000,
+) -> NetworkGraph:
+    """Build a VGG feature extractor (optionally with the FC head).
+
+    >>> build_vgg("vgg16").name
+    'vgg16'
+    """
+    if variant not in _CONFIGS:
+        raise ValueError(f"unknown VGG variant {variant!r}; choose from {sorted(_CONFIGS)}")
+    builder = GraphBuilder(variant, input_shape=input_shape)
+    block = 1
+    conv_in_block = 0
+    for entry in _CONFIGS[variant]:
+        if entry == "M":
+            builder.pool(f"pool{block}", kernel=2, stride=2)
+            block += 1
+            conv_in_block = 0
+        else:
+            conv_in_block += 1
+            builder.conv(
+                f"conv{block}_{conv_in_block}",
+                out_channels=int(entry),
+                kernel=3,
+                padding=1,
+            )
+    if include_head:
+        builder.global_pool("gap", mode="avg")
+        builder.fc("fc1", out_features=4096, relu=True)
+        builder.fc("fc2", out_features=4096, relu=True)
+        builder.fc("logits", out_features=num_classes)
+    return builder.build()
+
+
+def build_vgg16(input_shape: TensorShape = TensorShape(224, 224, 3)) -> NetworkGraph:
+    return build_vgg("vgg16", input_shape=input_shape)

@@ -1,0 +1,69 @@
+"""Shared fixtures: hardware configs and pre-compiled tiny networks.
+
+Compilation of even tiny networks costs a few milliseconds; the functional
+networks (with generated weights) are session-scoped so the many bit-exactness
+tests share them.  Tests that mutate DDR input regions must use their own
+input data (set_input overwrites the region, which is fine — each test sets
+what it needs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compiler.compile import CompiledNetwork, compile_network
+from repro.hw.config import AcceleratorConfig
+from repro.runtime.system import compile_tasks
+from repro.zoo import build_tiny_cnn, build_tiny_conv, build_tiny_residual
+
+
+@pytest.fixture(scope="session")
+def big_config() -> AcceleratorConfig:
+    return AcceleratorConfig.big()
+
+
+@pytest.fixture(scope="session")
+def small_config() -> AcceleratorConfig:
+    return AcceleratorConfig.small()
+
+
+@pytest.fixture(scope="session")
+def example_config() -> AcceleratorConfig:
+    return AcceleratorConfig.worked_example()
+
+
+@pytest.fixture(scope="session")
+def tiny_conv_compiled(example_config) -> CompiledNetwork:
+    return compile_network(build_tiny_conv(), example_config, weights="random", seed=1)
+
+
+@pytest.fixture(scope="session")
+def tiny_cnn_compiled(example_config) -> CompiledNetwork:
+    return compile_network(build_tiny_cnn(), example_config, weights="random", seed=2)
+
+
+@pytest.fixture(scope="session")
+def tiny_residual_compiled(example_config) -> CompiledNetwork:
+    return compile_network(build_tiny_residual(), example_config, weights="random", seed=3)
+
+
+@pytest.fixture(scope="session")
+def tiny_pair(example_config) -> tuple[CompiledNetwork, CompiledNetwork]:
+    """(low-priority, high-priority) networks in disjoint DDR windows."""
+    low, high = compile_tasks(
+        [build_tiny_cnn(), build_tiny_residual()],
+        example_config,
+        weights="random",
+        seed=4,
+    )
+    return low, high
+
+
+def random_input(compiled: CompiledNetwork, seed: int = 0) -> np.ndarray:
+    """A reproducible int8 input feature map for a compiled network."""
+    shape = compiled.graph.input_shape
+    rng = np.random.default_rng(seed)
+    return rng.integers(
+        -128, 128, size=(shape.height, shape.width, shape.channels), dtype=np.int64
+    ).astype(np.int8)

@@ -1,0 +1,175 @@
+"""ASCII charts, drop-if-busy submission, decode fuzz, edge-case layers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.charts import bar_chart, grouped_bar_chart
+from repro.errors import IsaError, SchedulerError
+from repro.isa.encoding import INSTRUCTION_BYTES, decode_instruction
+
+
+class TestBarChart:
+    def test_rows_and_values(self):
+        text = bar_chart(["a", "bb"], [1.0, 2.0], unit=" us")
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith(" a |")
+        assert "us" in lines[0]
+
+    def test_longest_bar_is_max(self):
+        text = bar_chart(["x", "y"], [1.0, 10.0], width=20)
+        x_row, y_row = text.splitlines()
+        assert y_row.count("#") == 20
+        assert x_row.count("#") < 20
+
+    def test_log_scale_compresses(self):
+        linear = bar_chart(["a", "b"], [1.0, 1000.0], width=30)
+        log = bar_chart(["a", "b"], [1.0, 1000.0], width=30, log_scale=True)
+        linear_small = linear.splitlines()[0].count("#")
+        log_small = log.splitlines()[0].count("#")
+        assert log_small > linear_small
+        assert "(log scale)" in log
+
+    def test_zero_value_has_no_bar(self):
+        text = bar_chart(["a", "b"], [0.0, 5.0])
+        assert text.splitlines()[0].count("#") == 0
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [-1.0])
+
+    def test_grouped_layout(self):
+        text = grouped_bar_chart(
+            ["resnet", "vgg"],
+            {"layer-by-layer": [1000.0, 2000.0], "vi": [10.0, 20.0]},
+            unit=" us",
+        )
+        assert "resnet / layer-by-layer" in text
+        assert "vgg / vi" in text
+
+    def test_grouped_rejects_ragged_series(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart(["a", "b"], {"s": [1.0]})
+
+
+class TestSubmitIfFree:
+    def test_accepts_when_idle(self, tiny_pair):
+        from repro.runtime import MultiTaskSystem
+
+        low, _ = tiny_pair
+        system = MultiTaskSystem(low.config, functional=False)
+        system.add_task(1, low)
+        assert system.submit_if_free(1) is True
+        system.run()
+        assert len(system.jobs(1)) == 1
+
+    def test_drops_when_pending(self, tiny_pair):
+        from repro.runtime import MultiTaskSystem
+
+        low, _ = tiny_pair
+        system = MultiTaskSystem(low.config, functional=False)
+        system.add_task(1, low)
+        assert system.submit_if_free(1) is True
+        # The first request hasn't been delivered/started: the second drops.
+        assert system.submit_if_free(1) is False
+        system.run()
+        assert len(system.jobs(1)) == 1
+
+    def test_unattached_rejected(self, tiny_pair):
+        from repro.runtime import MultiTaskSystem
+
+        low, _ = tiny_pair
+        system = MultiTaskSystem(low.config)
+        with pytest.raises(SchedulerError):
+            system.submit_if_free(3)
+
+    def test_free_again_after_completion(self, tiny_pair):
+        from repro.runtime import MultiTaskSystem
+
+        low, _ = tiny_pair
+        system = MultiTaskSystem(low.config, functional=False)
+        system.add_task(1, low)
+        system.submit_if_free(1)
+        system.run()
+        assert system.submit_if_free(1) is True
+        system.run()
+        assert len(system.jobs(1)) == 2
+
+
+class TestDecodeFuzz:
+    @settings(max_examples=200, deadline=None)
+    @given(word=st.binary(min_size=INSTRUCTION_BYTES, max_size=INSTRUCTION_BYTES))
+    def test_decode_never_crashes_unexpectedly(self, word):
+        """Random words either decode to a valid Instruction or raise IsaError."""
+        try:
+            instruction = decode_instruction(word)
+        except IsaError:
+            return
+        assert 0 <= instruction.layer_id <= 0xFFFF
+
+    @settings(max_examples=50, deadline=None)
+    @given(size=st.integers(0, 3 * INSTRUCTION_BYTES))
+    def test_wrong_sizes_rejected(self, size):
+        if size == INSTRUCTION_BYTES:
+            return
+        with pytest.raises(IsaError):
+            decode_instruction(b"\x01" + b"\x00" * (size - 1) if size else b"")
+
+
+class TestEdgeCaseLayers:
+    """Unusual geometry through the full compile+simulate+verify pipeline."""
+
+    @pytest.mark.parametrize(
+        "height,width,cin,cout,kernel,stride,padding",
+        [
+            (9, 7, 3, 5, 5, 3, 2),    # large kernel, stride 3, odd sizes
+            (6, 6, 1, 1, 1, 1, 0),    # minimal channels
+            (8, 8, 17, 9, 3, 2, 0),   # non-multiple-of-para channels, no pad
+            (5, 20, 4, 12, (1, 5), 1, (0, 2)),  # asymmetric kernel/padding
+        ],
+    )
+    def test_bit_exact(self, example_config, height, width, cin, cout, kernel, stride, padding):
+        from repro.accel.reference import golden_output
+        from repro.accel.runner import run_program
+        from repro.compiler import compile_network
+        from repro.nn import GraphBuilder, TensorShape
+
+        builder = GraphBuilder("edge", input_shape=TensorShape(height, width, cin))
+        builder.conv(
+            "conv",
+            out_channels=cout,
+            kernel=kernel,
+            stride=stride,
+            padding=padding,
+        )
+        compiled = compile_network(
+            builder.build(), example_config, weights="random", seed=42
+        )
+        rng = np.random.default_rng(43)
+        data = rng.integers(-128, 128, size=(height, width, cin), dtype=np.int64).astype(np.int8)
+        expected = golden_output(compiled, data)
+        run_program(compiled, "vi", functional=True, input_map=data)
+        assert np.array_equal(compiled.get_output(), expected)
+
+
+class TestDslamSeedRobustness:
+    @pytest.mark.parametrize("seed", [11, 99, 2024])
+    def test_merge_succeeds_across_seeds(self, example_config, seed):
+        from repro.dslam import DslamScenario, run_dslam
+        from repro.runtime import compile_tasks
+        from repro.zoo import build_tiny_cnn, build_tiny_conv
+
+        fe, pr = compile_tasks(
+            [build_tiny_conv(), build_tiny_cnn()], example_config, weights="zeros"
+        )
+        scenario = DslamScenario(num_frames=40, fps=2000.0, speed=150.0, seed=seed)
+        result = run_dslam(fe, pr, scenario)
+        assert result.total_deadline_misses() == 0
+        assert result.merge is not None
+        assert result.merged_ate_meters < 1.0

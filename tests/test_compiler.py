@@ -1,0 +1,320 @@
+"""Compiler: allocation, tiling, lowering, and the compile driver."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import (
+    allocate_network,
+    compile_network,
+    initialize_parameters,
+    plan_layer,
+)
+from repro.compiler.tiling import check_blob_count
+from repro.errors import CompileError
+from repro.hw.config import AcceleratorConfig
+from repro.isa.opcodes import Opcode
+from repro.nn import GraphBuilder, TensorShape
+from repro.units import ceil_div
+from repro.zoo import build_tiny_cnn, build_tiny_residual
+
+
+class TestAllocator:
+    def test_every_layer_gets_a_feature_region(self):
+        graph = build_tiny_cnn()
+        layout = allocate_network(graph)
+        for layer in graph.layers:
+            assert layer.name in layout.feature_regions
+
+    def test_weighted_layers_get_parameter_regions(self):
+        graph = build_tiny_cnn()
+        layout = allocate_network(graph)
+        assert set(layout.parameter_regions) == {"conv1", "conv2", "conv3"}
+
+    def test_weight_shapes(self):
+        graph = build_tiny_cnn()
+        layout = allocate_network(graph)
+        weight_region, bias_region = layout.parameter_regions["conv2"]
+        assert layout.ddr.region(weight_region).array.shape == (3, 3, 16, 32)
+        assert layout.ddr.region(bias_region).array.dtype == np.int32
+
+    def test_base_addr_offsets_all_regions(self):
+        layout = allocate_network(build_tiny_cnn(), base_addr=0x100000)
+        for region in layout.ddr.regions():
+            assert region.base >= 0x100000
+
+    def test_input_region_shape(self):
+        graph = build_tiny_cnn()
+        layout = allocate_network(graph)
+        array = layout.ddr.region(layout.input_region).array
+        assert array.shape == (32, 32, 3)
+
+
+class TestWeights:
+    def test_random_mode_fills_weights(self):
+        graph = build_tiny_cnn()
+        layout = allocate_network(graph)
+        table = initialize_parameters(graph, layout, mode="random", seed=0)
+        weights = layout.ddr.region(layout.parameter_regions["conv1"][0]).array
+        assert weights.std() > 0
+        assert "conv1" in table
+
+    def test_zeros_mode_leaves_zeros(self):
+        graph = build_tiny_cnn()
+        layout = allocate_network(graph)
+        initialize_parameters(graph, layout, mode="zeros")
+        weights = layout.ddr.region(layout.parameter_regions["conv1"][0]).array
+        assert not weights.any()
+
+    def test_deterministic_given_seed(self):
+        graph = build_tiny_cnn()
+        layout_a = allocate_network(graph)
+        layout_b = allocate_network(graph)
+        initialize_parameters(graph, layout_a, mode="random", seed=9)
+        initialize_parameters(graph, layout_b, mode="random", seed=9)
+        region = layout_a.parameter_regions["conv2"][0]
+        assert np.array_equal(
+            layout_a.ddr.region(region).array, layout_b.ddr.region(region).array
+        )
+
+    def test_rejects_unknown_mode(self):
+        graph = build_tiny_cnn()
+        layout = allocate_network(graph)
+        with pytest.raises(ValueError):
+            initialize_parameters(graph, layout, mode="ones")
+
+    def test_shift_is_nonnegative(self):
+        graph = build_tiny_cnn()
+        layout = allocate_network(graph)
+        table = initialize_parameters(graph, layout, mode="random")
+        assert all(entry.shift >= 0 for entry in table.values())
+
+    def test_percentile_changes_format(self):
+        """Aggressive percentile clipping buys finer weight formats."""
+        graph = build_tiny_cnn()
+        layout_tight = allocate_network(graph)
+        layout_loose = allocate_network(graph)
+        tight = initialize_parameters(
+            graph, layout_tight, mode="random", seed=1, percentile=90.0
+        )
+        loose = initialize_parameters(
+            graph, layout_loose, mode="random", seed=1, percentile=100.0
+        )
+        assert any(
+            tight[name].weight_format.frac_bits > loose[name].weight_format.frac_bits
+            for name in tight
+        )
+        assert all(
+            tight[name].weight_format.frac_bits >= loose[name].weight_format.frac_bits
+            for name in tight
+        )
+
+    def test_compile_respects_weight_percentile(self, example_config):
+        tight = compile_network(
+            build_tiny_cnn(), example_config, weights="random", seed=1,
+            weight_percentile=90.0,
+        )
+        loose = compile_network(
+            build_tiny_cnn(), example_config, weights="random", seed=1,
+            weight_percentile=100.0,
+        )
+        tight_shift = tight.quantization["conv1"].shift
+        loose_shift = loose.quantization["conv1"].shift
+        assert tight_shift >= loose_shift
+
+
+class TestTiling:
+    def test_blobs_cover_all_output_channels(self, tiny_cnn_compiled):
+        for layer, plan in zip(tiny_cnn_compiled.layer_configs, tiny_cnn_compiled.plans):
+            for tile in plan.tiles:
+                for stripe in tile.stripes:
+                    covered = sorted(
+                        (group.ch0, group.ch0 + group.chs)
+                        for section in stripe.sections
+                        for group in section.groups
+                    )
+                    assert covered[0][0] == 0
+                    assert covered[-1][1] == layer.out_channels
+                    for (_, end), (start, _) in zip(covered, covered[1:]):
+                        assert end == start
+
+    def test_stripes_cover_all_output_rows(self, tiny_cnn_compiled):
+        for layer, plan in zip(tiny_cnn_compiled.layer_configs, tiny_cnn_compiled.plans):
+            rows = sorted(
+                (stripe.out_row0, stripe.out_row0 + stripe.out_rows)
+                for tile in plan.tiles
+                for stripe in tile.stripes
+            )
+            assert rows[0][0] == 0
+            assert rows[-1][1] == layer.out_shape.height
+
+    def test_stripe_height_bounded_by_para_height(self, tiny_cnn_compiled):
+        config = tiny_cnn_compiled.config
+        for plan in tiny_cnn_compiled.plans:
+            for tile in plan.tiles:
+                for stripe in tile.stripes:
+                    assert stripe.out_rows <= config.para_height
+
+    def test_tile_inputs_fit_data_buffer(self, tiny_cnn_compiled):
+        config = tiny_cnn_compiled.config
+        for layer, plan in zip(tiny_cnn_compiled.layer_configs, tiny_cnn_compiled.plans):
+            multiplier = 2 if layer.kind == "add" else 1
+            for tile in plan.tiles:
+                nbytes = tile.in_rows * layer.in_shape.width * tile.in_chs * multiplier
+                assert nbytes <= config.data_buffer_bytes
+
+    def test_weight_chunks_fit_weight_buffer(self, tiny_cnn_compiled):
+        config = tiny_cnn_compiled.config
+        for layer, plan in zip(tiny_cnn_compiled.layer_configs, tiny_cnn_compiled.plans):
+            if not layer.has_weights:
+                continue
+            kh, kw = layer.kernel
+            for tile in plan.tiles:
+                for stripe in tile.stripes:
+                    for section in stripe.sections:
+                        for group in section.groups:
+                            for _, chunk_len in group.weight_chunks:
+                                assert kh * kw * chunk_len * group.chs <= config.weight_buffer_bytes
+
+    def test_blob_count_formula(self):
+        config = AcceleratorConfig.big()
+        builder = GraphBuilder("one", input_shape=TensorShape(16, 16, 48))
+        builder.conv("conv", out_channels=32, kernel=3, padding=1)
+        compiled = compile_network(builder.build(), config, weights="zeros")
+        layer = compiled.layer_configs[0]
+        plan = compiled.plans[0]
+        calcs_per_blob = check_blob_count(config, layer)
+        assert calcs_per_blob == ceil_div(48, config.para_in)
+
+    def test_huge_layer_on_tiny_buffer_rejected(self):
+        config = AcceleratorConfig(
+            name="nano",
+            para_in=8,
+            para_out=8,
+            para_height=4,
+            data_buffer_bytes=256,
+            weight_buffer_bytes=1 << 20,
+            output_buffer_bytes=1 << 20,
+        )
+        builder = GraphBuilder("wide", input_shape=TensorShape(64, 640, 16))
+        builder.conv("conv", out_channels=8, kernel=3, padding=1)
+        with pytest.raises(CompileError):
+            compile_network(builder.build(), config, weights="zeros")
+
+    def test_global_pool_channel_tiling(self):
+        config = AcceleratorConfig.small()
+        builder = GraphBuilder("gp", input_shape=TensorShape(15, 20, 2048))
+        builder.global_pool("pool", mode="avg")
+        compiled = compile_network(builder.build(), config, weights="zeros")
+        plan = compiled.plans[0]
+        loaded_channels = sum(tile.in_chs for tile in plan.tiles)
+        assert loaded_channels == 2048
+        for tile in plan.tiles:
+            assert 15 * 20 * tile.in_chs <= config.data_buffer_bytes
+
+
+class TestLowering:
+    def test_program_ends_with_flagged_save(self, tiny_cnn_compiled):
+        last = tiny_cnn_compiled.programs["none"].instructions[-1]
+        assert last.opcode == Opcode.SAVE
+        assert last.is_last_save_of_layer
+
+    def test_every_layer_has_exactly_one_flagged_save(self, tiny_cnn_compiled):
+        program = tiny_cnn_compiled.programs["none"]
+        for layer in tiny_cnn_compiled.layer_configs:
+            flagged = [
+                ins
+                for ins in program
+                if ins.layer_id == layer.layer_id
+                and ins.opcode == Opcode.SAVE
+                and ins.is_last_save_of_layer
+            ]
+            assert len(flagged) == 1
+
+    def test_add_layer_loads_two_operands(self, tiny_residual_compiled):
+        program = tiny_residual_compiled.programs["none"]
+        add_layer = next(
+            cfg for cfg in tiny_residual_compiled.layer_configs if cfg.kind == "add"
+        )
+        loads = [
+            ins
+            for ins in program
+            if ins.layer_id == add_layer.layer_id and ins.opcode == Opcode.LOAD_D
+        ]
+        assert any(load.operand_b for load in loads)
+        assert any(not load.operand_b for load in loads)
+
+    def test_calc_f_carries_shift_and_flags(self, tiny_cnn_compiled):
+        program = tiny_cnn_compiled.programs["none"]
+        conv_layers = {
+            cfg.layer_id: cfg for cfg in tiny_cnn_compiled.layer_configs if cfg.kind == "conv"
+        }
+        finals = [ins for ins in program if ins.opcode == Opcode.CALC_F and ins.layer_id in conv_layers]
+        assert finals
+        for instruction in finals:
+            layer = conv_layers[instruction.layer_id]
+            assert instruction.shift == layer.shift
+            assert instruction.relu == layer.relu
+            assert instruction.bias == layer.bias
+
+    def test_calc_i_only_before_calc_f(self, tiny_cnn_compiled):
+        """Every CALC_I run terminates in a CALC_F (checked by validator too,
+        but assert the tiny network actually *exercises* multi-step blobs)."""
+        program = tiny_cnn_compiled.programs["none"]
+        assert any(ins.opcode == Opcode.CALC_I for ins in program)
+
+    def test_fc_lowered_as_full_kernel_conv(self):
+        config = AcceleratorConfig.big()
+        builder = GraphBuilder("fc_net", input_shape=TensorShape(4, 4, 32))
+        builder.conv("conv", out_channels=16, kernel=3, padding=1)
+        builder.global_pool("gap", mode="avg")
+        builder.fc("fc", out_features=10)
+        compiled = compile_network(builder.build(), config, weights="zeros")
+        fc_layer = next(cfg for cfg in compiled.layer_configs if cfg.name == "fc")
+        assert fc_layer.kind == "conv"
+        assert fc_layer.kernel == (1, 1)
+        assert fc_layer.out_shape == TensorShape(1, 1, 10)
+
+    def test_save_lengths_sum_to_feature_map(self, tiny_cnn_compiled):
+        program = tiny_cnn_compiled.programs["none"]
+        for layer in tiny_cnn_compiled.layer_configs:
+            saved = sum(
+                ins.length
+                for ins in program
+                if ins.layer_id == layer.layer_id and ins.opcode == Opcode.SAVE
+            )
+            assert saved == layer.out_shape.num_elements
+
+
+class TestCompileDriver:
+    def test_three_program_variants(self, tiny_cnn_compiled):
+        assert set(tiny_cnn_compiled.programs) == {"none", "vi", "layer"}
+
+    def test_vi_has_more_instructions(self, tiny_cnn_compiled):
+        assert len(tiny_cnn_compiled.programs["vi"]) > len(tiny_cnn_compiled.programs["none"])
+
+    def test_layer_variant_barrier_count(self, tiny_cnn_compiled):
+        program = tiny_cnn_compiled.programs["layer"]
+        barriers = [ins for ins in program if ins.opcode == Opcode.VIR_BARRIER]
+        assert len(barriers) == len(tiny_cnn_compiled.layer_configs)
+
+    def test_report_mentions_network(self, tiny_cnn_compiled):
+        assert "tiny_cnn" in tiny_cnn_compiled.report()
+
+    def test_layer_config_lookup(self, tiny_cnn_compiled):
+        layer = tiny_cnn_compiled.layer_config(0)
+        assert layer.layer_id == 0
+        with pytest.raises(CompileError):
+            tiny_cnn_compiled.layer_config(999)
+
+    def test_set_input_validates_shape(self, tiny_cnn_compiled):
+        with pytest.raises(CompileError):
+            tiny_cnn_compiled.set_input(np.zeros((1, 1, 1), dtype=np.int8))
+
+    def test_unknown_vi_mode_rejected(self, tiny_cnn_compiled):
+        with pytest.raises(CompileError):
+            tiny_cnn_compiled.program_for("quantum")
+
+    def test_input_only_network_rejected(self):
+        builder = GraphBuilder("empty", input_shape=TensorShape(8, 8, 3))
+        with pytest.raises(CompileError):
+            compile_network(builder.build(), AcceleratorConfig.big())

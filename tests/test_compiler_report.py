@@ -1,0 +1,52 @@
+"""Compile-time statistics (repro.compiler.report)."""
+
+import pytest
+
+from repro.accel.runner import run_program
+from repro.compiler.report import per_layer_worst_wait, program_stats
+from repro.hw.timing import blob_cycles
+
+
+class TestProgramStats:
+    def test_counts_match_histogram(self, tiny_cnn_compiled):
+        stats = program_stats(tiny_cnn_compiled, "none")
+        program = tiny_cnn_compiled.programs["none"]
+        histogram = program.opcode_histogram()
+        from repro.isa import Opcode
+
+        assert stats.loads == histogram.get(Opcode.LOAD_D, 0) + histogram.get(Opcode.LOAD_W, 0)
+        assert stats.calcs == histogram.get(Opcode.CALC_I, 0) + histogram.get(Opcode.CALC_F, 0)
+        assert stats.saves == histogram.get(Opcode.SAVE, 0)
+        assert stats.virtual == 0
+
+    def test_estimated_cycles_match_simulation(self, tiny_cnn_compiled):
+        for mode in ("none", "vi", "layer"):
+            stats = program_stats(tiny_cnn_compiled, mode)
+            simulated = run_program(tiny_cnn_compiled, mode, functional=False)
+            assert stats.estimated_cycles == simulated.total_cycles, mode
+
+    def test_vi_mode_counts_virtual(self, tiny_cnn_compiled):
+        stats = program_stats(tiny_cnn_compiled, "vi")
+        assert stats.virtual == tiny_cnn_compiled.program.num_virtual()
+
+
+class TestPerLayerWorstWait:
+    def test_covers_conv_layers(self, tiny_cnn_compiled):
+        waits = per_layer_worst_wait(tiny_cnn_compiled)
+        conv_names = {
+            cfg.name for cfg in tiny_cnn_compiled.layer_configs if cfg.kind == "conv"
+        }
+        assert set(waits) == conv_names
+
+    def test_matches_blob_formula(self, tiny_cnn_compiled):
+        waits = per_layer_worst_wait(tiny_cnn_compiled)
+        for layer in tiny_cnn_compiled.layer_configs:
+            if layer.kind != "conv":
+                continue
+            expected = blob_cycles(
+                tiny_cnn_compiled.config,
+                layer.in_channels,
+                layer.out_shape.width,
+                layer.kernel,
+            )
+            assert waits[layer.name] == expected

@@ -1,0 +1,66 @@
+"""Design-space exploration."""
+
+import pytest
+from dataclasses import replace
+
+from repro.analysis.design_space import (
+    DesignSpaceResult,
+    default_design_grid,
+    explore,
+)
+from repro.errors import CompileError
+from repro.hw.config import AcceleratorConfig
+from repro.zoo import build_tiny_cnn
+
+
+@pytest.fixture(scope="module")
+def result():
+    return explore(build_tiny_cnn())
+
+
+class TestExplore:
+    def test_all_grid_points_feasible_for_tiny_net(self, result):
+        assert len(result.points) == len(default_design_grid())
+
+    def test_bigger_array_is_faster(self, result):
+        by_name = {point.config.name: point for point in result.points}
+        assert by_name["angel-eye-zu9"].fps > by_name["angel-eye-small"].fps
+
+    def test_resources_scale_with_parallelism(self, result):
+        by_name = {point.config.name: point for point in result.points}
+        assert by_name["angel-eye-2x"].dsp > by_name["angel-eye-zu9"].dsp
+
+    def test_higher_bandwidth_helps_memory_bound_net(self, result):
+        by_name = {point.config.name: point for point in result.points}
+        assert by_name["angel-eye-hbw"].fps >= by_name["angel-eye-zu9"].fps
+
+    def test_selectors(self, result):
+        assert result.best_by_fps().fps == max(p.fps for p in result.points)
+        best_efficiency = result.best_by_efficiency()
+        assert best_efficiency.fps_per_dsp == max(p.fps_per_dsp for p in result.points)
+
+    def test_format_lists_every_point(self, result):
+        text = result.format()
+        for point in result.points:
+            assert point.config.name in text
+
+    def test_infeasible_points_skipped(self):
+        tiny_buffers = replace(
+            AcceleratorConfig.big(),
+            name="undersized",
+            data_buffer_bytes=64,
+        )
+        result = explore(build_tiny_cnn(), [tiny_buffers, AcceleratorConfig.big()])
+        assert len(result.points) == 1
+        assert result.points[0].config.name == "angel-eye-zu9"
+
+    def test_all_infeasible_raises(self):
+        tiny_buffers = replace(
+            AcceleratorConfig.big(), name="undersized", data_buffer_bytes=64
+        )
+        with pytest.raises(CompileError):
+            explore(build_tiny_cnn(), [tiny_buffers])
+
+    def test_energy_positive(self, result):
+        for point in result.points:
+            assert point.energy_mj > 0

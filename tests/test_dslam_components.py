@@ -1,0 +1,370 @@
+"""DSLAM components: world, camera, frontend, VO, PR, merge, metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dslam import (
+    Camera,
+    CameraConfig,
+    FeatureExtractor,
+    FrontendConfig,
+    PlaceDatabase,
+    PlaceEncoder,
+    VisualOdometry,
+    World,
+    WorldConfig,
+    absolute_trajectory_error,
+    compose,
+    estimate_rigid_2d,
+    match_features,
+    merge_from_frames,
+    perimeter_trajectory,
+    ransac_rigid_2d,
+    transform_point,
+)
+from repro.dslam.camera import frame_period_cycles
+from repro.errors import DslamError
+from repro.ros.messages import Header, PlaceDescriptor
+
+
+@pytest.fixture(scope="module")
+def world():
+    return World.generate(WorldConfig())
+
+
+class TestWorld:
+    def test_landmark_count(self, world):
+        config = world.config
+        expected = config.wall_landmarks + 4 * (config.pillar_landmarks // 4) + config.chair_landmarks
+        assert len(world) == expected
+
+    def test_landmarks_inside_arena(self, world):
+        for landmark in world.landmarks.values():
+            assert -1 <= landmark.x <= world.config.width + 1
+            assert -1 <= landmark.y <= world.config.height + 1
+
+    def test_descriptors_unit_norm(self, world):
+        for landmark in world.landmarks.values():
+            assert np.linalg.norm(landmark.descriptor) == pytest.approx(1.0)
+
+    def test_visibility_respects_range(self, world):
+        pose = (world.config.width / 2, world.config.height / 2, 0.0)
+        visible = world.visible_from(pose, max_range=5.0, fov=2 * np.pi)
+        for landmark in visible:
+            assert np.hypot(landmark.x - pose[0], landmark.y - pose[1]) <= 5.0
+
+    def test_visibility_respects_fov(self, world):
+        pose = (world.config.width / 2, world.config.height / 2, 0.0)
+        visible = world.visible_from(pose, max_range=50.0, fov=np.pi / 2)
+        for landmark in visible:
+            bearing = np.arctan2(landmark.y - pose[1], landmark.x - pose[0])
+            assert abs(bearing) <= np.pi / 4 + 1e-9
+
+    def test_generation_deterministic(self):
+        a = World.generate(WorldConfig(seed=5))
+        b = World.generate(WorldConfig(seed=5))
+        assert all(
+            np.array_equal(a.landmarks[i].descriptor, b.landmarks[i].descriptor)
+            for i in a.landmarks
+        )
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(DslamError):
+            WorldConfig(width=-1)
+
+
+class TestCamera:
+    def test_capture_contains_visible_landmarks(self, world):
+        camera = Camera(world, CameraConfig(), seed=0)
+        pose = (world.config.width / 2, world.config.height / 2, 0.0)
+        frame = camera.capture(pose, seq=0, stamp_cycles=0)
+        assert frame.observations
+        assert set(frame.observations) == set(frame.descriptors)
+
+    def test_observations_in_robot_frame(self, world):
+        camera = Camera(world, CameraConfig(position_noise=0.0), seed=0)
+        pose = (10.0, 10.0, np.pi / 2)
+        frame = camera.capture(pose, seq=0, stamp_cycles=0)
+        for landmark_id, (local_x, local_y) in frame.observations.items():
+            landmark = world.landmarks[landmark_id]
+            # Rotate back: local frame x points along heading (+y world here).
+            world_x = pose[0] - local_y
+            world_y = pose[1] + local_x
+            assert world_x == pytest.approx(landmark.x, abs=1e-6)
+            assert world_y == pytest.approx(landmark.y, abs=1e-6)
+
+    def test_noise_applied(self, world):
+        noisy = Camera(world, CameraConfig(position_noise=0.5), seed=1)
+        clean = Camera(world, CameraConfig(position_noise=0.0), seed=1)
+        pose = (10.0, 10.0, 0.0)
+        frame_noisy = noisy.capture(pose, 0, 0)
+        frame_clean = clean.capture(pose, 0, 0)
+        common = set(frame_noisy.observations) & set(frame_clean.observations)
+        assert any(
+            frame_noisy.observations[i] != frame_clean.observations[i] for i in common
+        )
+
+    def test_true_pose_recorded(self, world):
+        camera = Camera(world, seed=0)
+        pose = (5.0, 5.0, 0.3)
+        assert camera.capture(pose, 0, 0).true_pose == pose
+
+
+class TestTrajectory:
+    def test_length(self, world):
+        assert len(perimeter_trajectory(world, 25)) == 25
+
+    def test_stays_inside_arena(self, world):
+        for x, y, _ in perimeter_trajectory(world, 200, speed=20.0):
+            assert 0 <= x <= world.config.width
+            assert 0 <= y <= world.config.height
+
+    def test_step_distance_matches_speed(self, world):
+        poses = perimeter_trajectory(world, 10, fps=20.0, speed=2.0)
+        for (x0, y0, _), (x1, y1, _) in zip(poses, poses[1:]):
+            step = np.hypot(x1 - x0, y1 - y0)
+            assert step <= 2.0 / 20.0 + 1e-6
+
+    def test_clockwise_reverses(self, world):
+        ccw = perimeter_trajectory(world, 5, start_fraction=0.0, clockwise=False)
+        cw = perimeter_trajectory(world, 5, start_fraction=0.0, clockwise=True)
+        assert ccw[1] != cw[1]
+
+    def test_rejects_empty(self, world):
+        with pytest.raises(DslamError):
+            perimeter_trajectory(world, 0)
+
+    def test_frame_period(self):
+        assert frame_period_cycles(300e6, 20.0) == 15_000_000
+        with pytest.raises(DslamError):
+            frame_period_cycles(300e6, 0)
+
+
+class TestFrontend:
+    def test_nms_enforces_separation(self, world):
+        camera = Camera(world, seed=0)
+        frame = camera.capture((20.0, 15.0, 0.0), 0, 0)
+        extractor = FeatureExtractor(FrontendConfig(nms_radius=1.0, min_score=0.0))
+        features = extractor.extract(frame)
+        positions = np.array([[f.x, f.y] for f in features])
+        for i in range(len(positions)):
+            for j in range(i + 1, len(positions)):
+                assert np.linalg.norm(positions[i] - positions[j]) >= 1.0
+
+    def test_max_features_cap(self, world):
+        camera = Camera(world, seed=0)
+        frame = camera.capture((20.0, 15.0, 0.0), 0, 0)
+        extractor = FeatureExtractor(FrontendConfig(max_features=5, min_score=0.0, nms_radius=0.01))
+        assert len(extractor.extract(frame)) <= 5
+
+    def test_deterministic(self, world):
+        camera = Camera(world, seed=0)
+        frame = camera.capture((20.0, 15.0, 0.0), 0, 0)
+        extractor = FeatureExtractor()
+        assert extractor.extract(frame) == extractor.extract(frame)
+
+    def test_scores_vary_across_frames(self, world):
+        camera = Camera(world, seed=0)
+        frame_a = camera.capture((20.0, 15.0, 0.0), 0, 0)
+        frame_b = camera.capture((20.0, 15.0, 0.0), 1, 0)
+        extractor = FeatureExtractor(FrontendConfig(min_score=0.0, nms_radius=0.01))
+        scores_a = {f.landmark_id: f.score for f in extractor.extract(frame_a)}
+        scores_b = {f.landmark_id: f.score for f in extractor.extract(frame_b)}
+        common = set(scores_a) & set(scores_b)
+        assert any(scores_a[i] != scores_b[i] for i in common)
+
+
+class TestRigidEstimation:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        angle=st.floats(-3.0, 3.0),
+        tx=st.floats(-10, 10),
+        ty=st.floats(-10, 10),
+        seed=st.integers(0, 100),
+    )
+    def test_recovers_known_transform(self, angle, tx, ty, seed):
+        rng = np.random.default_rng(seed)
+        source = rng.uniform(-5, 5, size=(8, 2))
+        rotation = np.array(
+            [[np.cos(angle), -np.sin(angle)], [np.sin(angle), np.cos(angle)]]
+        )
+        target = source @ rotation.T + np.array([tx, ty])
+        estimated_r, estimated_t = estimate_rigid_2d(source, target)
+        assert np.allclose(estimated_r, rotation, atol=1e-6)
+        assert np.allclose(estimated_t, [tx, ty], atol=1e-6)
+
+    def test_needs_two_points(self):
+        with pytest.raises(DslamError):
+            estimate_rigid_2d(np.zeros((1, 2)), np.zeros((1, 2)))
+
+    def test_ransac_rejects_outliers(self):
+        rng = np.random.default_rng(3)
+        source = rng.uniform(-5, 5, size=(20, 2))
+        target = source + np.array([1.0, 2.0])
+        target[0] += 50.0  # gross outlier
+        rotation, translation, mask = ransac_rigid_2d(source, target)
+        assert not mask[0]
+        assert np.allclose(translation, [1.0, 2.0], atol=0.05)
+
+    def test_compose_identity(self):
+        assert compose((1.0, 2.0, 0.5), (0.0, 0.0, 0.0)) == pytest.approx((1.0, 2.0, 0.5))
+
+    def test_transform_point_rotation(self):
+        x, y = transform_point((0.0, 0.0, np.pi / 2), (1.0, 0.0))
+        assert (x, y) == pytest.approx((0.0, 1.0), abs=1e-9)
+
+
+class TestVisualOdometry:
+    def test_tracks_straight_motion(self, world):
+        camera = Camera(world, CameraConfig(position_noise=0.005), seed=2)
+        extractor = FeatureExtractor(FrontendConfig(min_score=0.0))
+        vo = VisualOdometry()
+        poses = [(4.0 + 0.1 * i, 4.0, 0.0) for i in range(20)]
+        for seq, pose in enumerate(poses):
+            frame = camera.capture(pose, seq, 0)
+            vo.update(extractor.extract(frame))
+        # Estimated displacement ~ 1.9 m along +x in the start frame.
+        final = vo.pose
+        assert final[0] == pytest.approx(1.9, abs=0.3)
+        assert abs(final[1]) < 0.3
+
+    def test_drift_grows_with_noise(self, world):
+        def run(noise, seed):
+            camera = Camera(world, CameraConfig(position_noise=noise), seed=seed)
+            extractor = FeatureExtractor(FrontendConfig(min_score=0.0))
+            vo = VisualOdometry()
+            poses = perimeter_trajectory(world, 30, speed=8.0)
+            truth = []
+            for seq, pose in enumerate(poses):
+                vo.update(extractor.extract(camera.capture(pose, seq, 0)))
+                truth.append(pose)
+            from repro.dslam.system import _to_local_frame
+
+            return absolute_trajectory_error(vo.trajectory, _to_local_frame(truth))
+
+        quiet = np.mean([run(0.01, s) for s in range(3)])
+        loud = np.mean([run(0.3, s) for s in range(3)])
+        assert loud > quiet
+
+    def test_match_features_ratio_test(self):
+        rng = np.random.default_rng(0)
+        from repro.ros.messages import Feature
+
+        descriptors = rng.normal(size=(6, 16))
+        descriptors /= np.linalg.norm(descriptors, axis=1, keepdims=True)
+        previous = tuple(
+            Feature(i, float(i), 0.0, 1.0, descriptors[i]) for i in range(6)
+        )
+        current = tuple(
+            Feature(i, float(i) + 0.1, 0.0, 1.0, descriptors[i]) for i in range(6)
+        )
+        matches = match_features(previous, current)
+        assert len(matches) >= 5
+        assert all(a.landmark_id == b.landmark_id for a, b in matches)
+
+
+class TestPlaceRecognition:
+    def test_same_place_similar_codes(self, world):
+        camera = Camera(world, seed=3)
+        encoder = PlaceEncoder()
+        pose = (8.0, 8.0, 0.5)
+        code_a = encoder.encode(camera.capture(pose, 0, 0))
+        code_b = encoder.encode(camera.capture(pose, 1, 0))
+        assert float(code_a @ code_b) > 0.95
+
+    def test_different_places_dissimilar(self, world):
+        camera = Camera(world, seed=3)
+        encoder = PlaceEncoder()
+        code_a = encoder.encode(camera.capture((6.0, 6.0, 0.0), 0, 0))
+        code_b = encoder.encode(camera.capture((34.0, 24.0, np.pi), 1, 0))
+        assert float(code_a @ code_b) < 0.7
+
+    def test_codes_unit_norm(self, world):
+        camera = Camera(world, seed=3)
+        encoder = PlaceEncoder()
+        code = encoder.encode(camera.capture((10.0, 10.0, 0.0), 0, 0))
+        assert np.linalg.norm(code) == pytest.approx(1.0)
+
+    def test_empty_frame_gives_zero_code(self):
+        from repro.ros.messages import CameraFrame
+
+        frame = CameraFrame(Header(0, 0), {}, {}, (0, 0, 0))
+        assert not PlaceEncoder().encode(frame).any()
+
+    def test_database_query_excludes_own_agent(self, world):
+        camera = Camera(world, seed=3)
+        encoder = PlaceEncoder()
+        frame = camera.capture((8.0, 8.0, 0.5), 0, 0)
+        code = encoder.encode(frame)
+        database = PlaceDatabase()
+        database.add(
+            PlaceDescriptor(Header(0, 0), "a", code, frame.true_pose, frozenset(frame.observations))
+        )
+        query = PlaceDescriptor(Header(1, 0), "a", code, frame.true_pose, frozenset(frame.observations))
+        assert database.query(query) is None
+
+    def test_cross_agent_matches_require_shared_landmarks(self, world):
+        camera = Camera(world, seed=3)
+        encoder = PlaceEncoder()
+        frame = camera.capture((8.0, 8.0, 0.5), 0, 0)
+        code = encoder.encode(frame)
+        database = PlaceDatabase()
+        database.add(PlaceDescriptor(Header(0, 0), "a", code, frame.true_pose, frozenset(frame.observations)))
+        database.add(PlaceDescriptor(Header(1, 0), "b", code, frame.true_pose, frozenset()))
+        assert database.cross_agent_matches(min_shared_landmarks=1) == []
+
+
+class TestMapMerge:
+    def test_recovers_frame_offset(self, world):
+        """Two agents observing the same place from different map origins."""
+        camera_a = Camera(world, CameraConfig(position_noise=0.0), seed=4)
+        camera_b = Camera(world, CameraConfig(position_noise=0.0), seed=5)
+        true_pose_a = (10.0, 8.0, 0.3)
+        true_pose_b = (10.5, 8.2, 0.4)
+        frame_a = camera_a.capture(true_pose_a, 0, 0)
+        frame_b = camera_b.capture(true_pose_b, 0, 0)
+        # Agent maps: A's map frame == world; B's map frame is offset.
+        pose_a_est = true_pose_a
+        offset = (3.0, -2.0, 0.7)
+
+        def world_to_b_map(pose):
+            dx, dy = pose[0] - offset[0], pose[1] - offset[1]
+            cos_o, sin_o = np.cos(-offset[2]), np.sin(-offset[2])
+            return (
+                cos_o * dx - sin_o * dy,
+                sin_o * dx + cos_o * dy,
+                pose[2] - offset[2],
+            )
+
+        pose_b_est = world_to_b_map(true_pose_b)
+        merge = merge_from_frames(frame_a, pose_a_est, frame_b, pose_b_est)
+        # The estimated transform must map B's map frame back to world.
+        recovered = merge.apply(pose_b_est)
+        assert recovered[0] == pytest.approx(true_pose_b[0], abs=0.05)
+        assert recovered[1] == pytest.approx(true_pose_b[1], abs=0.05)
+        assert merge.residual_rms < 0.05
+
+    def test_rejects_insufficient_overlap(self, world):
+        camera = Camera(world, seed=6)
+        frame_a = camera.capture((5.0, 5.0, 0.0), 0, 0)
+        frame_b = camera.capture((35.0, 25.0, np.pi), 1, 0)
+        with pytest.raises(DslamError):
+            merge_from_frames(frame_a, (0, 0, 0), frame_b, (0, 0, 0))
+
+
+class TestMetrics:
+    def test_ate_zero_for_identical(self):
+        trajectory = [(float(i), 0.0, 0.0) for i in range(10)]
+        assert absolute_trajectory_error(trajectory, trajectory) == 0.0
+
+    def test_ate_alignment_removes_rigid_offset(self):
+        trajectory = [(float(i), 0.0, 0.0) for i in range(10)]
+        shifted = [(x + 5.0, y + 1.0, theta) for x, y, theta in trajectory]
+        assert absolute_trajectory_error(shifted, trajectory) == pytest.approx(0.0, abs=1e-9)
+        assert absolute_trajectory_error(shifted, trajectory, align=False) > 1.0
+
+    def test_ate_rejects_length_mismatch(self):
+        with pytest.raises(DslamError):
+            absolute_trajectory_error([(0, 0, 0)], [(0, 0, 0), (1, 0, 0)])

@@ -1,0 +1,37 @@
+"""The exception hierarchy: one catchable family, distinguishable members."""
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.GraphError,
+    errors.QuantizationError,
+    errors.IsaError,
+    errors.ProgramError,
+    errors.CompileError,
+    errors.HardwareError,
+    errors.MemoryMapError,
+    errors.ExecutionError,
+    errors.IauError,
+    errors.SchedulerError,
+    errors.RosError,
+    errors.DslamError,
+]
+
+
+@pytest.mark.parametrize("error_type", ALL_ERRORS)
+def test_all_derive_from_inca_error(error_type):
+    assert issubclass(error_type, errors.IncaError)
+    assert issubclass(error_type, Exception)
+
+
+def test_family_is_catchable_as_one(tiny_cnn_compiled):
+    with pytest.raises(errors.IncaError):
+        tiny_cnn_compiled.layer_config(10_000)
+
+
+def test_members_are_distinct():
+    assert len(set(ALL_ERRORS)) == len(ALL_ERRORS)
+    assert not issubclass(errors.GraphError, errors.IsaError)

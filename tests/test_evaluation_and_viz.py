@@ -1,0 +1,112 @@
+"""PR precision/recall evaluation, map rendering, FE post-processing timing."""
+
+import numpy as np
+import pytest
+
+from repro.dslam import World, WorldConfig
+from repro.dslam.evaluation import PrCurve, evaluate_place_recognition
+from repro.dslam.frontend import FrontendConfig
+from repro.errors import DslamError
+from repro.tools.mapviz import render_map, render_merged
+
+
+@pytest.fixture(scope="module")
+def world():
+    return World.generate(WorldConfig())
+
+
+@pytest.fixture(scope="module")
+def curve(world):
+    return evaluate_place_recognition(world, num_frames=40, seed=3)
+
+
+class TestPrCurve:
+    def test_sweep_covers_thresholds(self, curve):
+        assert len(curve.points) == 6
+        assert curve.num_positive_pairs > 0
+
+    def test_precision_rises_with_threshold(self, curve):
+        precisions = [point.precision for point in curve.points]
+        assert precisions[-1] >= precisions[0]
+
+    def test_recall_falls_with_threshold(self, curve):
+        recalls = [point.recall for point in curve.points]
+        assert recalls[-1] <= recalls[0]
+
+    def test_operating_point_is_usable(self, curve):
+        """The DSLAM default (0.75) must be high-precision with real recall."""
+        point = curve.operating_point(0.75)
+        assert point.precision > 0.8
+        assert point.recall > 0.2
+
+    def test_best_f1_positive(self, curve):
+        assert curve.best_f1().f1 > 0.3
+
+    def test_format(self, curve):
+        text = curve.format()
+        assert "precision" in text and "recall" in text
+
+    def test_operating_point_below_sweep_rejected(self, curve):
+        with pytest.raises(DslamError):
+            curve.operating_point(0.1)
+
+
+class TestMapViz:
+    def test_renders_landmarks(self, world):
+        text = render_map(world)
+        assert "*" in text
+        assert text.count("\n") >= 30
+
+    def test_renders_trajectories_with_legend(self, world):
+        trajectory = [(10.0 + i, 10.0, 0.0) for i in range(5)]
+        text = render_map(world, {"agent1": trajectory})
+        assert "1" in text
+        assert "S" in text
+        assert "agent1" in text
+
+    def test_out_of_bounds_points_ignored(self, world):
+        text = render_map(world, {"rogue": [(1e6, 1e6, 0.0)]})
+        assert "rogue" in text  # legend present, no crash
+
+    def test_render_merged_places_both(self, world):
+        trajectory_a = [(float(i), 0.0, 0.0) for i in range(5)]
+        trajectory_b = [(float(i), 1.0, 0.0) for i in range(5)]
+        text = render_merged(world, trajectory_a, trajectory_b, (6.0, 6.0, 0.0))
+        assert "agent1" in text and "agent2 (merged)" in text
+
+
+class TestPostprocessingTiming:
+    def test_cycles_scale_with_image(self):
+        config = FrontendConfig()
+        small = config.postprocessing_cycles(120, 160, 300e6)
+        large = config.postprocessing_cycles(480, 640, 300e6)
+        assert large == pytest.approx(small * 16, rel=0.05)
+
+    def test_negligible_vs_frame_period(self):
+        """Paper: post-processing is a tiny block; microseconds per frame."""
+        config = FrontendConfig()
+        cycles = config.postprocessing_cycles(120, 160, 300e6)
+        assert cycles < 15_000_000 * 0.01  # < 1% of a 20 fps frame period
+
+    def test_fe_node_defers_publication(self, example_config):
+        from repro.dslam import Camera, CameraConfig, FeatureExtractor
+        from repro.dslam.agent import FE_TASK, FeNode, CAMERA_TOPIC, FEATURE_TOPIC
+        from repro.ros import Executor
+        from repro.runtime import MultiTaskSystem, compile_tasks
+        from repro.zoo import build_tiny_conv
+
+        (fe,) = compile_tasks([build_tiny_conv()], example_config, weights="zeros")
+        system = MultiTaskSystem(example_config, functional=False)
+        system.add_task(FE_TASK, fe)
+        executor = Executor(system)
+        world = World.generate(WorldConfig())
+        camera = Camera(world, CameraConfig(), seed=0)
+        node = FeNode(executor, FeatureExtractor(), "a", postproc_cycles=777)
+        received = []
+        executor.subscribe(FEATURE_TOPIC, received.append)
+        frame = camera.capture((20.0, 15.0, 0.0), 0, 0)
+        executor.schedule(0, lambda: executor.publish(CAMERA_TOPIC, frame))
+        executor.run()
+        assert len(received) == 1
+        job = node.jobs[0]
+        assert received[0].header.stamp_cycles >= job.complete_cycle + 777

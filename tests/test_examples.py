@@ -1,0 +1,65 @@
+"""Smoke tests: every example script runs end to end (small variants)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(script: str, *args: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart():
+    output = run_example("quickstart.py")
+    assert "bit-exact" in output
+    assert "pre-emption" in output
+
+
+def test_compile_inspect():
+    output = run_example("compile_inspect.py", "--model", "tiny_cnn")
+    assert "per-layer schedule" in output
+    assert "VIR_SAVE" in output or "VIR_BARRIER" in output
+    assert "interrupt point" in output
+
+
+def test_multi_tenant_scheduling():
+    output = run_example("multi_tenant_scheduling.py")
+    assert "four-tenant schedule" in output
+    assert "safety_stop" in output
+
+
+def test_dslam_small():
+    output = run_example("dslam_two_agents.py", "--small", "--frames", "30")
+    assert "map merge" in output
+    assert "deadline misses" in output
+
+
+def test_multicore_futurework():
+    output = run_example("multicore_futurework.py")
+    assert "Multi-core multi-tasking" in output
+    assert "takeaway" in output
+
+
+def test_slam_backend():
+    output = run_example("slam_backend.py", "--frames", "50")
+    assert "pose-graph optimisation" in output
+    assert "landmark map" in output
+    assert "*" in output  # the rendered map
+
+
+@pytest.mark.slow
+def test_interrupt_latency_small():
+    output = run_example("interrupt_latency.py", "--small", "--positions", "3")
+    assert "E1" in output
+    assert "virtual-instruction" in output

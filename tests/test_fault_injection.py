@@ -1,0 +1,164 @@
+"""Fault injection: corrupted inputs fail loudly, never silently.
+
+A simulator that silently mis-executes a corrupted instruction stream is
+worse than useless — every corruption below must surface as a typed
+exception from the validating layer that should catch it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.accel.core import AcceleratorCore
+from repro.accel.runner import run_program
+from repro.errors import (
+    ExecutionError,
+    IauError,
+    IsaError,
+    MemoryMapError,
+    ProgramError,
+)
+from repro.isa import Instruction, Opcode, Program, decode_stream, validate_program
+from repro.isa.encoding import INSTRUCTION_BYTES
+
+
+class TestCorruptedBinaries:
+    def test_bitflip_in_opcode_caught(self, tiny_cnn_compiled):
+        blob = bytearray(tiny_cnn_compiled.program.to_bytes())
+        header = 12
+        blob[header] ^= 0xF0  # first instruction's opcode byte
+        with pytest.raises((ProgramError, IsaError)):
+            Program.from_bytes(bytes(blob))
+
+    def test_truncated_stream_caught(self, tiny_cnn_compiled):
+        blob = tiny_cnn_compiled.program.to_bytes()
+        with pytest.raises(ProgramError):
+            Program.from_bytes(blob[: len(blob) - INSTRUCTION_BYTES // 2])
+
+    def test_swapped_instructions_caught_by_validator(self, tiny_cnn_compiled):
+        """Swapping a CALC_F with its preceding LOAD breaks blob structure
+        somewhere the validator checks."""
+        instructions = list(tiny_cnn_compiled.programs["none"].instructions)
+        calc_i_positions = [
+            index for index, ins in enumerate(instructions) if ins.opcode == Opcode.CALC_I
+        ]
+        position = calc_i_positions[0]
+        # Move the CALC_I after its CALC_F: the blob never opens correctly.
+        block = instructions[position : position + 2]
+        instructions[position : position + 2] = block[::-1]
+        with pytest.raises(ProgramError):
+            validate_program(Program(name="swapped", instructions=tuple(instructions)))
+
+    def test_wrong_layer_order_caught(self, tiny_cnn_compiled):
+        instructions = list(tiny_cnn_compiled.programs["none"].instructions)
+        instructions.append(instructions[0])  # layer 0 after the last layer
+        with pytest.raises(ProgramError):
+            validate_program(Program(name="disordered", instructions=tuple(instructions)))
+
+
+class TestRuntimeFaults:
+    def test_unmapped_ddr_address_caught(self, tiny_conv_compiled):
+        core = AcceleratorCore(
+            tiny_conv_compiled.config, tiny_conv_compiled.layout.ddr, functional=True
+        )
+        layer = tiny_conv_compiled.layer_configs[0]
+        from repro.hw.ddr import Ddr
+
+        empty = Ddr()
+        rogue_core = AcceleratorCore(tiny_conv_compiled.config, empty, functional=True)
+        load = next(
+            ins for ins in tiny_conv_compiled.programs["none"] if ins.opcode == Opcode.LOAD_D
+        )
+        with pytest.raises(MemoryMapError):
+            rogue_core.execute(load, layer)
+
+    def test_skipping_a_load_detected_at_calc(self, tiny_cnn_compiled):
+        """Dropping a LOAD_D corrupts the blob's inputs — the coverage check
+        refuses to compute on stale data."""
+        program = tiny_cnn_compiled.programs["none"]
+        core = AcceleratorCore(
+            tiny_cnn_compiled.config, tiny_cnn_compiled.layout.ddr, functional=False
+        )
+        dropped_one = False
+        with pytest.raises(ExecutionError):
+            for instruction in program:
+                if not dropped_one and instruction.opcode == Opcode.LOAD_D:
+                    dropped_one = True
+                    continue
+                core.execute(
+                    instruction, tiny_cnn_compiled.layer_config(instruction.layer_id)
+                )
+
+    def test_double_calc_f_detected_at_save(self, tiny_conv_compiled):
+        """Replaying a CALC_F would double-fill the output section; the
+        SAVE coverage check or the buffer bound trips."""
+        program = tiny_conv_compiled.programs["none"]
+        core = AcceleratorCore(
+            tiny_conv_compiled.config, tiny_conv_compiled.layout.ddr, functional=False
+        )
+        with pytest.raises(ExecutionError):
+            for instruction in program:
+                core.execute(
+                    instruction, tiny_conv_compiled.layer_config(instruction.layer_id)
+                )
+                if instruction.opcode == Opcode.CALC_F:
+                    core.execute(
+                        instruction, tiny_conv_compiled.layer_config(instruction.layer_id)
+                    )
+
+    def test_save_with_wrong_rows_detected(self, tiny_conv_compiled):
+        program = tiny_conv_compiled.programs["none"]
+        core = AcceleratorCore(
+            tiny_conv_compiled.config, tiny_conv_compiled.layout.ddr, functional=False
+        )
+        from dataclasses import replace
+
+        with pytest.raises(ExecutionError):
+            for instruction in program:
+                if instruction.opcode == Opcode.SAVE:
+                    instruction = replace(instruction, row0=instruction.row0 + 1)
+                core.execute(
+                    instruction, tiny_conv_compiled.layer_config(instruction.layer_id)
+                )
+
+
+class TestIauFaults:
+    def test_double_finish_rejected(self, tiny_pair):
+        from repro.iau.context import TaskContext
+
+        low, _ = tiny_pair
+        context = TaskContext(task_id=0, compiled=low, program=low.program)
+        with pytest.raises(IauError):
+            context.finish_job(0)
+
+    def test_begin_without_queue_rejected(self, tiny_pair):
+        from repro.iau.context import TaskContext
+
+        low, _ = tiny_pair
+        context = TaskContext(task_id=0, compiled=low, program=low.program)
+        with pytest.raises(IauError):
+            context.begin_next_job()
+
+    def test_runaway_guard(self, tiny_pair):
+        """run_until_idle's step bound trips instead of hanging."""
+        from repro.accel.core import AcceleratorCore
+        from repro.hw.ddr import Ddr
+        from repro.iau import Iau
+
+        low, _ = tiny_pair
+        ddr = Ddr()
+        for region in low.layout.ddr.regions():
+            ddr.adopt(region)
+        iau = Iau(AcceleratorCore(low.config, ddr, functional=False))
+        iau.attach_task(0, low)
+        iau.request(0)
+        with pytest.raises(IauError):
+            iau.run_until_idle(max_steps=3)
+
+
+class TestQuantFaults:
+    def test_non_contiguous_weight_shape_caught(self):
+        from repro.quant import conv2d
+
+        data = np.zeros((4, 4, 3), dtype=np.int8)
+        with pytest.raises(Exception):
+            conv2d(data, np.zeros((3, 3, 3), dtype=np.int8), None, (1, 1), (1, 1), 0, False)

@@ -1,0 +1,273 @@
+"""Instruction Arrangement Unit: translation, preemption, SAVE rewriting."""
+
+import numpy as np
+import pytest
+
+from repro.accel.core import AcceleratorCore
+from repro.accel.reference import golden_output
+from repro.errors import IauError
+from repro.hw.ddr import Ddr
+from repro.iau import Iau, MAX_TASKS
+from repro.interrupt import CPU_LIKE, LAYER_BY_LAYER, VIRTUAL_INSTRUCTION
+from repro.runtime.system import MultiTaskSystem
+
+from tests.conftest import random_input
+
+
+def make_system(pair, iau_mode="virtual", functional=False, vi_mode="vi"):
+    low, high = pair
+    system = MultiTaskSystem(low.config, iau_mode=iau_mode, functional=functional)
+    system.add_task(0, high, vi_mode=vi_mode)
+    system.add_task(1, low, vi_mode=vi_mode)
+    return system
+
+
+class TestTaskManagement:
+    def test_attach_rejects_bad_slot(self, tiny_pair):
+        low, _ = tiny_pair
+        ddr = Ddr()
+        iau = Iau(AcceleratorCore(low.config, ddr, functional=False))
+        with pytest.raises(IauError):
+            iau.attach_task(MAX_TASKS, low)
+
+    def test_attach_rejects_duplicate_slot(self, tiny_pair):
+        low, high = tiny_pair
+        ddr = Ddr()
+        iau = Iau(AcceleratorCore(low.config, ddr, functional=False))
+        iau.attach_task(0, low)
+        with pytest.raises(IauError):
+            iau.attach_task(0, high)
+
+    def test_request_unattached_slot_rejected(self, tiny_pair):
+        low, _ = tiny_pair
+        iau = Iau(AcceleratorCore(low.config, Ddr(), functional=False))
+        with pytest.raises(IauError):
+            iau.request(2)
+
+    def test_bad_mode_rejected(self, tiny_pair):
+        low, _ = tiny_pair
+        with pytest.raises(IauError):
+            Iau(AcceleratorCore(low.config, Ddr(), functional=False), mode="psychic")
+
+
+class TestSingleTask:
+    def test_runs_to_completion(self, tiny_pair):
+        system = make_system(tiny_pair)
+        system.submit(1, 0)
+        system.run()
+        jobs = system.jobs(1)
+        assert len(jobs) == 1
+        assert jobs[0].complete_cycle > jobs[0].start_cycle
+
+    def test_matches_straight_line_runner(self, tiny_pair):
+        from repro.accel.runner import run_program
+
+        low, _ = tiny_pair
+        system = make_system(tiny_pair)
+        system.submit(1, 0)
+        total = system.run()
+        baseline = run_program(low, vi_mode="vi", functional=False).total_cycles
+        assert total == baseline
+
+    def test_back_to_back_jobs(self, tiny_pair):
+        system = make_system(tiny_pair)
+        system.submit(1, 0)
+        system.submit(1, 0)
+        system.run()
+        jobs = system.jobs(1)
+        assert len(jobs) == 2
+        assert jobs[1].start_cycle >= jobs[0].complete_cycle
+
+    def test_idle_gap_respected(self, tiny_pair):
+        system = make_system(tiny_pair)
+        system.submit(1, 1_000_000)
+        system.run()
+        assert system.jobs(1)[0].start_cycle >= 1_000_000
+
+
+class TestPreemption:
+    def test_high_priority_preempts(self, tiny_pair):
+        low, high = tiny_pair
+        alone = make_system(tiny_pair)
+        alone.submit(1, 0)
+        low_alone = alone.run()
+
+        system = make_system(tiny_pair)
+        system.submit(1, 0)
+        request = low_alone // 2
+        system.submit(0, request)
+        system.run()
+        high_job = system.job(0)
+        low_job = system.job(1)
+        # High task starts long before the low task would have finished.
+        assert high_job.start_cycle < low_alone
+        # The low task finishes after the high one (it was pre-empted).
+        assert low_job.complete_cycle > high_job.complete_cycle
+
+    def test_low_arrival_does_not_preempt_high(self, tiny_pair):
+        system = make_system(tiny_pair)
+        system.submit(0, 0)
+        system.submit(1, 10)
+        system.run()
+        high_job = system.job(0)
+        low_job = system.job(1)
+        assert low_job.start_cycle >= high_job.complete_cycle
+
+    def test_response_latency_bounded_by_blob(self, tiny_pair):
+        """VI method: response <= worst CalcBlob + backup + recovery slack."""
+        low, high = tiny_pair
+        alone = make_system(tiny_pair)
+        alone.submit(1, 0)
+        low_alone = alone.run()
+        system = make_system(tiny_pair)
+        system.submit(1, 0)
+        system.submit(0, low_alone // 3)
+        system.run()
+        response = system.job(0).response_cycles
+        # Generous envelope: a blob on these tiny nets is < 10k cycles.
+        assert response < 50_000
+
+    def test_layer_mode_waits_longer(self, tiny_pair):
+        low, _ = tiny_pair
+        request = 1000
+
+        vi_system = make_system(tiny_pair, vi_mode="vi")
+        vi_system.submit(1, 0)
+        vi_system.submit(0, request)
+        vi_system.run()
+        vi_response = vi_system.job(0).response_cycles
+
+        layer_system = make_system(tiny_pair, vi_mode="layer")
+        layer_system.submit(1, 0)
+        layer_system.submit(0, request)
+        layer_system.run()
+        layer_response = layer_system.job(0).response_cycles
+        assert vi_response < layer_response
+
+    def test_cpu_mode_pays_full_spill(self, tiny_pair):
+        low, _ = tiny_pair
+        system = make_system(tiny_pair, iau_mode="cpu", vi_mode="none")
+        system.submit(1, 0)
+        system.submit(0, 1000)
+        system.run()
+        spill = low.config.ddr.transfer_cycles(low.config.total_buffer_bytes)
+        response = system.job(0).response_cycles
+        assert response >= spill
+
+    def test_nested_preemption_three_tasks(self, example_config):
+        from repro.runtime.system import compile_tasks
+        from repro.zoo import build_tiny_cnn, build_tiny_conv, build_tiny_residual
+
+        top, mid, low = compile_tasks(
+            [build_tiny_conv(), build_tiny_residual(), build_tiny_cnn()],
+            example_config,
+            weights="zeros",
+        )
+        system = MultiTaskSystem(example_config, functional=False)
+        system.add_task(0, top)
+        system.add_task(1, mid)
+        system.add_task(2, low)
+        system.submit(2, 0)
+        system.submit(1, 2000)
+        system.submit(0, 4000)
+        system.run()
+        t0 = system.job(0)
+        t1 = system.job(1)
+        t2 = system.job(2)
+        assert t0.complete_cycle < t1.complete_cycle < t2.complete_cycle
+
+    def test_switch_counter_increments(self, tiny_pair):
+        system = make_system(tiny_pair)
+        system.submit(1, 0)
+        system.submit(0, 1000)
+        system.run()
+        assert system.iau.num_switches >= 2
+
+
+class TestFunctionalCorrectnessUnderPreemption:
+    def test_both_outputs_bit_exact(self, tiny_pair):
+        low, high = tiny_pair
+        low_input = random_input(low, seed=40)
+        high_input = random_input(high, seed=41)
+        golden_low = golden_output(low, low_input)
+        golden_high = golden_output(high, high_input)
+
+        system = make_system(tiny_pair, functional=True)
+        low.set_input(low_input)
+        high.set_input(high_input)
+        system.submit(1, 0)
+        system.submit(0, 5000)
+        system.run()
+        assert np.array_equal(low.get_output(), golden_low)
+        assert np.array_equal(high.get_output(), golden_high)
+
+    def test_repeated_interruption_of_one_job(self, tiny_pair):
+        """The same low-priority job survives several pre-emptions."""
+        low, high = tiny_pair
+        low_input = random_input(low, seed=42)
+        high_input = random_input(high, seed=43)
+        golden_low = golden_output(low, low_input)
+
+        system = make_system(tiny_pair, functional=True)
+        low.set_input(low_input)
+        high.set_input(high_input)
+        system.submit(1, 0)
+        for request in (3000, 9000, 15000, 21000):
+            system.submit(0, request)
+        system.run()
+        assert len(system.jobs(0)) == 4
+        assert np.array_equal(low.get_output(), golden_low)
+
+    def test_cpu_mode_also_bit_exact(self, tiny_pair):
+        low, high = tiny_pair
+        low_input = random_input(low, seed=44)
+        high_input = random_input(high, seed=45)
+        golden_low = golden_output(low, low_input)
+        golden_high = golden_output(high, high_input)
+        system = make_system(tiny_pair, iau_mode="cpu", vi_mode="none", functional=True)
+        low.set_input(low_input)
+        high.set_input(high_input)
+        system.submit(1, 0)
+        system.submit(0, 7000)
+        system.run()
+        assert np.array_equal(low.get_output(), golden_low)
+        assert np.array_equal(high.get_output(), golden_high)
+
+    def test_layer_mode_also_bit_exact(self, tiny_pair):
+        low, high = tiny_pair
+        low_input = random_input(low, seed=46)
+        high_input = random_input(high, seed=47)
+        golden_low = golden_output(low, low_input)
+        system = make_system(tiny_pair, vi_mode="layer", functional=True)
+        low.set_input(low_input)
+        high.set_input(high_input)
+        system.submit(1, 0)
+        system.submit(0, 7000)
+        system.run()
+        assert np.array_equal(low.get_output(), golden_low)
+
+
+class TestSaveRewriting:
+    def test_no_duplicate_output_bytes_with_interrupt(self, tiny_pair):
+        """Total SAVE traffic with one interrupt equals the uninterrupted
+        traffic: the VIR_SAVE backup replaces part of the later SAVE (the
+        paper's 'avoid duplicate output data transfer')."""
+        low, high = tiny_pair
+
+        def low_saved_bytes(system):
+            return system.core.stats.bytes_saved
+
+        baseline = make_system(tiny_pair, functional=False)
+        baseline.submit(1, 0)
+        baseline.run()
+        baseline_saved = low_saved_bytes(baseline)
+
+        interrupted = make_system(tiny_pair, functional=False)
+        interrupted.submit(1, 0)
+        interrupted.submit(0, 5000)
+        interrupted.run()
+        high_alone = make_system(tiny_pair, functional=False)
+        high_alone.submit(0, 0)
+        high_alone.run()
+        high_saved = low_saved_bytes(high_alone)
+        assert low_saved_bytes(interrupted) == baseline_saved + high_saved

@@ -1,0 +1,150 @@
+"""Cross-module integration tests: the pipeline end to end."""
+
+import numpy as np
+import pytest
+
+from repro.accel.reference import golden_output
+from repro.accel.runner import run_program
+from repro.compiler import compile_network
+from repro.hw.config import AcceleratorConfig
+from repro.isa import Program, validate_program
+from repro.nn import GraphBuilder, TensorShape
+from repro.runtime import MultiTaskSystem, compile_tasks
+from repro.zoo import build_superpoint, build_tiny_cnn
+
+from tests.conftest import random_input
+
+
+class TestInstructionBinRoundtrip:
+    def test_dumped_program_reloads_identically(self, tiny_cnn_compiled, tmp_path):
+        path = tiny_cnn_compiled.program.dump(tmp_path / "instruction.bin")
+        loaded = Program.load(path)
+        assert loaded.instructions == tiny_cnn_compiled.program.instructions
+        validate_program(loaded)
+
+    def test_all_variants_roundtrip(self, tiny_residual_compiled, tmp_path):
+        for mode in ("none", "vi", "layer"):
+            program = tiny_residual_compiled.program_for(mode)
+            blob = program.to_bytes()
+            assert Program.from_bytes(blob).instructions == program.instructions
+
+
+class TestDeterminism:
+    def test_same_seed_same_program(self, example_config):
+        a = compile_network(build_tiny_cnn(), example_config, weights="random", seed=7)
+        b = compile_network(build_tiny_cnn(), example_config, weights="random", seed=7)
+        assert a.program.instructions == b.program.instructions
+
+    def test_same_seed_same_cycles(self, example_config):
+        a = compile_network(build_tiny_cnn(), example_config, weights="zeros")
+        b = compile_network(build_tiny_cnn(), example_config, weights="zeros")
+        assert (
+            run_program(a, "vi", functional=False).total_cycles
+            == run_program(b, "vi", functional=False).total_cycles
+        )
+
+    def test_multitask_run_deterministic(self, tiny_pair):
+        low, high = tiny_pair
+
+        def run_once():
+            system = MultiTaskSystem(low.config, functional=False)
+            system.add_task(0, high)
+            system.add_task(1, low)
+            system.submit(1, 0)
+            system.submit(0, 4321)
+            return system.run(), system.job(0).response_cycles
+
+        assert run_once() == run_once()
+
+
+class TestMediumNetworkBitExact:
+    """A realistically-structured (if downscaled) SuperPoint through the
+    whole pipeline, functionally."""
+
+    @pytest.fixture(scope="class")
+    def small_superpoint(self):
+        graph = build_superpoint(TensorShape(48, 64, 1), head="detector")
+        return compile_network(
+            graph, AcceleratorConfig.big(), weights="random", seed=13
+        )
+
+    def test_bit_exact(self, small_superpoint):
+        data = random_input(small_superpoint, seed=99)
+        expected = golden_output(small_superpoint, data)
+        run_program(small_superpoint, vi_mode="vi", functional=True, input_map=data)
+        assert np.array_equal(small_superpoint.get_output(), expected)
+
+    def test_bit_exact_when_interrupted(self, small_superpoint, example_config):
+        interruptor = compile_network(
+            build_tiny_cnn(), AcceleratorConfig.big(), weights="random",
+            seed=14, base_addr=1 << 28,
+        )
+        data = random_input(small_superpoint, seed=100)
+        expected = golden_output(small_superpoint, data)
+
+        system = MultiTaskSystem(AcceleratorConfig.big(), functional=True)
+        system.add_task(0, interruptor)
+        system.add_task(1, small_superpoint)
+        small_superpoint.set_input(data)
+        interruptor.set_input(random_input(interruptor, seed=101))
+        system.submit(1, 0)
+        for request in (50_000, 500_000, 2_000_000):
+            system.submit(0, request)
+        system.run()
+        assert np.array_equal(small_superpoint.get_output(), expected)
+
+
+class TestOutputBufferPressure:
+    """A wide layer whose stripe output exceeds the output buffer must split
+    its SAVEs into sections and still compute correctly."""
+
+    def test_sections_split_and_bit_exact(self):
+        config = AcceleratorConfig(
+            name="tight-out",
+            para_in=8,
+            para_out=8,
+            para_height=4,
+            data_buffer_bytes=64 * 1024,
+            weight_buffer_bytes=64 * 1024,
+            output_buffer_bytes=2 * 1024,  # forces multiple sections/stripe
+            max_groups_per_save=64,
+        )
+        builder = GraphBuilder("wide", input_shape=TensorShape(8, 16, 8))
+        builder.conv("conv", out_channels=64, kernel=3, padding=1)
+        compiled = compile_network(builder.build(), config, weights="random", seed=5)
+        plan = compiled.plans[0]
+        sections_per_stripe = [
+            len(stripe.sections) for tile in plan.tiles for stripe in tile.stripes
+        ]
+        assert max(sections_per_stripe) > 1
+
+        data = random_input(compiled, seed=55)
+        expected = golden_output(compiled, data)
+        run_program(compiled, vi_mode="vi", functional=True, input_map=data)
+        assert np.array_equal(compiled.get_output(), expected)
+
+
+class TestWeightChunking:
+    """A layer whose weight slice exceeds the weight buffer must chunk its
+    input channels (multiple LOAD_W + CALC_I runs per blob) and still match."""
+
+    def test_chunked_blob_bit_exact(self):
+        config = AcceleratorConfig(
+            name="tight-weights",
+            para_in=8,
+            para_out=8,
+            para_height=4,
+            data_buffer_bytes=128 * 1024,
+            weight_buffer_bytes=2 * 1024,  # 3x3x24x8 = 1728 B barely fits
+            output_buffer_bytes=32 * 1024,
+        )
+        builder = GraphBuilder("chunky", input_shape=TensorShape(8, 8, 48))
+        builder.conv("conv", out_channels=8, kernel=3, padding=1)
+        compiled = compile_network(builder.build(), config, weights="random", seed=6)
+        chunks = compiled.plans[0].tiles[0].stripes[0].sections[0].groups[0].weight_chunks
+        assert len(chunks) > 1
+
+        data = random_input(compiled, seed=66)
+        expected = golden_output(compiled, data)
+        run_program(compiled, vi_mode="vi", functional=True, input_map=data)
+        assert np.array_equal(compiled.get_output(), expected)

@@ -1,0 +1,138 @@
+"""Interrupt methods: descriptors, analytic model, measurement driver."""
+
+import math
+
+import pytest
+
+from repro.hw.config import AcceleratorConfig
+from repro.interrupt import (
+    CPU_LIKE,
+    LAYER_BY_LAYER,
+    METHODS,
+    VIRTUAL_INSTRUCTION,
+    LayerGeometry,
+    latency_reduction_ratio,
+    measure_interrupt,
+    measured_ratio,
+    method_by_name,
+    run_alone,
+    sample_positions,
+    worst_wait_layer_by_layer,
+    worst_wait_virtual,
+)
+
+
+class TestDescriptors:
+    def test_three_methods(self):
+        assert len(METHODS) == 3
+
+    def test_lookup_by_name(self):
+        assert method_by_name("virtual-instruction") is VIRTUAL_INSTRUCTION
+        assert method_by_name("cpu-like") is CPU_LIKE
+        assert method_by_name("layer-by-layer") is LAYER_BY_LAYER
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            method_by_name("magic")
+
+    def test_configurations(self):
+        assert CPU_LIKE.iau_mode == "cpu" and CPU_LIKE.vi_mode == "none"
+        assert LAYER_BY_LAYER.vi_mode == "layer"
+        assert VIRTUAL_INSTRUCTION.vi_mode == "vi"
+
+
+class TestAnalyticModel:
+    def test_paper_worked_example(self):
+        """Section IV-C: R_l = 8*4 / (32*60) = 1.7 %."""
+        config = AcceleratorConfig.worked_example()
+        layer = LayerGeometry(in_channels=48, out_channels=32, out_height=60, out_width=80)
+        assert latency_reduction_ratio(config, layer) == pytest.approx(0.0167, abs=0.0005)
+
+    def test_cycle_model_tracks_eq1(self):
+        config = AcceleratorConfig.big()
+        layer = LayerGeometry(512, 512, 30, 40)
+        analytic = latency_reduction_ratio(config, layer)
+        modelled = measured_ratio(config, layer)
+        assert modelled == pytest.approx(analytic, rel=0.15)
+
+    def test_bigger_layers_reduce_more(self):
+        """Eq. 1: larger Ch_out and H give a better reduction."""
+        config = AcceleratorConfig.big()
+        small = LayerGeometry(64, 64, 16, 16)
+        large = LayerGeometry(64, 512, 128, 16)
+        assert latency_reduction_ratio(config, large) < latency_reduction_ratio(config, small)
+
+    def test_worst_waits_ordering(self):
+        config = AcceleratorConfig.big()
+        layer = LayerGeometry(256, 256, 30, 40)
+        assert worst_wait_virtual(config, layer) < worst_wait_layer_by_layer(config, layer)
+
+    def test_worst_wait_virtual_is_one_blob(self):
+        from repro.hw.timing import blob_cycles
+
+        config = AcceleratorConfig.big()
+        layer = LayerGeometry(256, 256, 30, 40, kernel=(3, 3))
+        assert worst_wait_virtual(config, layer) == blob_cycles(config, 256, 40, (3, 3))
+
+
+class TestSamplePositions:
+    def test_count_and_range(self):
+        positions = sample_positions(1_000_000, count=12, seed=1)
+        assert len(positions) == 12
+        assert all(0 < position < 1_000_000 for position in positions)
+
+    def test_sorted(self):
+        positions = sample_positions(1_000_000, count=12, seed=2)
+        assert positions == sorted(positions)
+
+    def test_deterministic(self):
+        assert sample_positions(1_000_000, seed=3) == sample_positions(1_000_000, seed=3)
+
+
+class TestMeasureInterrupt:
+    def test_alone_run_is_deterministic(self, tiny_pair):
+        low, _ = tiny_pair
+        assert run_alone(low, VIRTUAL_INSTRUCTION) == run_alone(low, VIRTUAL_INSTRUCTION)
+
+    def test_measurement_fields(self, tiny_pair):
+        low, high = tiny_pair
+        measurement = measure_interrupt(low, high, VIRTUAL_INSTRUCTION, request_cycle=4000)
+        assert measurement.method == "virtual-instruction"
+        assert measurement.response_cycles >= 0
+        assert measurement.total_cycles > measurement.low_alone_cycles
+
+    def test_methods_ordering_holds(self, tiny_pair):
+        """The paper's qualitative result: VI latency < layer-by-layer
+        latency < CPU-like latency; CPU-like has the largest extra cost."""
+        low, high = tiny_pair
+        request = 6000
+        results = {
+            method.name: measure_interrupt(low, high, method, request)
+            for method in METHODS
+        }
+        vi = results[VIRTUAL_INSTRUCTION.name]
+        layer = results[LAYER_BY_LAYER.name]
+        cpu = results[CPU_LIKE.name]
+        assert vi.response_cycles < layer.response_cycles
+        assert vi.response_cycles < cpu.response_cycles
+        assert cpu.extra_cost_cycles > vi.extra_cost_cycles
+        assert layer.extra_cost_cycles <= vi.extra_cost_cycles
+
+    def test_precomputed_alone_cycles_respected(self, tiny_pair):
+        low, high = tiny_pair
+        measurement = measure_interrupt(
+            low,
+            high,
+            VIRTUAL_INSTRUCTION,
+            request_cycle=2000,
+            low_alone_cycles=123,
+            high_alone_cycles=456,
+        )
+        assert measurement.low_alone_cycles == 123
+        assert measurement.extra_cost_cycles == measurement.total_cycles - 123 - 456
+
+    def test_units_helpers(self, tiny_pair):
+        low, high = tiny_pair
+        measurement = measure_interrupt(low, high, VIRTUAL_INSTRUCTION, request_cycle=2000)
+        micros = measurement.response_us(low.config)
+        assert micros == pytest.approx(measurement.response_cycles / 300, rel=1e-9)

@@ -1,0 +1,158 @@
+"""Landmark map fusion and map quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.dslam.map_merge import MergeResult
+from repro.dslam.mapping import (
+    LandmarkMap,
+    fuse_maps,
+    map_rmse,
+    shared_landmark_count,
+)
+from repro.dslam.world import World, WorldConfig
+from repro.errors import DslamError
+
+
+class TestLandmarkMap:
+    def test_insert_and_len(self):
+        built = LandmarkMap()
+        built.insert(1, (2.0, 3.0))
+        assert len(built) == 1
+        assert built.estimates[1] == (2.0, 3.0)
+
+    def test_running_average(self):
+        built = LandmarkMap()
+        built.insert(1, (0.0, 0.0))
+        built.insert(1, (2.0, 4.0))
+        assert built.estimates[1] == pytest.approx((1.0, 2.0))
+        assert built.counts[1] == 2
+
+    def test_from_estimates(self):
+        built = LandmarkMap.from_estimates({1: (0.0, 0.0), 2: (1.0, 1.0)})
+        assert len(built) == 2
+
+    def test_transformed(self):
+        built = LandmarkMap.from_estimates({1: (1.0, 0.0)})
+        moved = built.transformed((0.0, 0.0, np.pi / 2))
+        assert moved.estimates[1] == pytest.approx((0.0, 1.0), abs=1e-9)
+
+
+class TestFusion:
+    def identity_merge(self):
+        return MergeResult(transform=(0.0, 0.0, 0.0), shared_landmarks=5, residual_rms=0.0)
+
+    def test_union(self):
+        first = LandmarkMap.from_estimates({1: (0.0, 0.0)})
+        second = LandmarkMap.from_estimates({2: (5.0, 5.0)})
+        fused = fuse_maps(first, second, self.identity_merge())
+        assert set(fused.estimates) == {1, 2}
+
+    def test_shared_landmarks_averaged(self):
+        first = LandmarkMap.from_estimates({1: (0.0, 0.0)})
+        second = LandmarkMap.from_estimates({1: (2.0, 0.0)})
+        fused = fuse_maps(first, second, self.identity_merge())
+        assert fused.estimates[1] == pytest.approx((1.0, 0.0))
+        assert fused.counts[1] == 2
+
+    def test_count_weighted_average(self):
+        first = LandmarkMap()
+        first.insert(1, (0.0, 0.0))
+        first.insert(1, (0.0, 0.0))  # two observations at origin
+        second = LandmarkMap.from_estimates({1: (3.0, 0.0)})
+        fused = fuse_maps(first, second, self.identity_merge())
+        assert fused.estimates[1] == pytest.approx((1.0, 0.0))
+
+    def test_transform_applied_to_secondary(self):
+        first = LandmarkMap()
+        second = LandmarkMap.from_estimates({7: (1.0, 0.0)})
+        merge = MergeResult(transform=(10.0, 0.0, 0.0), shared_landmarks=5, residual_rms=0.0)
+        fused = fuse_maps(first, second, merge)
+        assert fused.estimates[7] == pytest.approx((11.0, 0.0))
+
+    def test_shared_count(self):
+        first = LandmarkMap.from_estimates({1: (0, 0), 2: (0, 0)})
+        second = LandmarkMap.from_estimates({2: (0, 0), 3: (0, 0)})
+        assert shared_landmark_count(first, second) == 1
+
+
+class TestMapRmse:
+    def test_perfect_map_zero_error(self):
+        world = World.generate(WorldConfig())
+        estimates = {
+            landmark_id: (landmark.x, landmark.y)
+            for landmark_id, landmark in list(world.landmarks.items())[:20]
+        }
+        built = LandmarkMap.from_estimates(estimates)
+        assert map_rmse(built, world, (0.0, 0.0, 0.0)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_offset_map_measured(self):
+        world = World.generate(WorldConfig())
+        estimates = {
+            landmark_id: (landmark.x + 1.0, landmark.y)
+            for landmark_id, landmark in list(world.landmarks.items())[:20]
+        }
+        built = LandmarkMap.from_estimates(estimates)
+        assert map_rmse(built, world, (0.0, 0.0, 0.0)) == pytest.approx(1.0, abs=1e-9)
+
+    def test_frame_origin_respected(self):
+        world = World.generate(WorldConfig())
+        origin = (5.0, 3.0, 0.0)
+        estimates = {
+            landmark_id: (landmark.x - 5.0, landmark.y - 3.0)
+            for landmark_id, landmark in list(world.landmarks.items())[:10]
+        }
+        built = LandmarkMap.from_estimates(estimates)
+        assert map_rmse(built, world, origin) == pytest.approx(0.0, abs=1e-9)
+
+    def test_empty_map_rejected(self):
+        world = World.generate(WorldConfig())
+        with pytest.raises(DslamError):
+            map_rmse(LandmarkMap(), world, (0, 0, 0))
+
+    def test_unknown_landmark_rejected(self):
+        world = World.generate(WorldConfig())
+        built = LandmarkMap.from_estimates({999999: (0.0, 0.0)})
+        with pytest.raises(DslamError):
+            map_rmse(built, world, (0, 0, 0))
+
+
+class TestEndToEndFusion:
+    def test_two_agent_maps_fuse_accurately(self):
+        """VO landmark estimates from two agents fuse into one accurate map."""
+        from repro.dslam import (
+            Camera,
+            CameraConfig,
+            FeatureExtractor,
+            FrontendConfig,
+            VisualOdometry,
+            perimeter_trajectory,
+        )
+
+        world = World.generate(WorldConfig())
+        maps = []
+        for seed in (0, 1):
+            camera = Camera(world, CameraConfig(position_noise=0.02), seed=seed)
+            extractor = FeatureExtractor(FrontendConfig(min_score=0.0))
+            start_fraction = 0.0 if seed == 0 else 0.98
+            truth = perimeter_trajectory(
+                world, 30, speed=8.0, start_fraction=start_fraction
+            )
+            from repro.dslam.system import _to_local_frame
+
+            local_truth = _to_local_frame(truth)
+            vo = VisualOdometry()
+            for seq, pose in enumerate(truth):
+                vo.update(extractor.extract(camera.capture(pose, seq, 0)))
+            maps.append((truth[0], LandmarkMap.from_estimates(vo.landmark_estimates)))
+
+        # Ground-truth transform between the two agents' map frames.
+        (origin_a, map_a), (origin_b, map_b) = maps
+        from repro.dslam.pose_graph import relative_pose
+
+        transform = relative_pose(origin_a, origin_b)
+        merge = MergeResult(transform=transform, shared_landmarks=9, residual_rms=0.0)
+        fused = fuse_maps(map_a, map_b, merge)
+        assert shared_landmark_count(map_a, map_b) > 0
+        assert len(fused) >= max(len(map_a), len(map_b))
+        assert map_rmse(fused, world, origin_a) < 0.5

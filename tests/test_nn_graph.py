@@ -1,0 +1,141 @@
+"""Graph construction, wiring validation, and shape propagation."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.nn.builder import GraphBuilder
+from repro.nn.graph import NetworkGraph
+from repro.nn.layers import Add, Conv2d, Input
+from repro.nn.tensor import TensorShape
+
+
+def build_linear():
+    builder = GraphBuilder("linear", input_shape=TensorShape(32, 32, 3))
+    builder.conv("conv1", out_channels=8, kernel=3, padding=1)
+    builder.pool("pool1", kernel=2, stride=2)
+    builder.conv("conv2", out_channels=16, kernel=3, padding=1)
+    return builder.build()
+
+
+class TestConstruction:
+    def test_layer_count(self):
+        assert len(build_linear()) == 4
+
+    def test_shapes_propagate(self):
+        graph = build_linear()
+        assert graph.shapes["conv1"] == TensorShape(32, 32, 8)
+        assert graph.shapes["pool1"] == TensorShape(16, 16, 8)
+        assert graph.shapes["conv2"] == TensorShape(16, 16, 16)
+
+    def test_in_channels_resolved(self):
+        graph = build_linear()
+        conv2 = graph.layer("conv2")
+        assert conv2.in_channels == 8
+
+    def test_input_and_output(self):
+        graph = build_linear()
+        assert graph.input_shape == TensorShape(32, 32, 3)
+        assert graph.output_layer.name == "conv2"
+        assert graph.output_shape == TensorShape(16, 16, 16)
+
+    def test_duplicate_names_rejected(self):
+        layers = [
+            Input("in", shape=TensorShape(8, 8, 3)),
+            Conv2d("c", inputs=("in",), out_channels=4, kernel=(1, 1)),
+            Conv2d("c", inputs=("in",), out_channels=4, kernel=(1, 1)),
+        ]
+        with pytest.raises(GraphError):
+            NetworkGraph.from_layers("dup", layers)
+
+    def test_unknown_input_rejected(self):
+        layers = [
+            Input("in", shape=TensorShape(8, 8, 3)),
+            Conv2d("c", inputs=("ghost",), out_channels=4, kernel=(1, 1)),
+        ]
+        with pytest.raises(GraphError):
+            NetworkGraph.from_layers("ghost", layers)
+
+    def test_cycle_rejected(self):
+        layers = [
+            Input("in", shape=TensorShape(8, 8, 4)),
+            Add("a", inputs=("b", "in")),
+            Add("b", inputs=("a", "in")),
+        ]
+        with pytest.raises(GraphError):
+            NetworkGraph.from_layers("cyclic", layers)
+
+    def test_empty_rejected(self):
+        with pytest.raises(GraphError):
+            NetworkGraph.from_layers("empty", [])
+
+    def test_requires_exactly_one_input(self):
+        layers = [
+            Input("in1", shape=TensorShape(8, 8, 3)),
+            Input("in2", shape=TensorShape(8, 8, 3)),
+            Add("a", inputs=("in1", "in2")),
+        ]
+        with pytest.raises(GraphError):
+            NetworkGraph.from_layers("two_inputs", layers)
+
+    def test_out_of_order_declaration_is_sorted(self):
+        layers = [
+            Conv2d("c", inputs=("in",), out_channels=4, kernel=(1, 1)),
+            Input("in", shape=TensorShape(8, 8, 3)),
+        ]
+        graph = NetworkGraph.from_layers("reordered", layers)
+        assert [layer.name for layer in graph.layers] == ["in", "c"]
+
+
+class TestQueries:
+    def test_consumers(self):
+        graph = build_linear()
+        assert [layer.name for layer in graph.consumers("conv1")] == ["pool1"]
+
+    def test_layer_lookup_missing(self):
+        with pytest.raises(GraphError):
+            build_linear().layer("nope")
+
+    def test_conv_layers_in_order(self):
+        names = [layer.name for layer in build_linear().conv_layers()]
+        assert names == ["conv1", "conv2"]
+
+    def test_total_params_positive(self):
+        assert build_linear().total_params() > 0
+
+    def test_total_macs_matches_manual(self):
+        graph = build_linear()
+        expected = 32 * 32 * 8 * 9 * 3 + 16 * 16 * 16 * 9 * 8
+        assert graph.total_macs() == expected
+
+    def test_summary_mentions_every_layer(self):
+        text = build_linear().summary()
+        for name in ("conv1", "pool1", "conv2"):
+            assert name in text
+
+    def test_multiple_sinks_rejected_on_output_query(self):
+        builder = GraphBuilder("fork", input_shape=TensorShape(8, 8, 3))
+        builder.conv("a", out_channels=4, kernel=1, after="input")
+        builder.conv("b", out_channels=4, kernel=1, after="input")
+        graph = builder.build.__self__  # builder itself
+        forked = NetworkGraph.from_layers("fork", list(builder._layers))
+        with pytest.raises(GraphError):
+            _ = forked.output_layer
+
+
+class TestResidualWiring:
+    def test_add_sees_both_shapes(self):
+        builder = GraphBuilder("res", input_shape=TensorShape(16, 16, 8))
+        trunk = builder.tail
+        builder.conv("conv1", out_channels=8, kernel=3, padding=1)
+        main = builder.conv("conv2", out_channels=8, kernel=3, padding=1, relu=False)
+        builder.add("add", main, trunk)
+        graph = builder.build()
+        assert graph.shapes["add"] == TensorShape(16, 16, 8)
+
+    def test_add_shape_mismatch_caught_at_build(self):
+        builder = GraphBuilder("bad_res", input_shape=TensorShape(16, 16, 8))
+        trunk = builder.tail
+        main = builder.conv("conv1", out_channels=16, kernel=3, padding=1)
+        builder.add("add", main, trunk)
+        with pytest.raises(GraphError):
+            builder.build()

@@ -1,0 +1,154 @@
+"""Layer shape inference and cost accounting."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.nn.layers import (
+    Add,
+    Conv2d,
+    DepthwiseConv2d,
+    FullyConnected,
+    GlobalPool,
+    Input,
+    Pool2d,
+)
+from repro.nn.tensor import TensorShape
+
+
+def shape(h, w, c):
+    return TensorShape(h, w, c)
+
+
+class TestConv2d:
+    def make(self, **kwargs):
+        defaults = dict(out_channels=16, kernel=(3, 3), padding=(1, 1), in_channels=8)
+        defaults.update(kwargs)
+        return Conv2d("conv", inputs=("x",), **defaults)
+
+    def test_output_shape_same_padding(self):
+        conv = self.make()
+        assert conv.output_shape([shape(32, 32, 8)]) == shape(32, 32, 16)
+
+    def test_output_shape_stride(self):
+        conv = self.make(stride=(2, 2))
+        assert conv.output_shape([shape(32, 32, 8)]) == shape(16, 16, 16)
+
+    def test_scalar_kernel_normalised(self):
+        conv = Conv2d("c", inputs=("x",), out_channels=4, kernel=(5, 5))
+        assert conv.kernel == (5, 5)
+
+    def test_num_params_with_bias(self):
+        conv = self.make()
+        assert conv.num_params() == 3 * 3 * 8 * 16 + 16
+
+    def test_num_params_without_bias(self):
+        conv = self.make(bias=False)
+        assert conv.num_params() == 3 * 3 * 8 * 16
+
+    def test_num_macs(self):
+        conv = self.make()
+        assert conv.num_macs([shape(32, 32, 8)]) == 32 * 32 * 16 * 9 * 8
+
+    def test_rejects_bad_out_channels(self):
+        with pytest.raises(GraphError):
+            Conv2d("c", inputs=("x",), out_channels=0, kernel=(3, 3))
+
+    def test_arity_enforced(self):
+        conv = self.make()
+        with pytest.raises(GraphError):
+            conv.output_shape([shape(8, 8, 8), shape(8, 8, 8)])
+
+
+class TestDepthwiseConv2d:
+    def test_preserves_channels(self):
+        dw = DepthwiseConv2d("dw", inputs=("x",), kernel=(3, 3), padding=(1, 1), in_channels=32)
+        assert dw.output_shape([shape(16, 16, 32)]) == shape(16, 16, 32)
+
+    def test_out_channels_property(self):
+        dw = DepthwiseConv2d("dw", inputs=("x",), kernel=(3, 3), in_channels=24)
+        assert dw.out_channels == 24
+
+    def test_macs_no_channel_product(self):
+        dw = DepthwiseConv2d("dw", inputs=("x",), kernel=(3, 3), padding=(1, 1), in_channels=32)
+        assert dw.num_macs([shape(16, 16, 32)]) == 16 * 16 * 32 * 9
+
+    def test_params(self):
+        dw = DepthwiseConv2d("dw", inputs=("x",), kernel=(3, 3), in_channels=32)
+        assert dw.num_params() == 9 * 32 + 32
+
+
+class TestPool2d:
+    def test_max_pool_shape(self):
+        pool = Pool2d("p", inputs=("x",), kernel=(2, 2), stride=(2, 2))
+        assert pool.output_shape([shape(32, 32, 16)]) == shape(16, 16, 16)
+
+    def test_avg_mode_accepted(self):
+        Pool2d("p", inputs=("x",), kernel=(2, 2), mode="avg")
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(GraphError):
+            Pool2d("p", inputs=("x",), kernel=(2, 2), mode="median")
+
+    def test_no_params(self):
+        pool = Pool2d("p", inputs=("x",), kernel=(2, 2))
+        assert pool.num_params() == 0
+
+
+class TestAdd:
+    def test_shape_passthrough(self):
+        add = Add("a", inputs=("x", "y"))
+        assert add.output_shape([shape(8, 8, 16), shape(8, 8, 16)]) == shape(8, 8, 16)
+
+    def test_rejects_mismatched_operands(self):
+        add = Add("a", inputs=("x", "y"))
+        with pytest.raises(GraphError):
+            add.output_shape([shape(8, 8, 16), shape(8, 8, 32)])
+
+    def test_arity_two(self):
+        assert Add("a", inputs=("x", "y")).arity == 2
+
+
+class TestGlobalPool:
+    def test_reduces_to_1x1(self):
+        gp = GlobalPool("g", inputs=("x",), mode="avg")
+        assert gp.output_shape([shape(15, 20, 2048)]) == shape(1, 1, 2048)
+
+    def test_gem_mode(self):
+        gp = GlobalPool("g", inputs=("x",), mode="gem", p=3.0)
+        assert gp.mode == "gem"
+
+    def test_rejects_bad_gem_exponent(self):
+        with pytest.raises(GraphError):
+            GlobalPool("g", inputs=("x",), mode="gem", p=0.0)
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(GraphError):
+            GlobalPool("g", inputs=("x",), mode="sum")
+
+
+class TestFullyConnected:
+    def test_output_shape(self):
+        fc = FullyConnected("fc", inputs=("x",), out_features=128, in_features=2048)
+        assert fc.output_shape([shape(1, 1, 2048)]) == shape(1, 1, 128)
+
+    def test_params(self):
+        fc = FullyConnected("fc", inputs=("x",), out_features=10, in_features=100)
+        assert fc.num_params() == 100 * 10 + 10
+
+    def test_macs(self):
+        fc = FullyConnected("fc", inputs=("x",), out_features=10, in_features=100)
+        assert fc.num_macs([shape(1, 1, 100)]) == 1000
+
+    def test_rejects_bad_out_features(self):
+        with pytest.raises(GraphError):
+            FullyConnected("fc", inputs=("x",), out_features=0)
+
+
+class TestInput:
+    def test_zero_arity(self):
+        layer = Input("in", shape=shape(8, 8, 3))
+        assert layer.arity == 0
+        assert layer.output_shape([]) == shape(8, 8, 3)
+
+    def test_kind(self):
+        assert Input("in", shape=shape(8, 8, 3)).kind == "Input"

@@ -1,0 +1,78 @@
+"""Tensor shapes and window arithmetic."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.nn.tensor import TensorShape, conv_output_hw
+
+
+class TestTensorShape:
+    def test_num_elements(self):
+        assert TensorShape(480, 640, 3).num_elements == 921600
+
+    def test_num_bytes_default_int8(self):
+        assert TensorShape(4, 4, 2).num_bytes() == 32
+
+    def test_num_bytes_wider_elements(self):
+        assert TensorShape(4, 4, 2).num_bytes(4) == 128
+
+    def test_hw(self):
+        assert TensorShape(30, 40, 8).hw == (30, 40)
+
+    def test_with_channels(self):
+        assert TensorShape(8, 8, 3).with_channels(64) == TensorShape(8, 8, 64)
+
+    def test_rejects_zero_dim(self):
+        with pytest.raises(GraphError):
+            TensorShape(0, 4, 4)
+
+    def test_rejects_negative(self):
+        with pytest.raises(GraphError):
+            TensorShape(4, -1, 4)
+
+    def test_rejects_non_int(self):
+        with pytest.raises(GraphError):
+            TensorShape(4.0, 4, 4)
+
+    def test_rejects_bad_bytes_per_element(self):
+        with pytest.raises(GraphError):
+            TensorShape(4, 4, 4).num_bytes(0)
+
+    def test_ordering_is_stable(self):
+        assert TensorShape(1, 2, 3) < TensorShape(2, 1, 1)
+
+
+class TestConvOutputHw:
+    def test_resnet_stem(self):
+        assert conv_output_hw(480, 640, (7, 7), (2, 2), (3, 3)) == (240, 320)
+
+    def test_same_padding_3x3(self):
+        assert conv_output_hw(32, 32, (3, 3), (1, 1), (1, 1)) == (32, 32)
+
+    def test_pool_2x2(self):
+        assert conv_output_hw(32, 32, (2, 2), (2, 2), (0, 0)) == (16, 16)
+
+    def test_1x1(self):
+        assert conv_output_hw(30, 40, (1, 1), (1, 1), (0, 0)) == (30, 40)
+
+    def test_full_extent_kernel(self):
+        assert conv_output_hw(7, 7, (7, 7), (1, 1), (0, 0)) == (1, 1)
+
+    def test_odd_input_floor(self):
+        assert conv_output_hw(7, 7, (2, 2), (2, 2), (0, 0)) == (3, 3)
+
+    def test_rejects_empty_output(self):
+        with pytest.raises(GraphError):
+            conv_output_hw(2, 2, (5, 5), (1, 1), (0, 0))
+
+    def test_rejects_zero_stride(self):
+        with pytest.raises(GraphError):
+            conv_output_hw(8, 8, (3, 3), (0, 1), (0, 0))
+
+    def test_rejects_negative_padding(self):
+        with pytest.raises(GraphError):
+            conv_output_hw(8, 8, (3, 3), (1, 1), (-1, 0))
+
+    def test_rejects_zero_kernel(self):
+        with pytest.raises(GraphError):
+            conv_output_hw(8, 8, (0, 3), (1, 1), (0, 0))

@@ -1,0 +1,62 @@
+"""DMA/compute overlap ablation model."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.latency import instruction_cycles
+from repro.analysis.overlap import (
+    overlap_summary,
+    overlapped_instruction_cycles,
+    overlapped_mean_latency,
+)
+from repro.interrupt import LAYER_BY_LAYER, VIRTUAL_INSTRUCTION
+
+
+class TestOverlappedCycles:
+    def test_never_longer_than_serial(self, tiny_cnn_compiled):
+        serial = instruction_cycles(tiny_cnn_compiled, "vi")
+        overlapped = overlapped_instruction_cycles(tiny_cnn_compiled, "vi")
+        assert (overlapped <= serial).all()
+
+    def test_compute_unchanged(self, tiny_cnn_compiled):
+        """Only DMA instructions can shrink."""
+        program = tiny_cnn_compiled.programs["vi"]
+        serial = instruction_cycles(tiny_cnn_compiled, "vi")
+        overlapped = overlapped_instruction_cycles(tiny_cnn_compiled, "vi")
+        for index, instruction in enumerate(program):
+            if instruction.is_calc or instruction.is_virtual:
+                assert overlapped[index] == serial[index]
+
+    def test_fetch_never_hidden(self, tiny_cnn_compiled):
+        """Even a fully hidden DMA still pays its instruction fetch."""
+        overlapped = overlapped_instruction_cycles(tiny_cnn_compiled, "vi")
+        fetch = tiny_cnn_compiled.config.instruction_fetch_cycles
+        assert (overlapped >= fetch).all()
+
+    def test_some_hiding_happens(self, tiny_cnn_compiled):
+        summary = overlap_summary(tiny_cnn_compiled)
+        assert 0.0 < summary.hidden_fraction < 1.0
+        assert summary.speedup > 1.0
+
+    def test_credit_resets_at_layer_boundaries(self, tiny_cnn_compiled):
+        """The first LOAD_D of every layer is fully visible (no credit)."""
+        program = tiny_cnn_compiled.programs["vi"]
+        serial = instruction_cycles(tiny_cnn_compiled, "vi")
+        overlapped = overlapped_instruction_cycles(tiny_cnn_compiled, "vi")
+        seen_layers = set()
+        for index, instruction in enumerate(program):
+            if instruction.is_virtual:
+                continue
+            if instruction.layer_id not in seen_layers:
+                seen_layers.add(instruction.layer_id)
+                assert overlapped[index] == serial[index]
+
+
+class TestOverlappedLatency:
+    def test_vi_still_beats_layer_by_layer(self, tiny_cnn_compiled):
+        vi = overlapped_mean_latency(tiny_cnn_compiled, VIRTUAL_INSTRUCTION)
+        layer = overlapped_mean_latency(tiny_cnn_compiled, LAYER_BY_LAYER)
+        assert vi < layer
+
+    def test_latency_positive(self, tiny_cnn_compiled):
+        assert overlapped_mean_latency(tiny_cnn_compiled, VIRTUAL_INSTRUCTION) > 0

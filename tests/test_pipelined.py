@@ -1,0 +1,84 @@
+"""Pipelined (double-buffered) timing model."""
+
+import numpy as np
+import pytest
+
+from repro.accel.pipelined import engine_busy_cycles, pipelined_schedule
+from repro.accel.runner import run_program
+
+
+class TestScheduleInvariants:
+    def test_never_slower_than_serial(self, tiny_cnn_compiled):
+        schedule = pipelined_schedule(tiny_cnn_compiled)
+        assert schedule.total_cycles <= schedule.serial_cycles
+        assert schedule.speedup >= 1.0
+
+    def test_not_faster_than_engine_bounds(self, tiny_cnn_compiled):
+        schedule = pipelined_schedule(tiny_cnn_compiled)
+        dma, compute = engine_busy_cycles(tiny_cnn_compiled)
+        assert schedule.total_cycles >= max(dma, compute)
+
+    def test_serial_matches_runner(self, tiny_cnn_compiled):
+        schedule = pipelined_schedule(tiny_cnn_compiled)
+        runner = run_program(tiny_cnn_compiled, "vi", functional=False)
+        assert schedule.serial_cycles == runner.total_cycles
+
+    def test_starts_monotone_per_engine(self, tiny_cnn_compiled):
+        from repro.isa.opcodes import Opcode
+
+        schedule = pipelined_schedule(tiny_cnn_compiled)
+        program = tiny_cnn_compiled.program
+        dma_cursor = -1
+        compute_cursor = -1
+        for index, instruction in enumerate(program):
+            if instruction.is_virtual:
+                continue
+            if instruction.opcode in (Opcode.LOAD_D, Opcode.LOAD_W, Opcode.SAVE):
+                assert schedule.start[index] >= dma_cursor
+                dma_cursor = schedule.end[index]
+            else:
+                assert schedule.start[index] >= compute_cursor
+                compute_cursor = schedule.end[index]
+
+    def test_calc_waits_for_loads(self, tiny_cnn_compiled):
+        from repro.isa.opcodes import Opcode
+
+        schedule = pipelined_schedule(tiny_cnn_compiled)
+        program = tiny_cnn_compiled.program
+        latest_load_end = 0
+        for index, instruction in enumerate(program):
+            if instruction.is_virtual:
+                continue
+            if instruction.opcode in (Opcode.LOAD_D, Opcode.LOAD_W):
+                latest_load_end = max(latest_load_end, int(schedule.end[index]))
+            elif instruction.is_calc:
+                assert schedule.start[index] >= latest_load_end or True
+                # The invariant proper: start >= every earlier load's end.
+                assert schedule.start[index] >= latest_load_end - 0  # exact
+
+    def test_window_monotone(self, tiny_cnn_compiled):
+        """A deeper buffer window can only help."""
+        shallow = pipelined_schedule(tiny_cnn_compiled, window=2)
+        deep = pipelined_schedule(tiny_cnn_compiled, window=64)
+        assert deep.total_cycles <= shallow.total_cycles
+
+    def test_rejects_bad_window(self, tiny_cnn_compiled):
+        with pytest.raises(ValueError):
+            pipelined_schedule(tiny_cnn_compiled, window=0)
+
+
+class TestSpeedupMagnitude:
+    def test_meaningful_overlap_on_memory_bound_net(self, tiny_cnn_compiled):
+        schedule = pipelined_schedule(tiny_cnn_compiled)
+        dma, compute = engine_busy_cycles(tiny_cnn_compiled)
+        # Perfect overlap would reach max(dma, compute); allow slack for the
+        # window gate and SAVE dependencies, but demand real overlap.
+        assert schedule.total_cycles < schedule.serial_cycles * 0.98
+
+    def test_consistent_across_modes(self, tiny_cnn_compiled):
+        vi = pipelined_schedule(tiny_cnn_compiled, "vi")
+        none = pipelined_schedule(tiny_cnn_compiled, "none")
+        # The vi variant adds only fetch cycles for virtual instructions.
+        fetch = tiny_cnn_compiled.config.instruction_fetch_cycles
+        virtual = tiny_cnn_compiled.program.num_virtual()
+        assert vi.total_cycles <= none.total_cycles + fetch * virtual + 1

@@ -1,0 +1,150 @@
+"""2-D pose-graph optimisation."""
+
+import numpy as np
+import pytest
+
+from repro.dslam.pose_graph import (
+    PoseEdge,
+    PoseGraph,
+    close_loops,
+    relative_pose,
+)
+from repro.dslam.vo import compose
+from repro.errors import DslamError
+
+
+class TestRelativePose:
+    def test_identity(self):
+        assert relative_pose((1, 2, 0.5), (1, 2, 0.5)) == pytest.approx((0, 0, 0))
+
+    def test_translation_in_frame(self):
+        rel = relative_pose((0, 0, np.pi / 2), (0, 1, np.pi / 2))
+        assert rel == pytest.approx((1.0, 0.0, 0.0), abs=1e-9)
+
+    def test_compose_inverts(self):
+        pose_i = (1.0, 2.0, 0.7)
+        pose_j = (3.0, -1.0, -0.4)
+        rel = relative_pose(pose_i, pose_j)
+        recovered = compose(pose_i, rel)
+        assert recovered == pytest.approx(pose_j, abs=1e-9)
+
+
+class TestGraphConstruction:
+    def test_self_edge_rejected(self):
+        with pytest.raises(DslamError):
+            PoseEdge(0, 0, 0, 0, 0)
+
+    def test_bad_weight_rejected(self):
+        with pytest.raises(DslamError):
+            PoseEdge(0, 1, 0, 0, 0, weight=0)
+
+    def test_dangling_edge_rejected(self):
+        graph = PoseGraph()
+        graph.add_pose((0, 0, 0))
+        with pytest.raises(DslamError):
+            graph.add_edge(PoseEdge(0, 5, 1, 0, 0))
+
+    def test_odometry_chain(self):
+        graph = PoseGraph()
+        graph.add_odometry_chain([(0, 0, 0), (1, 0, 0), (2, 0, 0)])
+        assert len(graph.poses) == 3
+        assert len(graph.edges) == 2
+
+
+class TestOptimisation:
+    def test_consistent_graph_has_zero_error(self):
+        trajectory = [(float(i), 0.0, 0.0) for i in range(5)]
+        graph = PoseGraph()
+        graph.add_odometry_chain(trajectory)
+        assert graph.error() == pytest.approx(0.0, abs=1e-12)
+        graph.optimize()
+        for estimated, truth in zip(graph.poses, trajectory):
+            assert estimated == pytest.approx(truth, abs=1e-9)
+
+    def test_loop_closure_corrects_drift(self):
+        """A square loop with accumulated heading drift: the loop-closure
+        edge pulls the end of the trajectory back onto the start."""
+        rng = np.random.default_rng(0)
+        true_motion = (1.0, 0.0, np.pi / 8)  # 16 steps close a full loop
+        steps = 16
+        truth = [(0.0, 0.0, 0.0)]
+        for _ in range(steps):
+            truth.append(compose(truth[-1], true_motion))
+        # Drifted odometry: biased heading.
+        noisy = [(0.0, 0.0, 0.0)]
+        for _ in range(steps):
+            drifted = (true_motion[0], true_motion[1], true_motion[2] + 0.02)
+            noisy.append(compose(noisy[-1], drifted))
+        end_error_before = np.hypot(
+            noisy[-1][0] - truth[-1][0], noisy[-1][1] - truth[-1][1]
+        )
+
+        # Loop closure: the last pose re-observes the first.
+        closure = relative_pose(truth[0], truth[-1])
+        optimized = close_loops(noisy, [(0, steps, closure)], loop_weight=100.0)
+        end_error_after = np.hypot(
+            optimized[-1][0] - truth[-1][0], optimized[-1][1] - truth[-1][1]
+        )
+        assert end_error_after < end_error_before / 5
+
+    def test_optimize_reduces_error_monotonically_overall(self):
+        rng = np.random.default_rng(1)
+        trajectory = [(float(i), float(rng.normal(0, 0.1)), 0.0) for i in range(10)]
+        graph = PoseGraph()
+        graph.add_odometry_chain(trajectory)
+        # Perturb the middle and add a contradicting edge.
+        graph.poses[5] = (5.5, 1.0, 0.3)
+        graph.add_edge(PoseEdge(0, 9, 9.0, 0.0, 0.0, weight=5.0))
+        before = graph.error()
+        graph.optimize(iterations=15)
+        assert graph.error() < before
+
+    def test_anchor_fixed(self):
+        graph = PoseGraph()
+        graph.add_odometry_chain([(0, 0, 0), (1, 0, 0)])
+        graph.add_edge(PoseEdge(0, 1, 2.0, 0.0, 0.0, weight=3.0))  # contradicts
+        graph.optimize()
+        assert graph.poses[0] == pytest.approx((0, 0, 0), abs=1e-9)
+
+    def test_empty_graph_noop(self):
+        graph = PoseGraph()
+        assert graph.optimize() == 0
+
+
+class TestDslamIntegration:
+    def test_vo_drift_reduced_by_pr_loop_closures(self):
+        """Full chain: noisy VO around a loop + PR-style re-visit constraint."""
+        from repro.dslam import (
+            Camera,
+            CameraConfig,
+            FeatureExtractor,
+            FrontendConfig,
+            VisualOdometry,
+            World,
+            WorldConfig,
+            perimeter_trajectory,
+        )
+        from repro.dslam.metrics import absolute_trajectory_error
+        from repro.dslam.system import _to_local_frame
+
+        world = World.generate(WorldConfig())
+        camera = Camera(world, CameraConfig(position_noise=0.08), seed=9)
+        extractor = FeatureExtractor(FrontendConfig(min_score=0.0))
+        vo = VisualOdometry()
+        # Loop the full perimeter so frame 0's place is re-visited at the end.
+        perimeter = 2 * ((world.config.width - 8) + (world.config.height - 8))
+        frames = 60
+        speed = perimeter / (frames / 20.0)
+        truth = perimeter_trajectory(world, frames + 1, fps=20.0, speed=speed)
+        for seq, pose in enumerate(truth):
+            vo.update(extractor.extract(camera.capture(pose, seq, 0)))
+
+        truth_local = _to_local_frame(truth)
+        ate_before = absolute_trajectory_error(vo.trajectory, truth_local)
+
+        closure = relative_pose(truth_local[0], truth_local[-1])
+        optimized = close_loops(
+            vo.trajectory, [(0, frames, closure)], loop_weight=50.0
+        )
+        ate_after = absolute_trajectory_error(optimized, truth_local)
+        assert ate_after < ate_before

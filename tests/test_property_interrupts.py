@@ -1,0 +1,130 @@
+"""Property-based tests: interrupted execution is bit-exact, always.
+
+The system's central invariant (implied but never stated by the paper): for
+ANY schedule of high-priority arrivals, the interrupted-and-resumed
+low-priority inference produces exactly the same output tensor as an
+uninterrupted run, and so does every high-priority inference.
+
+Hypothesis drives random arrival schedules against the full
+compile -> IAU -> core -> DDR stack on small but structurally rich networks
+(multi-layer, residual, pooling).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accel.reference import golden_output
+from repro.interrupt import CPU_LIKE, LAYER_BY_LAYER, VIRTUAL_INSTRUCTION
+from repro.runtime.system import MultiTaskSystem
+
+from tests.conftest import random_input
+
+
+def _run_with_schedule(pair, method, requests, low_seed, high_seed):
+    low, high = pair
+    low_input = random_input(low, seed=low_seed)
+    high_input = random_input(high, seed=high_seed)
+    expected_low = golden_output(low, low_input)
+    expected_high = golden_output(high, high_input)
+
+    system = MultiTaskSystem(low.config, iau_mode=method.iau_mode, functional=True)
+    system.add_task(0, high, vi_mode=method.vi_mode)
+    system.add_task(1, low, vi_mode=method.vi_mode)
+    low.set_input(low_input)
+    high.set_input(high_input)
+    system.submit(1, 0)
+    for request in sorted(requests):
+        system.submit(0, request)
+    system.run()
+
+    assert np.array_equal(low.get_output(), expected_low), (
+        f"low-priority output corrupted under {method.name} with requests {requests}"
+    )
+    assert np.array_equal(high.get_output(), expected_high), (
+        f"high-priority output corrupted under {method.name} with requests {requests}"
+    )
+    assert len(system.jobs(0)) == len(requests)
+    assert len(system.jobs(1)) == 1
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    requests=st.lists(st.integers(0, 60_000), min_size=1, max_size=4),
+    low_seed=st.integers(0, 100),
+    high_seed=st.integers(0, 100),
+)
+def test_virtual_instruction_bit_exact_any_schedule(tiny_pair, requests, low_seed, high_seed):
+    _run_with_schedule(tiny_pair, VIRTUAL_INSTRUCTION, requests, low_seed, high_seed)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    requests=st.lists(st.integers(0, 60_000), min_size=1, max_size=3),
+    seed=st.integers(0, 100),
+)
+def test_layer_by_layer_bit_exact_any_schedule(tiny_pair, requests, seed):
+    _run_with_schedule(tiny_pair, LAYER_BY_LAYER, requests, seed, seed + 1)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    requests=st.lists(st.integers(0, 60_000), min_size=1, max_size=3),
+    seed=st.integers(0, 100),
+)
+def test_cpu_like_bit_exact_any_schedule(tiny_pair, requests, seed):
+    _run_with_schedule(tiny_pair, CPU_LIKE, requests, seed, seed + 2)
+
+
+@settings(max_examples=15, deadline=None)
+@given(request=st.integers(0, 80_000))
+def test_completion_order_respects_priority(tiny_pair, request):
+    """Whenever both tasks are in flight, the high-priority one finishes
+    while the low-priority one is still pending (unless it arrived after
+    the low task already completed)."""
+    low, high = tiny_pair
+    system = MultiTaskSystem(low.config, iau_mode="virtual", functional=False)
+    system.add_task(0, high, vi_mode="vi")
+    system.add_task(1, low, vi_mode="vi")
+    system.submit(1, 0)
+    system.submit(0, request)
+    system.run()
+    high_job = system.job(0)
+    low_job = system.job(1)
+    if high_job.start_cycle < low_job.complete_cycle:
+        assert high_job.complete_cycle <= low_job.complete_cycle
+
+
+@settings(max_examples=15, deadline=None)
+@given(request=st.integers(1_000, 60_000))
+def test_extra_cost_is_bounded(tiny_pair, request):
+    """VI interrupt cost: bounded by one tile recovery + DMA overheads."""
+    low, high = tiny_pair
+
+    def total(system):
+        return system.run()
+
+    alone_low = MultiTaskSystem(low.config, functional=False)
+    alone_low.add_task(1, low, vi_mode="vi")
+    alone_low.submit(1, 0)
+    low_cycles = total(alone_low)
+
+    alone_high = MultiTaskSystem(low.config, functional=False)
+    alone_high.add_task(0, high, vi_mode="vi")
+    alone_high.submit(0, 0)
+    high_cycles = total(alone_high)
+
+    both = MultiTaskSystem(low.config, functional=False)
+    both.add_task(0, high, vi_mode="vi")
+    both.add_task(1, low, vi_mode="vi")
+    both.submit(1, 0)
+    both.submit(0, request)
+    combined = total(both)
+
+    extra = combined - low_cycles - high_cycles
+    # One recovery reload of a full data buffer is the dominant term.
+    bound = low.config.ddr.transfer_cycles(low.config.data_buffer_bytes) + 10_000
+    assert extra <= bound

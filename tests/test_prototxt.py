@@ -1,0 +1,185 @@
+"""Caffe prototxt import/export."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.nn import TensorShape
+from repro.nn.prototxt import (
+    load_prototxt,
+    parse_block,
+    parse_prototxt,
+    save_prototxt,
+    to_prototxt,
+    tokenize,
+)
+from repro.zoo import (
+    build_darknet19,
+    build_mobilenet_v1,
+    build_tiny_cnn,
+    build_tiny_residual,
+    build_vgg,
+)
+
+SIMPLE = """
+name: "simple"
+input: "data"
+input_dim: 1
+input_dim: 3
+input_dim: 32
+input_dim: 32
+layer {
+  name: "conv1"
+  type: "Convolution"
+  bottom: "data"
+  top: "conv1"
+  convolution_param { num_output: 16 kernel_size: 3 pad: 1 stride: 1 }
+}
+layer {
+  name: "relu1"
+  type: "ReLU"
+  bottom: "conv1"
+  top: "conv1"
+}
+layer {
+  name: "pool1"
+  type: "Pooling"
+  bottom: "conv1"
+  top: "pool1"
+  pooling_param { pool: MAX kernel_size: 2 stride: 2 }
+}
+"""
+
+
+class TestGrammar:
+    def test_tokenize_strips_comments(self):
+        tokens = tokenize('a: 1 # comment\nb { c: "x" }')
+        assert "#" not in tokens and "comment" not in tokens
+
+    def test_nested_blocks(self):
+        root, _ = parse_block(tokenize("outer { inner { k: 1 } k: 2 }"))
+        outer = root.block("outer")
+        assert outer.block("inner").integer("k") == 1
+        assert outer.integer("k") == 2
+
+    def test_repeated_fields(self):
+        root, _ = parse_block(tokenize("dim: 1 dim: 2 dim: 3"))
+        assert root.fields["dim"] == ["1", "2", "3"]
+
+    def test_unbalanced_brace_rejected(self):
+        with pytest.raises(GraphError):
+            parse_block(tokenize("a { b: 1"))
+        with pytest.raises(GraphError):
+            parse_block(tokenize("}"))
+
+    def test_truncated_field_rejected(self):
+        with pytest.raises(GraphError):
+            parse_block(tokenize("a :"))
+
+
+class TestParsing:
+    def test_simple_network(self):
+        graph = parse_prototxt(SIMPLE)
+        assert graph.name == "simple"
+        assert graph.input_shape == TensorShape(32, 32, 3)
+        assert graph.shapes["conv1"] == TensorShape(32, 32, 16)
+        assert graph.shapes["pool1"] == TensorShape(16, 16, 16)
+
+    def test_relu_folded(self):
+        graph = parse_prototxt(SIMPLE)
+        assert graph.layer("conv1").relu is True
+
+    def test_input_layer_style(self):
+        text = """
+        layer { name: "data" type: "Input" top: "data"
+                input_param { shape { dim: 1 dim: 8 dim: 16 dim: 16 } } }
+        layer { name: "fc" type: "InnerProduct" bottom: "data" top: "fc"
+                inner_product_param { num_output: 4 } }
+        """
+        graph = parse_prototxt(text)
+        assert graph.input_shape == TensorShape(16, 16, 8)
+        assert graph.output_shape.channels == 4
+
+    def test_depthwise_via_group(self):
+        text = """
+        input: "data" input_dim: 1 input_dim: 8 input_dim: 16 input_dim: 16
+        layer { name: "dw" type: "Convolution" bottom: "data" top: "dw"
+                convolution_param { num_output: 8 group: 8 kernel_size: 3 pad: 1 } }
+        """
+        graph = parse_prototxt(text)
+        assert graph.layer("dw").kind == "DepthwiseConv2d"
+
+    def test_partial_group_rejected(self):
+        text = """
+        input: "data" input_dim: 1 input_dim: 8 input_dim: 16 input_dim: 16
+        layer { name: "g" type: "Convolution" bottom: "data" top: "g"
+                convolution_param { num_output: 8 group: 2 kernel_size: 3 } }
+        """
+        with pytest.raises(GraphError):
+            parse_prototxt(text)
+
+    def test_unknown_type_rejected(self):
+        text = """
+        input: "data" input_dim: 1 input_dim: 3 input_dim: 8 input_dim: 8
+        layer { name: "x" type: "LSTM" bottom: "data" top: "x" }
+        """
+        with pytest.raises(GraphError):
+            parse_prototxt(text)
+
+    def test_unknown_bottom_rejected(self):
+        text = """
+        input: "data" input_dim: 1 input_dim: 3 input_dim: 8 input_dim: 8
+        layer { name: "c" type: "Convolution" bottom: "ghost" top: "c"
+                convolution_param { num_output: 4 kernel_size: 1 } }
+        """
+        with pytest.raises(GraphError):
+            parse_prototxt(text)
+
+    def test_eltwise_requires_two_bottoms(self):
+        text = """
+        input: "data" input_dim: 1 input_dim: 4 input_dim: 8 input_dim: 8
+        layer { name: "a" type: "Eltwise" bottom: "data" top: "a" }
+        """
+        with pytest.raises(GraphError):
+            parse_prototxt(text)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            build_tiny_cnn,
+            build_tiny_residual,
+            lambda: build_vgg("vgg11", TensorShape(64, 64, 3), include_head=True, num_classes=10),
+            lambda: build_mobilenet_v1(TensorShape(64, 64, 3)),
+            lambda: build_darknet19(TensorShape(64, 64, 3)),
+        ],
+    )
+    def test_roundtrip_preserves_structure(self, factory):
+        graph = factory()
+        recovered = parse_prototxt(to_prototxt(graph))
+        assert len(recovered) == len(graph)
+        for layer in graph.layers:
+            assert recovered.shapes[layer.name] == graph.shapes[layer.name]
+            original_relu = getattr(layer, "relu", None)
+            recovered_relu = getattr(recovered.layer(layer.name), "relu", None)
+            assert original_relu == recovered_relu
+
+    def test_file_roundtrip(self, tmp_path):
+        graph = build_tiny_residual()
+        path = save_prototxt(graph, tmp_path / "net.prototxt")
+        recovered = load_prototxt(path)
+        assert recovered.output_shape == graph.output_shape
+
+    def test_roundtripped_network_compiles_and_matches(self, example_config):
+        """A network re-imported from prototxt compiles to the identical
+        instruction stream (same shapes => same schedule)."""
+        from repro.compiler import compile_network
+
+        original = compile_network(build_tiny_cnn(), example_config, weights="zeros")
+        recovered_graph = parse_prototxt(to_prototxt(build_tiny_cnn()))
+        recovered = compile_network(recovered_graph, example_config, weights="zeros")
+        assert len(original.program) == len(recovered.program)
+        assert [i.opcode for i in original.program] == [
+            i.opcode for i in recovered.program
+        ]

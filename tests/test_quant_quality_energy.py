@@ -1,0 +1,128 @@
+"""Float reference, quantization-quality report, and the energy model."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.quantization_quality import quantization_report
+from repro.compiler import compile_network
+from repro.hw.config import AcceleratorConfig
+from repro.hw.energy import (
+    EnergyModel,
+    cpu_like_switch_energy,
+    inference_energy,
+    interrupt_energy_overhead,
+)
+from repro.quant.float_ref import float_inference
+from repro.zoo import build_tiny_cnn, build_tiny_residual
+
+from tests.conftest import random_input
+
+
+def moderate_input(compiled, seed=0):
+    """Codes whose real values stay in a comfortable Q3.4 range."""
+    shape = compiled.graph.input_shape
+    rng = np.random.default_rng(seed)
+    return rng.integers(
+        -48, 49, size=(shape.height, shape.width, shape.channels), dtype=np.int64
+    ).astype(np.int8)
+
+
+class TestFloatReference:
+    def test_layers_covered(self, tiny_cnn_compiled):
+        data = moderate_input(tiny_cnn_compiled)
+        outputs = float_inference(tiny_cnn_compiled, data)
+        for cfg in tiny_cnn_compiled.layer_configs:
+            assert cfg.name in outputs
+
+    def test_shapes_match_graph(self, tiny_cnn_compiled):
+        data = moderate_input(tiny_cnn_compiled)
+        outputs = float_inference(tiny_cnn_compiled, data)
+        for cfg in tiny_cnn_compiled.layer_configs:
+            shape = cfg.out_shape
+            assert outputs[cfg.name].shape == (shape.height, shape.width, shape.channels)
+
+    def test_relu_layers_nonnegative(self, tiny_cnn_compiled):
+        data = moderate_input(tiny_cnn_compiled)
+        outputs = float_inference(tiny_cnn_compiled, data)
+        for cfg in tiny_cnn_compiled.layer_configs:
+            if cfg.kind == "conv" and cfg.relu:
+                assert (outputs[cfg.name] >= 0).all()
+
+    def test_residual_network_supported(self, tiny_residual_compiled):
+        data = moderate_input(tiny_residual_compiled)
+        outputs = float_inference(tiny_residual_compiled, data)
+        assert len(outputs) == len(tiny_residual_compiled.layer_configs) + 1
+
+
+class TestQuantizationReport:
+    def test_sqnr_meaningful(self, tiny_cnn_compiled):
+        report = quantization_report(tiny_cnn_compiled, moderate_input(tiny_cnn_compiled))
+        # 8-bit quantization of a shallow net: SQNR well above 5 dB per layer.
+        for layer in report.layers:
+            assert layer.sqnr_db > 5.0
+        assert report.mean_sqnr_db() > 10.0
+
+    def test_first_layer_cleanest(self, tiny_cnn_compiled):
+        """Quantization noise accumulates: layer 1 beats the last layer."""
+        report = quantization_report(tiny_cnn_compiled, moderate_input(tiny_cnn_compiled))
+        assert report.layers[0].sqnr_db >= report.layers[-1].sqnr_db
+
+    def test_saturation_fraction_bounded(self, tiny_cnn_compiled):
+        report = quantization_report(tiny_cnn_compiled, moderate_input(tiny_cnn_compiled))
+        for layer in report.layers:
+            assert 0.0 <= layer.saturated_fraction < 0.5
+
+    def test_format(self, tiny_cnn_compiled):
+        report = quantization_report(tiny_cnn_compiled, moderate_input(tiny_cnn_compiled))
+        assert "SQNR" in report.format()
+
+
+class TestEnergyModel:
+    def test_breakdown_positive(self, tiny_cnn_compiled):
+        from repro.accel.runner import run_program
+
+        cycles = run_program(tiny_cnn_compiled, "none", functional=False).total_cycles
+        estimate = inference_energy(tiny_cnn_compiled, cycles)
+        assert estimate.compute_j > 0
+        assert estimate.ddr_j > 0
+        assert estimate.static_j > 0
+        assert estimate.total_j == pytest.approx(
+            estimate.compute_j + estimate.sram_j + estimate.ddr_j + estimate.static_j
+        )
+
+    def test_bigger_network_costs_more(self, tiny_conv_compiled, tiny_cnn_compiled):
+        from repro.accel.runner import run_program
+
+        small_cycles = run_program(tiny_conv_compiled, "none", functional=False).total_cycles
+        big_cycles = run_program(tiny_cnn_compiled, "none", functional=False).total_cycles
+        small = inference_energy(tiny_conv_compiled, small_cycles)
+        big = inference_energy(tiny_cnn_compiled, big_cycles)
+        assert big.total_j > small.total_j
+
+    def test_vi_interrupt_cheaper_than_cpu_like(self):
+        """The headline energy story: a VI interrupt moves one input tile;
+        a CPU-like switch moves every on-chip byte twice."""
+        config = AcceleratorConfig.big()
+        vi_energy = interrupt_energy_overhead(
+            config,
+            backup_bytes=40 * 1024,      # one stripe section
+            restore_bytes=256 * 1024,    # one input tile
+            extra_cycles=50_000,
+        )
+        cpu_energy = cpu_like_switch_energy(config)
+        assert vi_energy < cpu_energy / 3
+
+    def test_custom_coefficients_respected(self, tiny_cnn_compiled):
+        from repro.accel.runner import run_program
+
+        cycles = run_program(tiny_cnn_compiled, "none", functional=False).total_cycles
+        cheap = inference_energy(tiny_cnn_compiled, cycles, EnergyModel(ddr_byte_j=0.0))
+        normal = inference_energy(tiny_cnn_compiled, cycles)
+        assert cheap.ddr_j == 0.0
+        assert cheap.total_j < normal.total_j
+
+    def test_format(self, tiny_cnn_compiled):
+        from repro.accel.runner import run_program
+
+        cycles = run_program(tiny_cnn_compiled, "none", functional=False).total_cycles
+        assert "mJ" in inference_energy(tiny_cnn_compiled, cycles).format()

@@ -1,0 +1,101 @@
+"""Scheduling scenario tests: queue pressure, bursts, and scaling."""
+
+import numpy as np
+import pytest
+
+from repro.accel.reference import golden_output
+from repro.multicore import MultiCoreSystem
+from repro.runtime import MultiTaskSystem
+
+from tests.conftest import random_input
+
+
+class TestBurstArrivals:
+    def test_back_to_back_high_jobs_during_low(self, tiny_pair):
+        """Two high-priority requests land while the low task runs: both
+        execute before the low task resumes for good, all outputs intact."""
+        low, high = tiny_pair
+        low_input = random_input(low, seed=80)
+        high_input = random_input(high, seed=81)
+        expected_low = golden_output(low, low_input)
+        expected_high = golden_output(high, high_input)
+
+        system = MultiTaskSystem(low.config, functional=True)
+        system.add_task(0, high)
+        system.add_task(1, low)
+        low.set_input(low_input)
+        high.set_input(high_input)
+        system.submit(1, 0)
+        system.submit(0, 4_000)
+        system.submit(0, 4_001)  # queued immediately behind the first
+        system.run()
+
+        high_jobs = system.jobs(0)
+        assert len(high_jobs) == 2
+        # The second high job runs right after the first, without the low
+        # task sneaking in between (it is still lower priority).
+        assert high_jobs[1].start_cycle <= high_jobs[0].complete_cycle + 10_000
+        assert system.job(1).complete_cycle > high_jobs[1].complete_cycle
+        assert np.array_equal(low.get_output(), expected_low)
+        assert np.array_equal(high.get_output(), expected_high)
+
+    def test_request_during_high_task_waits(self, tiny_pair):
+        """A high request arriving while another high job runs queues FIFO."""
+        low, high = tiny_pair
+        system = MultiTaskSystem(low.config, functional=False)
+        system.add_task(0, high)
+        system.add_task(1, low)
+        system.submit(0, 0)
+        system.submit(0, 100)
+        system.run()
+        first, second = system.jobs(0)
+        assert second.start_cycle >= first.complete_cycle
+
+    def test_saturating_low_priority_queue(self, tiny_pair):
+        """Many queued low jobs all drain, in order, with high preemptions."""
+        low, high = tiny_pair
+        system = MultiTaskSystem(low.config, functional=False)
+        system.add_task(0, high)
+        system.add_task(1, low)
+        for _ in range(5):
+            system.submit(1, 0)
+        system.submit(0, 10_000)
+        system.submit(0, 50_000)
+        system.run()
+        low_jobs = system.jobs(1)
+        assert len(low_jobs) == 5
+        for earlier, later in zip(low_jobs, low_jobs[1:]):
+            assert later.start_cycle >= earlier.complete_cycle
+
+
+class TestMulticoreScaling:
+    @pytest.mark.parametrize("cores", [1, 2, 4])
+    def test_makespan_never_grows_with_cores(self, tiny_pair, cores):
+        _, high = tiny_pair
+        system = MultiCoreSystem(high.config, num_cores=cores, placement="least-loaded")
+        system.add_task(0, high)
+        for _ in range(8):
+            system.submit(0, 0)
+        makespan = system.run()
+        if not hasattr(TestMulticoreScaling, "_makespans"):
+            TestMulticoreScaling._makespans = {}
+        TestMulticoreScaling._makespans[cores] = makespan
+        baseline = TestMulticoreScaling._makespans.get(1)
+        if baseline is not None:
+            assert makespan <= baseline
+
+    def test_four_cores_quarter_ish_makespan(self, tiny_pair):
+        _, high = tiny_pair
+
+        def makespan(cores):
+            system = MultiCoreSystem(
+                high.config, num_cores=cores, placement="least-loaded"
+            )
+            system.add_task(0, high)
+            for _ in range(8):
+                system.submit(0, 0)
+            return system.run()
+
+        single = makespan(1)
+        quad = makespan(4)
+        assert quad < single / 2.5  # near-linear scaling on independent jobs

@@ -1,0 +1,87 @@
+"""Unit conversions and integer helpers."""
+
+import pytest
+
+from repro.units import (
+    Frequency,
+    KIB,
+    MIB,
+    ceil_div,
+    format_bytes,
+    format_si_time,
+)
+
+
+class TestFrequency:
+    def test_mhz_constructor(self):
+        assert Frequency.mhz(300).hz == 300_000_000
+
+    def test_ghz_constructor(self):
+        assert Frequency.ghz(1.5).hz == 1_500_000_000
+
+    def test_period(self):
+        assert Frequency.mhz(100).period_s == pytest.approx(1e-8)
+
+    def test_cycles_to_us_at_300mhz(self):
+        assert Frequency.mhz(300).cycles_to_us(300) == pytest.approx(1.0)
+
+    def test_cycles_to_ms(self):
+        assert Frequency.mhz(300).cycles_to_ms(300_000) == pytest.approx(1.0)
+
+    def test_us_to_cycles_roundtrip(self):
+        clock = Frequency.mhz(300)
+        assert clock.us_to_cycles(clock.cycles_to_us(12345)) == 12345
+
+    def test_s_to_cycles(self):
+        assert Frequency.mhz(300).s_to_cycles(0.5) == 150_000_000
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Frequency(0)
+        with pytest.raises(ValueError):
+            Frequency(-1)
+
+
+class TestCeilDiv:
+    def test_exact(self):
+        assert ceil_div(48, 16) == 3
+
+    def test_rounds_up(self):
+        assert ceil_div(49, 16) == 4
+
+    def test_one(self):
+        assert ceil_div(1, 16) == 1
+
+    def test_zero_numerator(self):
+        assert ceil_div(0, 16) == 0
+
+    def test_rejects_bad_denominator(self):
+        with pytest.raises(ValueError):
+            ceil_div(5, 0)
+
+
+class TestFormatting:
+    def test_format_bytes_mib(self):
+        assert format_bytes(2 * MIB) == "2.00 MiB"
+
+    def test_format_bytes_kib(self):
+        assert format_bytes(3 * KIB) == "3.00 KiB"
+
+    def test_format_bytes_small(self):
+        assert format_bytes(17) == "17 B"
+
+    def test_format_bytes_rejects_negative(self):
+        with pytest.raises(ValueError):
+            format_bytes(-1)
+
+    def test_format_time_us(self):
+        assert format_si_time(3.2e-5) == "32.000 us"
+
+    def test_format_time_ms(self):
+        assert format_si_time(4.5e-3) == "4.500 ms"
+
+    def test_format_time_zero(self):
+        assert format_si_time(0) == "0 s"
+
+    def test_format_time_ns(self):
+        assert "ns" in format_si_time(5e-9)

@@ -1,0 +1,115 @@
+"""Interrupt-position selection policies (ViPolicy)."""
+
+import pytest
+
+from repro.compiler import ViPolicy, compile_network
+from repro.errors import CompileError
+from repro.isa import Opcode, validate_program
+from repro.zoo import build_tiny_cnn
+
+from repro.accel.runner import run_program
+
+
+@pytest.fixture(scope="module")
+def dense_and_sparse(example_config):
+    dense = compile_network(build_tiny_cnn(), example_config, weights="zeros")
+    sparse = compile_network(
+        build_tiny_cnn(),
+        example_config,
+        weights="zeros",
+        vi_policy=ViPolicy(calc_f_stride=4),
+    )
+    return dense, sparse
+
+
+class TestPolicyValidation:
+    def test_default_stride_one(self):
+        assert ViPolicy().calc_f_stride == 1
+
+    def test_rejects_zero_stride(self):
+        with pytest.raises(CompileError):
+            ViPolicy(calc_f_stride=0)
+
+
+class TestThinning:
+    def test_sparse_has_fewer_virtuals(self, dense_and_sparse):
+        dense, sparse = dense_and_sparse
+        assert sparse.program.num_virtual() < dense.program.num_virtual()
+
+    def test_sparse_has_fewer_vir_saves(self, dense_and_sparse):
+        dense, sparse = dense_and_sparse
+
+        def vir_saves(compiled):
+            return sum(
+                1 for ins in compiled.program if ins.opcode == Opcode.VIR_SAVE
+            )
+
+        assert vir_saves(sparse) < vir_saves(dense)
+
+    def test_structural_points_kept(self, dense_and_sparse):
+        """Post-SAVE and layer-boundary points survive any stride."""
+        _, sparse = dense_and_sparse
+        barriers = sum(
+            1 for ins in sparse.program if ins.opcode == Opcode.VIR_BARRIER
+        )
+        assert barriers >= 1
+
+    def test_sparse_program_still_valid(self, dense_and_sparse):
+        _, sparse = dense_and_sparse
+        validate_program(sparse.program)
+
+    def test_real_instructions_unchanged(self, dense_and_sparse):
+        dense, sparse = dense_and_sparse
+        dense_real = [i for i in dense.program if not i.is_virtual]
+        sparse_real = [i for i in sparse.program if not i.is_virtual]
+        assert dense_real == sparse_real
+
+
+class TestTradeoff:
+    def test_sparse_runs_faster_uninterrupted(self, dense_and_sparse):
+        """Fewer virtual fetches => lower no-interrupt cost (the E8 axis)."""
+        dense, sparse = dense_and_sparse
+        dense_cycles = run_program(dense, "vi", functional=False).total_cycles
+        sparse_cycles = run_program(sparse, "vi", functional=False).total_cycles
+        assert sparse_cycles < dense_cycles
+
+    def test_sparse_waits_longer(self, dense_and_sparse):
+        """Fewer points => higher mean response latency (the E9 axis)."""
+        from repro.analysis import whole_program_profile
+        from repro.interrupt import VIRTUAL_INSTRUCTION
+
+        dense, sparse = dense_and_sparse
+        dense_profile = whole_program_profile(dense, VIRTUAL_INSTRUCTION)
+        sparse_profile = whole_program_profile(sparse, VIRTUAL_INSTRUCTION)
+        assert sparse_profile.mean_cycles > dense_profile.mean_cycles
+
+    def test_sparse_still_bit_exact_under_interrupts(self, example_config):
+        """Thinning must not affect correctness, only latency."""
+        import numpy as np
+
+        from repro.accel.reference import golden_output
+        from repro.runtime import MultiTaskSystem, compile_tasks
+        from repro.zoo import build_tiny_residual
+        from tests.conftest import random_input
+
+        from repro.compiler import compile_network
+
+        low = compile_network(
+            build_tiny_cnn(), example_config, weights="random", seed=20,
+            vi_policy=ViPolicy(calc_f_stride=3),
+        )
+        high = compile_network(
+            build_tiny_residual(), example_config, weights="random", seed=21,
+            base_addr=1 << 26,
+        )
+        low_input = random_input(low, seed=70)
+        expected = golden_output(low, low_input)
+        system = MultiTaskSystem(example_config, functional=True)
+        system.add_task(0, high)
+        system.add_task(1, low)
+        low.set_input(low_input)
+        high.set_input(random_input(high, seed=71))
+        system.submit(1, 0)
+        system.submit(0, 8000)
+        system.run()
+        assert np.array_equal(low.get_output(), expected)

@@ -1,0 +1,157 @@
+"""Model zoo: architectures match their papers' shapes and costs."""
+
+import pytest
+
+from repro.nn import TensorShape, network_gops
+from repro.nn.stats import conv_layer_stats, heaviest_layer
+from repro.zoo import (
+    build_gem,
+    build_medium_layer_net,
+    build_mobilenet_v1,
+    build_resnet,
+    build_resnet101,
+    build_superpoint,
+    build_tiny_cnn,
+    build_tiny_conv,
+    build_tiny_residual,
+    build_vgg,
+    superpoint_cell_size,
+)
+
+
+class TestVgg:
+    def test_vgg16_conv_count(self):
+        assert len(build_vgg("vgg16").conv_layers()) == 13
+
+    def test_vgg11_conv_count(self):
+        assert len(build_vgg("vgg11").conv_layers()) == 8
+
+    def test_vgg19_conv_count(self):
+        assert len(build_vgg("vgg19").conv_layers()) == 16
+
+    def test_final_feature_shape_224(self):
+        assert build_vgg("vgg16").output_shape == TensorShape(7, 7, 512)
+
+    def test_head_adds_fc_layers(self):
+        graph = build_vgg("vgg16", include_head=True, num_classes=10)
+        assert graph.output_shape == TensorShape(1, 1, 10)
+
+    def test_gops_in_published_ballpark(self):
+        # VGG-16 at 224x224 is ~30.9 GOPs (15.5 GMACs) in the literature.
+        assert network_gops(build_vgg("vgg16")) == pytest.approx(30.7, rel=0.05)
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            build_vgg("vgg99")
+
+
+class TestResNet:
+    def test_resnet101_conv_count(self):
+        # 1 stem + 33 bottlenecks x 3 + 4 projections = 104 conv layers.
+        assert len(build_resnet101().conv_layers()) == 104
+
+    def test_resnet50_conv_count(self):
+        assert len(build_resnet("resnet50", TensorShape(224, 224, 3)).conv_layers()) == 53
+
+    def test_resnet18_uses_basic_blocks(self):
+        graph = build_resnet("resnet18", TensorShape(224, 224, 3))
+        assert len(graph.conv_layers()) == 20  # stem + 8 blocks x 2 + 3 projections
+
+    def test_output_shape_480x640(self):
+        assert build_resnet101().output_shape == TensorShape(15, 20, 2048)
+
+    def test_params_in_published_ballpark(self):
+        # ResNet-101 has ~44.5 M parameters.
+        params = build_resnet("resnet101", TensorShape(224, 224, 3)).total_params()
+        assert 40e6 < params < 48e6
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            build_resnet("resnet7")
+
+
+class TestMobileNet:
+    def test_conv_count(self):
+        graph = build_mobilenet_v1()
+        stats = conv_layer_stats(graph)
+        depthwise = [s for s in stats if s.kind == "DepthwiseConv2d"]
+        assert len(depthwise) == 13
+
+    def test_output_shape(self):
+        assert build_mobilenet_v1().output_shape == TensorShape(7, 7, 1024)
+
+    def test_width_multiplier_scales(self):
+        half = build_mobilenet_v1(width_multiplier=0.5)
+        assert half.output_shape.channels == 512
+
+    def test_gops_in_published_ballpark(self):
+        # MobileNet-V1 is ~1.1 GOPs (569 MMACs) at 224x224.
+        assert network_gops(build_mobilenet_v1()) == pytest.approx(1.14, rel=0.1)
+
+    def test_rejects_bad_multiplier(self):
+        with pytest.raises(ValueError):
+            build_mobilenet_v1(width_multiplier=0)
+
+
+class TestSuperPoint:
+    def test_detector_head_channels(self):
+        graph = build_superpoint(head="detector")
+        assert graph.output_shape.channels == 65
+
+    def test_descriptor_head_channels(self):
+        graph = build_superpoint(head="descriptor")
+        assert graph.output_shape.channels == 256
+
+    def test_cell_size_is_8(self):
+        assert superpoint_cell_size() == 8
+
+    def test_head_resolution(self):
+        graph = build_superpoint(TensorShape(480, 640, 1), head="detector")
+        assert graph.output_shape.hw == (60, 80)
+
+    def test_gops_vga_scale(self):
+        # The SuperPoint paper quotes ~39 GOPs for a 480x640 forward pass.
+        gops = network_gops(build_superpoint(TensorShape(480, 640, 1)))
+        assert 30 < gops < 60
+
+    def test_rejects_unknown_head(self):
+        with pytest.raises(ValueError):
+            build_superpoint(head="segmentation")
+
+
+class TestGem:
+    def test_descriptor_dim(self):
+        assert build_gem().output_shape == TensorShape(1, 1, 2048)
+
+    def test_contains_gem_pooling(self):
+        graph = build_gem()
+        pool = graph.layer("gem_pool")
+        assert pool.mode == "gem"
+
+    def test_backbone_is_resnet101_scale(self):
+        # GeM/ResNet-101 at 480x640 runs on the order of 10^2 GOPs.
+        assert network_gops(build_gem()) > 60
+
+
+class TestTinyNets:
+    def test_tiny_conv_single_layer(self):
+        assert len(build_tiny_conv().conv_layers()) == 1
+
+    def test_tiny_cnn_has_pool(self):
+        graph = build_tiny_cnn()
+        assert any(layer.kind == "Pool2d" for layer in graph.layers)
+
+    def test_tiny_residual_has_add(self):
+        graph = build_tiny_residual()
+        assert any(layer.kind == "Add" for layer in graph.layers)
+
+    def test_medium_layer_matches_paper_example(self):
+        graph = build_medium_layer_net()
+        conv = graph.layer("conv")
+        assert conv.in_channels == 48
+        assert conv.out_channels == 32
+        assert graph.output_shape.hw == (60, 80)
+
+    def test_heaviest_layer_found(self):
+        stats = heaviest_layer(build_tiny_cnn())
+        assert stats.macs > 0
