@@ -16,7 +16,8 @@ from __future__ import annotations
 from repro.analysis import format_table
 from repro.hw.config import AcceleratorConfig
 from repro.nn import GraphBuilder, TensorShape
-from repro.runtime import MultiTaskSystem, compile_tasks, summarize_jobs
+from repro.obs import ObsConfig
+from repro.runtime import ArrivalPolicy, MultiTaskSystem, compile_tasks, summarize_jobs
 
 
 def make_workload(name: str, size: int, channels: int):
@@ -38,13 +39,14 @@ def main() -> None:
     ]
     compiled = compile_tasks(graphs, config, weights="zeros")
 
-    system = MultiTaskSystem(config, iau_mode="virtual", functional=False)
+    system = MultiTaskSystem(config, iau_mode="virtual", obs=ObsConfig(events=True))
     periods_ms = [10.0, 25.0, 60.0, 200.0]
     counts = [40, 16, 7, 2]
     for task_id, (network, period_ms, count) in enumerate(zip(compiled, periods_ms, counts)):
         system.add_task(task_id, network, vi_mode="vi")
-        system.submit_periodic(
+        system.submit(
             task_id,
+            policy=ArrivalPolicy.PERIODIC,
             period_cycles=config.clock.us_to_cycles(period_ms * 1000),
             count=count,
         )
@@ -76,6 +78,11 @@ def main() -> None:
     print(f"\ntask switches: {system.iau.num_switches}, "
           f"backup traffic: {system.iau.backup_cycles} cycles, "
           f"recovery traffic: {system.iau.restore_cycles} cycles")
+
+    # The observability layer has the same story, per job: one span tree per
+    # inference with its layers, pre-emptions, and VI save/restore work.
+    print("\nfirst safety_stop job, as a span tree:")
+    print(system.spans(0)[0].format())
 
 
 if __name__ == "__main__":

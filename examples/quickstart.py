@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import AcceleratorConfig, compile_network
+from repro import AcceleratorConfig, ObsConfig, compile_network
 from repro.accel.reference import golden_output
 from repro.accel.runner import run_program
 from repro.runtime import MultiTaskSystem, compile_tasks
@@ -63,7 +63,7 @@ def main() -> None:
     expected_low = golden_output(low, low_image)
     expected_high = golden_output(high, high_image)
 
-    system = MultiTaskSystem(config, functional=True)
+    system = MultiTaskSystem(config, obs=ObsConfig(functional=True, events=True))
     system.add_task(0, high, vi_mode="vi")   # priority 0: never interrupted
     system.add_task(1, low, vi_mode="vi")    # priority 1: interruptible
     low.set_input(low_image)
@@ -79,6 +79,11 @@ def main() -> None:
     assert np.array_equal(low.get_output(), expected_low)
     assert np.array_equal(high.get_output(), expected_high)
     print("both outputs bit-exact after the interrupt: True")
+
+    # 5. Observability: the interrupted job as a span tree (layers, VI
+    # save/restore, the pre-emption window).
+    print("\nlow-priority job, as recorded by the event bus:")
+    print(system.spans(1)[0].format())
 
 
 if __name__ == "__main__":

@@ -10,18 +10,24 @@ paper's future-work multi-core extension.
 
 Quickstart::
 
-    from repro import AcceleratorConfig, MultiTaskSystem, compile_tasks
+    from repro import AcceleratorConfig, MultiTaskSystem, ObsConfig, compile_tasks
+    from repro import summarize
     from repro.zoo import build_tiny_cnn, build_tiny_residual
 
     config = AcceleratorConfig.big()
     low, high = compile_tasks([build_tiny_cnn(), build_tiny_residual()], config)
-    system = MultiTaskSystem(config)
+    system = MultiTaskSystem(config, obs=ObsConfig(events=True, metrics=True))
     system.add_task(0, high)          # priority 0: never interrupted
     system.add_task(1, low)           # priority 1: interruptible
     system.submit(1, at_cycle=0)
     system.submit(0, at_cycle=2_000)  # pre-empts mid-inference
     system.run()
-    print(system.job(0).response_cycles)
+    print(system.spans(0)[0].format())  # per-job span tree (layers, VI, preemptions)
+    print(system.summary())             # per-task table: jobs, latency, DDR, preempts
+
+Instrumentation is off by default (``obs=None``) and costs nothing when
+disabled; ``ObsConfig`` selects event recording, the legacy flat trace, and
+the metrics registry independently.
 """
 
 from repro.accel.reference import golden_inference, golden_output
@@ -35,18 +41,23 @@ from repro.interrupt import (
     measure_interrupt,
 )
 from repro.nn import GraphBuilder, NetworkGraph, TensorShape
-from repro.runtime import MultiTaskSystem, compile_tasks
+from repro.obs import EventBus, Metrics, ObsConfig, summarize
+from repro.runtime import ArrivalPolicy, MultiTaskSystem, compile_tasks
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AcceleratorConfig",
+    "ArrivalPolicy",
     "CPU_LIKE",
     "CompiledNetwork",
+    "EventBus",
     "GraphBuilder",
     "LAYER_BY_LAYER",
+    "Metrics",
     "MultiTaskSystem",
     "NetworkGraph",
+    "ObsConfig",
     "RunResult",
     "TensorShape",
     "VIRTUAL_INSTRUCTION",
@@ -58,4 +69,5 @@ __all__ = [
     "golden_output",
     "measure_interrupt",
     "run_program",
+    "summarize",
 ]

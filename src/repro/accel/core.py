@@ -29,6 +29,9 @@ from repro.hw.ddr import Ddr
 from repro.hw.timing import calc_cycles, transfer_cycles
 from repro.isa.instructions import Instruction
 from repro.isa.opcodes import Opcode
+from repro.obs.bus import EventBus
+from repro.obs.config import ObsConfig, resolve_obs_config
+from repro.obs.events import EventKind
 
 
 @dataclass
@@ -110,15 +113,40 @@ class CoreStats:
 class AcceleratorCore:
     """Executes original-ISA instructions against DDR and on-chip buffers."""
 
-    def __init__(self, config: AcceleratorConfig, ddr: Ddr, functional: bool = True):
+    def __init__(
+        self,
+        config: AcceleratorConfig,
+        ddr: Ddr,
+        functional: bool | None = None,
+        *,
+        obs: ObsConfig | None = None,
+        bus: EventBus | None = None,
+    ):
         self.config = config
         self.ddr = ddr
-        self.functional = functional
+        # The bare ``functional`` boolean is deprecated in favour of the
+        # ObsConfig options object; its historic default here is True.
+        self.obs = resolve_obs_config(
+            obs, functional, None, owner="AcceleratorCore", default_functional=True
+        )
+        self.functional = self.obs.functional
+        self.bus = bus
         self.data_tiles: dict[int, DataTile] = {}
         self.weight_tile: WeightTile | None = None
         self.acc: Accumulator | None = None
         self.out: OutputSection | None = None
         self.stats = CoreStats()
+
+    def _emit_burst(self, instruction: Instruction, direction: str, cycles: int) -> None:
+        """Report one DMA transfer on the bus (stamped at the bus clock)."""
+        self.bus.emit(
+            EventKind.DDR_BURST,
+            layer_id=instruction.layer_id,
+            duration=cycles,
+            direction=direction,
+            opcode=instruction.opcode.name,
+            bytes=instruction.length,
+        )
 
     # -- context switching support -------------------------------------------
 
@@ -215,6 +243,8 @@ class AcceleratorCore:
         cycles = transfer_cycles(self.config, instruction.length)
         self.stats.load_cycles += cycles
         self.stats.bytes_loaded += instruction.length
+        if self.bus is not None:
+            self._emit_burst(instruction, "load", cycles)
         return cycles
 
     def _load_w(self, instruction: Instruction, layer: LayerConfig) -> int:
@@ -247,6 +277,8 @@ class AcceleratorCore:
         cycles = transfer_cycles(self.config, instruction.length)
         self.stats.load_cycles += cycles
         self.stats.bytes_loaded += instruction.length
+        if self.bus is not None:
+            self._emit_burst(instruction, "load", cycles)
         return cycles
 
     # -- calc ------------------------------------------------------------------
@@ -510,4 +542,6 @@ class AcceleratorCore:
         cycles = transfer_cycles(self.config, instruction.length)
         self.stats.save_cycles += cycles
         self.stats.bytes_saved += instruction.length
+        if self.bus is not None:
+            self._emit_burst(instruction, "save", cycles)
         return cycles

@@ -13,9 +13,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.accel.core import AcceleratorCore
-from repro.accel.trace import ExecutionTrace, TraceEvent
+from repro.accel.trace import ExecutionTrace
 from repro.compiler.compile import CompiledNetwork
 from repro.hw.timing import fetch_cycles
+from repro.obs.bus import EventBus
+from repro.obs.config import ObsConfig
+from repro.obs.events import EventKind
 
 
 @dataclass(frozen=True)
@@ -37,6 +40,7 @@ def run_program(
     functional: bool = True,
     input_map: np.ndarray | None = None,
     trace: ExecutionTrace | None = None,
+    bus: EventBus | None = None,
 ) -> RunResult:
     """Execute one inference front to back; returns cycle totals.
 
@@ -44,11 +48,23 @@ def run_program(
     execute the same real instructions but still pay the fetch cost of the
     (skipped) virtual instructions, which is exactly the no-interrupt
     overhead of deploying the VI-ISA.
+
+    ``bus`` receives structured events (instruction retires, DDR bursts);
+    ``trace`` is the legacy flat log, attached to the bus as a sink.
     """
     if input_map is not None:
         compiled.set_input(input_map)
     program = compiled.program_for(vi_mode)
-    core = AcceleratorCore(compiled.config, compiled.layout.ddr, functional=functional)
+    if trace is not None:
+        if bus is None:
+            bus = EventBus(record=False)
+        bus.attach(trace)
+    core = AcceleratorCore(
+        compiled.config,
+        compiled.layout.ddr,
+        obs=ObsConfig(functional=functional),
+        bus=bus,
+    )
 
     clock = 0
     compute = 0
@@ -61,17 +77,18 @@ def run_program(
         if instruction.is_virtual:
             continue  # discarded: no interrupt is ever pending on this path
         layer = compiled.layer_config(instruction.layer_id)
+        if bus is not None:
+            bus.advance(clock)
         cycles = core.execute(instruction, layer)
-        if trace is not None:
-            trace.record(
-                TraceEvent(
-                    task_id=0,
-                    program_index=index,
-                    opcode=instruction.opcode,
-                    layer_id=instruction.layer_id,
-                    start_cycle=clock,
-                    cycles=cycles,
-                )
+        if bus is not None:
+            bus.emit(
+                EventKind.INSTR_RETIRE,
+                cycle=clock,
+                task_id=0,
+                layer_id=instruction.layer_id,
+                duration=cycles,
+                opcode=instruction.opcode.name,
+                program_index=index,
             )
         clock += cycles
         compute += cycles

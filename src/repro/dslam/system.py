@@ -33,6 +33,7 @@ from repro.dslam.place_recognition import PlaceDatabase, PlaceEncoder, PlaceMatc
 from repro.dslam.vo import Pose
 from repro.dslam.world import World, WorldConfig
 from repro.errors import DslamError
+from repro.obs.config import ObsConfig
 from repro.ros.executor import Executor
 from repro.runtime.system import MultiTaskSystem
 
@@ -56,6 +57,9 @@ class DslamScenario:
     #: behind agent 1 on the same loop, so it re-visits agent 1's places a
     #: few seconds later — the place-recognition scenario of Fig. env.
     starts: tuple[tuple[float, bool], ...] = ((0.0, False), (0.985, False))
+    #: Observability configuration for each agent's accelerator system
+    #: (``None`` keeps instrumentation off, the fast path).
+    obs: ObsConfig | None = None
 
 
 @dataclass
@@ -154,7 +158,9 @@ def build_agent(
 ) -> DslamAgent:
     """Wire one robot: accelerator system, executor, and the four nodes."""
     config = fe_compiled.config
-    system = MultiTaskSystem(config, iau_mode="virtual", functional=False)
+    system = MultiTaskSystem(
+        config, iau_mode="virtual", obs=scenario.obs if scenario.obs is not None else ObsConfig()
+    )
     system.add_task(0, fe_compiled, vi_mode="vi")
     system.add_task(1, pr_compiled, vi_mode="vi")
     executor = Executor(system)

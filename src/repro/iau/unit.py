@@ -23,13 +23,15 @@ Two interrupt disciplines are modelled on top of the same task table:
 from __future__ import annotations
 
 from repro.accel.core import AcceleratorCore
-from repro.accel.trace import ExecutionTrace, TraceEvent
+from repro.accel.trace import ExecutionTrace
 from repro.compiler.compile import CompiledNetwork
 from repro.errors import IauError
 from repro.hw.timing import fetch_cycles, transfer_cycles
 from repro.iau.context import JobRecord, TaskContext
 from repro.isa.instructions import NO_SAVE_ID, Instruction
 from repro.isa.opcodes import Opcode
+from repro.obs.bus import EventBus
+from repro.obs.events import EventKind
 
 #: Number of task slots in the hardware (paper's Fig. IAU).
 MAX_TASKS = 4
@@ -46,13 +48,26 @@ class Iau:
         core: AcceleratorCore,
         mode: str = "virtual",
         trace: ExecutionTrace | None = None,
+        *,
+        bus: EventBus | None = None,
+        obs_scope: str | None = None,
     ):
         if mode not in IAU_MODES:
             raise IauError(f"mode must be one of {IAU_MODES}, got {mode!r}")
         self.core = core
         self.config = core.config
         self.mode = mode
+        # A legacy ExecutionTrace rides the bus as a sink; create a private,
+        # non-recording bus for it when the caller didn't provide one.
+        if trace is not None:
+            if bus is None:
+                bus = EventBus(record=False)
+            bus.attach(trace)
         self.trace = trace
+        self.bus = bus
+        self.obs_scope = obs_scope
+        if bus is not None and core.bus is None:
+            core.bus = bus
         self.clock = 0
         self.contexts: list[TaskContext | None] = [None] * MAX_TASKS
         self.current: int | None = None
@@ -103,7 +118,30 @@ class Iau:
             request_cycle=self.clock if at_cycle is None else at_cycle,
         )
         self.context(task_id).enqueue(record)
+        if self.bus is not None:
+            self._emit(
+                EventKind.JOB_SUBMIT,
+                task_id=task_id,
+                request_cycle=record.request_cycle,
+            )
         return record
+
+    def _emit(self, kind: EventKind, **kwargs) -> None:
+        """Emit one bus event stamped at the IAU clock (callers gate on bus)."""
+        if self.obs_scope is not None:
+            kwargs["scope"] = self.obs_scope
+        cycle = kwargs.pop("cycle", self.clock)
+        task_id = kwargs.pop("task_id", None)
+        layer_id = kwargs.pop("layer_id", None)
+        duration = kwargs.pop("duration", 0)
+        self.bus.emit(
+            kind,
+            cycle=cycle,
+            task_id=task_id,
+            layer_id=layer_id,
+            duration=duration,
+            **kwargs,
+        )
 
     # -- scheduling ---------------------------------------------------------
 
@@ -167,9 +205,17 @@ class Iau:
             return
         self.current = context.task_id
         self.num_switches += 1
+        resumed = context.active
         if not context.active:
             job = context.begin_next_job()
             job.start_cycle = self.clock
+            if self.bus is not None:
+                self._emit(
+                    EventKind.JOB_START,
+                    task_id=context.task_id,
+                    request_cycle=job.request_cycle,
+                    response_cycles=job.response_cycles,
+                )
         if self.mode == "cpu" and context.snapshot is not None:
             # Restore every on-chip buffer from DDR.
             cycles = transfer_cycles(self.config, self.config.total_buffer_bytes)
@@ -178,11 +224,14 @@ class Iau:
             context.busy_cycles += cycles
             self.core.restore(context.snapshot)
             context.snapshot = None
+        if resumed and self.bus is not None:
+            self._emit(EventKind.PREEMPT_END, task_id=context.task_id)
 
     def _maybe_cpu_preempt(self, context: TaskContext) -> bool:
         """CPU-like discipline: check for a higher-priority task before every
         instruction, spilling the whole chip state on pre-emption."""
-        if self._preempting_task(context.task_id) is None:
+        winner = self._preempting_task(context.task_id)
+        if winner is None:
             return False
         cycles = transfer_cycles(self.config, self.config.total_buffer_bytes)
         self.clock += cycles
@@ -191,11 +240,26 @@ class Iau:
         context.snapshot = self.core.snapshot()
         self.core.invalidate()
         self.current = None
+        if self.bus is not None:
+            self._emit(
+                EventKind.PREEMPT_BEGIN,
+                task_id=context.task_id,
+                by=winner.task_id,
+                backup_cycles=cycles,
+            )
         return True
 
     def _complete_job(self, context: TaskContext) -> None:
         job = context.finish_job(self.clock)
         self.current = None
+        if self.bus is not None:
+            self._emit(
+                EventKind.JOB_COMPLETE,
+                task_id=context.task_id,
+                request_cycle=job.request_cycle,
+                response_cycles=job.response_cycles,
+                turnaround_cycles=job.turnaround_cycles,
+            )
         if self.on_complete is not None:
             self.on_complete(context.task_id, job)
 
@@ -242,6 +306,16 @@ class Iau:
             # Resuming: materialize the recovery loads (this is t4).
             cycles = self._execute(context, instruction.materialized())
             self.restore_cycles += cycles
+            if self.bus is not None:
+                self._emit(
+                    EventKind.VI_EXPAND,
+                    cycle=self.clock - cycles,
+                    task_id=context.task_id,
+                    layer_id=instruction.layer_id,
+                    duration=cycles,
+                    phase="recovery",
+                    opcode=instruction.opcode.name,
+                )
             context.instr_index += 1
             return
         if context.in_recovery and not is_recovery_load:
@@ -258,6 +332,7 @@ class Iau:
 
     def _preempt_at(self, context: TaskContext, instruction: Instruction) -> None:
         """Perform the interrupt encoded by a virtual instruction."""
+        backup_transfer_cycles = 0
         if instruction.opcode == Opcode.VIR_SAVE:
             already = context.saved_chs if context.save_id == instruction.save_id else 0
             backup_chs = instruction.chs - already
@@ -268,8 +343,8 @@ class Iau:
                     chs=backup_chs,
                     length=bytes_per_channel * backup_chs,
                 )
-                cycles = self._execute(context, backup)
-                self.backup_cycles += cycles
+                backup_transfer_cycles = self._execute(context, backup)
+                self.backup_cycles += backup_transfer_cycles
             context.save_id = instruction.save_id
             context.saved_chs = instruction.chs
             context.instr_index += 1  # resume at the recovery loads that follow
@@ -284,20 +359,37 @@ class Iau:
             raise IauError(f"unexpected virtual opcode {instruction.opcode.name}")
         self.core.invalidate()
         self.current = None
+        if self.bus is not None:
+            winner = self._preempting_task(context.task_id)
+            self._emit(
+                EventKind.VI_EXPAND,
+                cycle=self.clock - backup_transfer_cycles,
+                task_id=context.task_id,
+                layer_id=instruction.layer_id,
+                duration=backup_transfer_cycles,
+                phase="backup",
+                opcode=instruction.opcode.name,
+            )
+            self._emit(
+                EventKind.PREEMPT_BEGIN,
+                task_id=context.task_id,
+                by=None if winner is None else winner.task_id,
+                backup_cycles=backup_transfer_cycles,
+            )
 
     def _execute(self, context: TaskContext, instruction: Instruction) -> int:
         layer = context.compiled.layer_config(instruction.layer_id)
+        if self.bus is not None:
+            self.bus.advance(self.clock)  # stamp core-side DDR bursts correctly
         cycles = self.core.execute(instruction, layer)
-        if self.trace is not None:
-            self.trace.record(
-                TraceEvent(
-                    task_id=context.task_id,
-                    program_index=context.instr_index,
-                    opcode=instruction.opcode,
-                    layer_id=instruction.layer_id,
-                    start_cycle=self.clock,
-                    cycles=cycles,
-                )
+        if self.bus is not None:
+            self._emit(
+                EventKind.INSTR_RETIRE,
+                task_id=context.task_id,
+                layer_id=instruction.layer_id,
+                duration=cycles,
+                opcode=instruction.opcode.name,
+                program_index=context.instr_index,
             )
         self.clock += cycles
         context.busy_cycles += cycles

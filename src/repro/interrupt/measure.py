@@ -23,6 +23,7 @@ from repro.compiler.compile import CompiledNetwork
 from repro.errors import SchedulerError
 from repro.hw.config import AcceleratorConfig
 from repro.interrupt.base import InterruptMethod
+from repro.obs.config import ObsConfig
 from repro.runtime.system import MultiTaskSystem
 
 
@@ -50,7 +51,7 @@ def run_alone(
 ) -> int:
     """Cycles for one inference on an otherwise-idle system of this method."""
     system = MultiTaskSystem(
-        compiled.config, iau_mode=method.iau_mode, functional=functional
+        compiled.config, iau_mode=method.iau_mode, obs=ObsConfig(functional=functional)
     )
     system.add_task(0, compiled, vi_mode=method.vi_mode)
     system.submit(0, 0)
@@ -76,7 +77,9 @@ def measure_interrupt(
     if not 0 <= request_cycle:
         raise SchedulerError(f"request_cycle must be non-negative, got {request_cycle}")
 
-    system = MultiTaskSystem(low.config, iau_mode=method.iau_mode, functional=functional)
+    system = MultiTaskSystem(
+        low.config, iau_mode=method.iau_mode, obs=ObsConfig(functional=functional)
+    )
     system.add_task(0, high, vi_mode=method.vi_mode)
     system.add_task(1, low, vi_mode=method.vi_mode)
     system.submit(1, 0)

@@ -13,6 +13,7 @@ from repro.analysis.tables import format_table
 from repro.compiler.compile import CompiledNetwork
 from repro.multicore.system import MultiCoreSystem
 from repro.runtime.stats import summarize_jobs
+from repro.runtime.system import ArrivalPolicy
 
 
 @dataclass(frozen=True)
@@ -88,7 +89,12 @@ def run_fe_pr_deployment(
     else:
         system.add_task(0, high)
         system.add_task(1, low)
-    system.submit_periodic(0, period_cycles=high_period_cycles, count=high_count)
+    system.submit(
+        0,
+        policy=ArrivalPolicy.PERIODIC,
+        period_cycles=high_period_cycles,
+        count=high_count,
+    )
     for _ in range(low_count):
         system.submit(1, 0)
     makespan = system.run()

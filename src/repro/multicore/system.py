@@ -20,6 +20,7 @@ configured bandwidth); the ablation benchmark documents this.
 from __future__ import annotations
 
 import heapq
+import warnings
 from dataclasses import dataclass
 
 from repro.accel.core import AcceleratorCore
@@ -29,6 +30,9 @@ from repro.hw.config import AcceleratorConfig
 from repro.hw.ddr import Ddr
 from repro.iau.context import JobRecord
 from repro.iau.unit import Iau
+from repro.obs.bus import EventBus
+from repro.obs.config import ObsConfig, resolve_obs_config
+from repro.runtime.system import ArrivalPolicy
 
 PLACEMENTS = ("static", "least-loaded")
 
@@ -56,7 +60,9 @@ class MultiCoreSystem:
         num_cores: int,
         iau_mode: str = "virtual",
         placement: str = "static",
-        functional: bool = False,
+        functional: bool | None = None,
+        *,
+        obs: ObsConfig | None = None,
     ):
         if num_cores < 1:
             raise SchedulerError(f"num_cores must be >= 1, got {num_cores}")
@@ -64,10 +70,25 @@ class MultiCoreSystem:
             raise SchedulerError(f"placement must be one of {PLACEMENTS}")
         self.config = config
         self.placement = placement
+        self.obs = resolve_obs_config(
+            obs, functional, None, owner="MultiCoreSystem", default_functional=False
+        )
+        # All cores share one bus; each IAU tags its events with a scope so
+        # exporters can separate the per-core streams.
+        self.bus: EventBus | None = (
+            EventBus(record=self.obs.events, sinks=self.obs.sinks)
+            if self.obs.enabled
+            else None
+        )
         self.ddr = Ddr()
         self.cores: list[Iau] = [
-            Iau(AcceleratorCore(config, self.ddr, functional=functional), mode=iau_mode)
-            for _ in range(num_cores)
+            Iau(
+                AcceleratorCore(config, self.ddr, obs=self.obs),
+                mode=iau_mode,
+                bus=self.bus,
+                obs_scope=f"core{index}",
+            )
+            for index in range(num_cores)
         ]
         self._bindings: dict[int, _TaskBinding] = {}
         self._requests: list[_Request] = []
@@ -112,15 +133,60 @@ class MultiCoreSystem:
             compiled=compiled, vi_mode=vi_mode, static_core=core
         )
 
-    def submit(self, task_id: int, at_cycle: int = 0) -> None:
+    def submit(
+        self,
+        task_id: int,
+        at_cycle: int = 0,
+        *,
+        policy: ArrivalPolicy = ArrivalPolicy.AT,
+        period_cycles: int | None = None,
+        count: int | None = None,
+    ) -> bool:
+        """Schedule inference request(s); same surface as the single-core
+        :meth:`repro.runtime.system.MultiTaskSystem.submit`.
+
+        ``NOW_IF_FREE`` is not meaningful before dispatch-time placement is
+        known, so it is rejected here.
+        """
         if task_id not in self._bindings:
             raise SchedulerError(f"no task attached at slot {task_id}")
+        if policy is ArrivalPolicy.AT:
+            if period_cycles is not None or count is not None:
+                raise SchedulerError("period_cycles/count require policy=PERIODIC")
+            self._schedule(task_id, at_cycle)
+            return True
+        if policy is ArrivalPolicy.PERIODIC:
+            if period_cycles is None or count is None:
+                raise SchedulerError("policy=PERIODIC requires period_cycles and count")
+            if period_cycles <= 0:
+                raise SchedulerError(f"period must be positive, got {period_cycles}")
+            if count <= 0:
+                raise SchedulerError(f"count must be positive, got {count}")
+            for index in range(count):
+                self._schedule(task_id, at_cycle + index * period_cycles)
+            return True
+        raise SchedulerError(f"arrival policy {policy!r} is not supported on MultiCoreSystem")
+
+    def _schedule(self, task_id: int, at_cycle: int) -> None:
         heapq.heappush(self._requests, _Request(at_cycle, self._sequence, task_id))
         self._sequence += 1
 
     def submit_periodic(self, task_id: int, period_cycles: int, count: int, offset: int = 0) -> None:
-        for index in range(count):
-            self.submit(task_id, offset + index * period_cycles)
+        """Deprecated: use ``submit(task_id, offset, policy=ArrivalPolicy.PERIODIC, ...)``."""
+        warnings.warn(
+            "submit_periodic() is deprecated; use "
+            "submit(task_id, offset, policy=ArrivalPolicy.PERIODIC, "
+            "period_cycles=..., count=...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.submit(
+            task_id,
+            offset,
+            policy=ArrivalPolicy.PERIODIC,
+            period_cycles=period_cycles,
+            count=count,
+        )
 
     # -- dispatch ---------------------------------------------------------------
 
@@ -179,6 +245,16 @@ class MultiCoreSystem:
                 collected.extend(context.completed)
         collected.sort(key=lambda job: job.request_cycle)
         return collected
+
+    def summary(self) -> str:
+        """Plain-text per-task observability summary (needs ``obs.events``)."""
+        if self.bus is None:
+            raise SchedulerError(
+                "no events recorded: construct with obs=ObsConfig(events=True)"
+            )
+        from repro.obs.export import summarize
+
+        return summarize(self.bus)
 
     def core_busy_cycles(self) -> list[int]:
         """Per-core busy time (for utilisation/balance analysis)."""

@@ -1,0 +1,63 @@
+"""Unified observability: event bus, metrics, spans, exporters.
+
+One instrumentation path for the whole stack::
+
+    from repro import AcceleratorConfig, MultiTaskSystem, ObsConfig, compile_tasks, summarize
+    from repro.zoo import build_tiny_cnn, build_tiny_residual
+
+    config = AcceleratorConfig.big()
+    low, high = compile_tasks([build_tiny_cnn(), build_tiny_residual()], config)
+    system = MultiTaskSystem(config, obs=ObsConfig(events=True, metrics=True))
+    system.add_task(0, high)
+    system.add_task(1, low)
+    system.submit(1, at_cycle=0)
+    system.submit(0, at_cycle=2_000)
+    system.run()
+
+    span = system.spans(0)[0]           # per-job span tree
+    print(span.format())                # layers, preemptions, VI expansions
+    print(summarize(system))            # plain-text per-task table
+
+Exporters (:mod:`repro.obs.export`) write the same event stream as a
+chrome://tracing JSON, as JSON lines, or as the summary table above.
+"""
+
+from repro.obs.bus import CallbackSink, EventBus, ListSink, NullSink, Sink
+from repro.obs.config import ObsConfig, resolve_obs_config
+from repro.obs.events import Event, EventKind
+from repro.obs.export import (
+    events_to_chrome,
+    events_to_jsonl,
+    read_jsonl,
+    summarize,
+    write_chrome_trace_events,
+    write_jsonl,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, Metrics, MetricsSink
+from repro.obs.spans import Span, job_spans, ros_spans
+
+__all__ = [
+    "CallbackSink",
+    "Counter",
+    "Event",
+    "EventBus",
+    "EventKind",
+    "Gauge",
+    "Histogram",
+    "ListSink",
+    "Metrics",
+    "MetricsSink",
+    "NullSink",
+    "ObsConfig",
+    "Sink",
+    "Span",
+    "events_to_chrome",
+    "events_to_jsonl",
+    "job_spans",
+    "read_jsonl",
+    "resolve_obs_config",
+    "ros_spans",
+    "summarize",
+    "write_chrome_trace_events",
+    "write_jsonl",
+]

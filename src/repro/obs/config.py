@@ -1,0 +1,94 @@
+"""The options object configuring execution + observability.
+
+``ObsConfig`` replaces the bare ``functional: bool`` / ``trace: bool``
+constructor flags that used to be threaded through :class:`AcceleratorCore`
+and :class:`MultiTaskSystem` (those booleans still work, with a
+``DeprecationWarning``).  One immutable object now answers every "what
+should this run record?" question:
+
+* ``functional`` — run real int8 arithmetic (vs timing-only);
+* ``events`` — record structured events on the system's :class:`EventBus`;
+* ``trace`` — maintain a legacy :class:`~repro.accel.trace.ExecutionTrace`
+  (a thin adapter over the bus);
+* ``metrics`` — maintain a :class:`~repro.obs.metrics.Metrics` registry;
+* ``sinks`` — extra sinks attached to the bus (e.g. ``NullSink`` for
+  overhead measurement, a streaming JSONL writer).
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+
+from repro.obs.bus import Sink
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """Execution-mode + instrumentation options (keyword-only everywhere)."""
+
+    functional: bool = False
+    events: bool = False
+    trace: bool = False
+    metrics: bool = False
+    sinks: tuple[Sink, ...] = field(default_factory=tuple)
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any instrumentation (hence an event bus) is wanted."""
+        return self.events or self.trace or self.metrics or bool(self.sinks)
+
+    @classmethod
+    def off(cls, functional: bool = False) -> ObsConfig:
+        """No instrumentation at all (the zero-overhead default)."""
+        return cls(functional=functional)
+
+    @classmethod
+    def full(cls, functional: bool = False) -> ObsConfig:
+        """Everything on: events + legacy trace + metrics."""
+        return cls(functional=functional, events=True, trace=True, metrics=True)
+
+
+def resolve_obs_config(
+    obs: ObsConfig | None,
+    functional: bool | None,
+    trace: bool | None,
+    *,
+    owner: str,
+    default_functional: bool = False,
+) -> ObsConfig:
+    """Merge the new options object with the deprecated boolean flags.
+
+    Explicitly passed booleans win over ``obs`` (so old call sites behave
+    identically) but raise a :class:`DeprecationWarning` naming the
+    replacement.  ``stacklevel=3`` points at the caller of the constructor
+    that called us.
+    """
+    if functional is None and trace is None:
+        if obs is None:
+            return ObsConfig(functional=default_functional)
+        return obs
+    deprecated = [
+        f"{name}={value}"
+        for name, value in (("functional", functional), ("trace", trace))
+        if value is not None
+    ]
+    warnings.warn(
+        f"{owner}({', '.join(deprecated)}) is deprecated; pass "
+        f"obs=ObsConfig(...) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    base = obs if obs is not None else ObsConfig(functional=default_functional)
+    replacements: dict[str, bool] = {}
+    if functional is not None:
+        replacements["functional"] = functional
+    if trace is not None:
+        replacements["trace"] = trace
+    return ObsConfig(
+        functional=replacements.get("functional", base.functional),
+        events=base.events,
+        trace=replacements.get("trace", base.trace),
+        metrics=base.metrics,
+        sinks=base.sinks,
+    )

@@ -1,0 +1,80 @@
+"""The observability event taxonomy.
+
+Every layer of the stack reports what it does as cycle-stamped
+:class:`Event` records on one shared :class:`~repro.obs.bus.EventBus`:
+
+======================  =====================================================
+kind                    emitted by / meaning
+======================  =====================================================
+``INSTR_RETIRE``        IAU / runner — one real instruction executed
+``VI_EXPAND``           IAU — a virtual instruction expanded into a backup
+                        transfer (``phase="backup"``) or a recovery load
+                        re-executed on resume (``phase="recovery"``)
+``PREEMPT_BEGIN``       IAU — a running task lost the accelerator
+``PREEMPT_END``         IAU — a preempted task got the accelerator back
+``DDR_BURST``           accelerator core — one DMA transfer (LOAD/SAVE)
+``JOB_SUBMIT``          IAU — an inference request reached a task slot
+``JOB_START``           IAU — a queued job issued its first instruction
+``JOB_COMPLETE``        IAU — a job retired its last instruction
+``ROS_PUBLISH``         ROS executor — a message was published to a topic
+``ROS_DELIVER``         ROS executor — one subscriber callback received it
+======================  =====================================================
+
+``cycle`` is the accelerator clock at emission and is non-decreasing within
+one system's event stream (back-dated request times travel in ``data``,
+never in the stamp).  Kind-specific payloads live in the ``data`` mapping so
+every event serialises to one flat JSON object.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+
+class EventKind(enum.Enum):
+    """The closed set of event types the stack emits."""
+
+    INSTR_RETIRE = "instr_retire"
+    VI_EXPAND = "vi_expand"
+    PREEMPT_BEGIN = "preempt_begin"
+    PREEMPT_END = "preempt_end"
+    DDR_BURST = "ddr_burst"
+    JOB_SUBMIT = "job_submit"
+    JOB_START = "job_start"
+    JOB_COMPLETE = "job_complete"
+    ROS_PUBLISH = "ros_publish"
+    ROS_DELIVER = "ros_deliver"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One cycle-stamped observation.
+
+    ``duration`` is non-zero for events that span time (instruction
+    execution, DMA bursts); instantaneous events keep it at 0.
+    """
+
+    kind: EventKind
+    cycle: int
+    task_id: int | None = None
+    layer_id: int | None = None
+    duration: int = 0
+    data: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def end_cycle(self) -> int:
+        return self.cycle + self.duration
+
+    def to_dict(self) -> dict[str, Any]:
+        """Flatten to one JSON-serialisable dict (for the JSONL exporter)."""
+        record: dict[str, Any] = {"kind": self.kind.value, "cycle": self.cycle}
+        if self.task_id is not None:
+            record["task_id"] = self.task_id
+        if self.layer_id is not None:
+            record["layer_id"] = self.layer_id
+        if self.duration:
+            record["duration"] = self.duration
+        record.update(self.data)
+        return record

@@ -1,0 +1,172 @@
+"""Per-job spans derived from the event stream.
+
+A span is a named ``[start_cycle, end_cycle]`` interval with children — the
+cross-layer view the raw :class:`JobRecord` fields cannot give.  Each job
+span nests what happened *inside* the job:
+
+* ``layer`` children — the accelerator-level per-layer execution windows
+  (from ``INSTR_RETIRE`` events);
+* ``preemption`` children — IAU-level intervals where the job had lost the
+  accelerator (``PREEMPT_BEGIN`` → ``PREEMPT_END``);
+* ``vi`` children — virtual-instruction expansions (backup / recovery).
+
+ROS activity is grouped separately by :func:`ros_spans` (publishes with
+their per-subscriber deliveries), since messages are not bound to one task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.obs.bus import EventBus
+from repro.obs.events import Event, EventKind
+
+
+@dataclass
+class Span:
+    """A named interval with nested children (all times in cycles)."""
+
+    name: str
+    kind: str
+    start_cycle: int
+    end_cycle: int
+    task_id: int | None = None
+    children: list["Span"] = field(default_factory=list)
+    data: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> int:
+        return self.end_cycle - self.start_cycle
+
+    def find(self, kind: str) -> list["Span"]:
+        """All direct children of one kind."""
+        return [child for child in self.children if child.kind == kind]
+
+    def format(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        lines = [
+            f"{pad}{self.name} [{self.start_cycle}, {self.end_cycle}] "
+            f"({self.duration} cycles)"
+        ]
+        for child in self.children:
+            lines.append(child.format(indent + 1))
+        return "\n".join(lines)
+
+
+def _as_events(events: Iterable[Event] | EventBus) -> list[Event]:
+    if isinstance(events, EventBus):
+        return events.events
+    return list(events)
+
+
+def job_spans(
+    events: Iterable[Event] | EventBus, task_id: int | None = None
+) -> list[Span]:
+    """Build one span per completed job, oldest first.
+
+    ``task_id`` filters to one task slot; by default every task's jobs are
+    returned (sorted by start cycle).
+    """
+    spans: list[Span] = []
+    open_jobs: dict[int, Span] = {}
+    open_layers: dict[int, dict[int, Span]] = {}
+    open_preemptions: dict[int, Span] = {}
+    job_counts: dict[int, int] = {}
+
+    for event in _as_events(events):
+        task = event.task_id
+        if task is None or (task_id is not None and task != task_id):
+            continue
+        if event.kind is EventKind.JOB_START:
+            index = job_counts.get(task, 0)
+            job_counts[task] = index + 1
+            open_jobs[task] = Span(
+                name=f"task{task}/job{index}",
+                kind="job",
+                start_cycle=event.cycle,
+                end_cycle=event.cycle,
+                task_id=task,
+                data={"job_index": index, **event.data},
+            )
+            open_layers[task] = {}
+        elif task in open_jobs:
+            job = open_jobs[task]
+            if event.kind is EventKind.INSTR_RETIRE and event.layer_id is not None:
+                layers = open_layers[task]
+                layer = layers.get(event.layer_id)
+                if layer is None:
+                    layers[event.layer_id] = Span(
+                        name=f"layer{event.layer_id}",
+                        kind="layer",
+                        start_cycle=event.cycle,
+                        end_cycle=event.end_cycle,
+                        task_id=task,
+                    )
+                else:
+                    layer.start_cycle = min(layer.start_cycle, event.cycle)
+                    layer.end_cycle = max(layer.end_cycle, event.end_cycle)
+            elif event.kind is EventKind.VI_EXPAND:
+                job.children.append(
+                    Span(
+                        name=f"vi/{event.data.get('phase', '?')}",
+                        kind="vi",
+                        start_cycle=event.cycle,
+                        end_cycle=event.end_cycle,
+                        task_id=task,
+                        data=dict(event.data),
+                    )
+                )
+            elif event.kind is EventKind.PREEMPT_BEGIN:
+                open_preemptions[task] = Span(
+                    name="preempted",
+                    kind="preemption",
+                    start_cycle=event.cycle,
+                    end_cycle=event.cycle,
+                    task_id=task,
+                    data=dict(event.data),
+                )
+            elif event.kind is EventKind.PREEMPT_END:
+                preemption = open_preemptions.pop(task, None)
+                if preemption is not None:
+                    preemption.end_cycle = event.cycle
+                    job.children.append(preemption)
+            elif event.kind is EventKind.JOB_COMPLETE:
+                job.end_cycle = event.cycle
+                job.data.update(event.data)
+                job.children.extend(open_layers.pop(task, {}).values())
+                job.children.sort(key=lambda span: (span.start_cycle, span.kind))
+                spans.append(job)
+                del open_jobs[task]
+    spans.sort(key=lambda span: span.start_cycle)
+    return spans
+
+
+def ros_spans(events: Iterable[Event] | EventBus) -> list[Span]:
+    """One span per published message, deliveries nested as children."""
+    spans: list[Span] = []
+    for event in _as_events(events):
+        if event.kind is EventKind.ROS_PUBLISH:
+            spans.append(
+                Span(
+                    name=f"publish {event.data.get('topic', '?')}",
+                    kind="ros",
+                    start_cycle=event.cycle,
+                    end_cycle=event.end_cycle,
+                    data=dict(event.data),
+                )
+            )
+        elif event.kind is EventKind.ROS_DELIVER and spans:
+            last = spans[-1]
+            if last.data.get("topic") == event.data.get("topic"):
+                last.children.append(
+                    Span(
+                        name=f"deliver {event.data.get('topic', '?')}",
+                        kind="ros_deliver",
+                        start_cycle=event.cycle,
+                        end_cycle=event.end_cycle,
+                        data=dict(event.data),
+                    )
+                )
+                last.end_cycle = max(last.end_cycle, event.end_cycle)
+    return spans

@@ -20,6 +20,8 @@ from typing import Callable
 
 from repro.errors import RosError
 from repro.iau.context import JobRecord
+from repro.obs.bus import EventBus
+from repro.obs.events import EventKind
 from repro.ros.topic import TopicRegistry
 from repro.runtime.system import MultiTaskSystem
 
@@ -32,10 +34,16 @@ class _Event:
 
 
 class Executor:
-    """One agent's event loop, bound to that agent's accelerator system."""
+    """One agent's event loop, bound to that agent's accelerator system.
 
-    def __init__(self, system: MultiTaskSystem | None = None):
+    When the attached system records observability events (or an explicit
+    ``bus`` is given), the executor reports every publish and per-subscriber
+    delivery on the same bus, stamped at the executor clock.
+    """
+
+    def __init__(self, system: MultiTaskSystem | None = None, *, bus: EventBus | None = None):
         self.system = system
+        self.bus = bus if bus is not None else getattr(system, "bus", None)
         self.topics = TopicRegistry()
         self._events: list[_Event] = []
         self._sequence = 0
@@ -75,7 +83,27 @@ class Executor:
 
     def publish(self, topic_name: str, message: object) -> None:
         """Deliver a message to all subscribers immediately (same timestamp)."""
-        self.topics.topic(topic_name).deliver(message)
+        topic = self.topics.topic(topic_name)
+        if self.bus is None:
+            topic.deliver(message)
+            return
+        self.bus.advance(self.clock)
+        self.bus.emit(
+            EventKind.ROS_PUBLISH,
+            cycle=self.clock,
+            topic=topic_name,
+            message=type(message).__name__,
+            subscribers=len(topic.subscribers),
+        )
+        topic.deliver(
+            message,
+            observer=lambda callback: self.bus.emit(
+                EventKind.ROS_DELIVER,
+                cycle=self.clock,
+                topic=topic_name,
+                subscriber=getattr(callback, "__qualname__", repr(callback)),
+            ),
+        )
 
     def subscribe(self, topic_name: str, callback) -> None:
         self.topics.topic(topic_name).subscribe(callback)

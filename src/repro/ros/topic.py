@@ -23,10 +23,16 @@ class Topic:
     def subscribe(self, callback: Callback) -> None:
         self.subscribers.append(callback)
 
-    def deliver(self, message: object) -> None:
+    def deliver(
+        self, message: object, observer: Callable[[Callback], None] | None = None
+    ) -> None:
+        """Fan out to all subscribers; ``observer`` is called once per
+        subscriber just before its callback (observability hook)."""
         if self.record:
             self.history.append(message)
         for callback in list(self.subscribers):
+            if observer is not None:
+                observer(callback)
             callback(message)
 
 

@@ -11,9 +11,15 @@ from repro.runtime.policies import (
     worst_blocking_cycles,
 )
 from repro.runtime.stats import TaskStats, degradation_percent, summarize_jobs
-from repro.runtime.system import MultiTaskSystem, TimedRequest, compile_tasks
+from repro.runtime.system import (
+    ArrivalPolicy,
+    MultiTaskSystem,
+    TimedRequest,
+    compile_tasks,
+)
 
 __all__ = [
+    "ArrivalPolicy",
     "MultiTaskSystem",
     "PeriodicTask",
     "ResponseTimeResult",

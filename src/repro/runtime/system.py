@@ -4,11 +4,25 @@ This is the full-system harness the experiments drive: several compiled
 networks attached to priority slots, inference requests arriving at given
 cycle times (from the ROS layer or from an experiment script), and the IAU
 arbitrating the single accelerator between them.
+
+Observability is configured with one keyword-only options object::
+
+    system = MultiTaskSystem(config, obs=ObsConfig(events=True, metrics=True))
+    ...
+    system.run()
+    print(system.spans(0)[0].format())   # per-job span tree
+    print(system.summary())              # per-task text table
+
+Request arrival disciplines are unified behind :meth:`submit` +
+:class:`ArrivalPolicy`; the old ``submit_if_free`` / ``submit_periodic``
+names remain as deprecated wrappers.
 """
 
 from __future__ import annotations
 
+import enum
 import heapq
+import warnings
 from dataclasses import dataclass
 
 from repro.accel.core import AcceleratorCore
@@ -20,7 +34,25 @@ from repro.hw.ddr import Ddr
 from repro.iau.context import JobRecord
 from repro.iau.unit import Iau
 from repro.nn.graph import NetworkGraph
+from repro.obs.bus import EventBus
+from repro.obs.config import ObsConfig, resolve_obs_config
+from repro.obs.export import summarize
+from repro.obs.metrics import Metrics, MetricsSink
+from repro.obs.spans import Span, job_spans
 from repro.units import MIB
+
+
+class ArrivalPolicy(enum.Enum):
+    """How :meth:`MultiTaskSystem.submit` interprets a request."""
+
+    #: Schedule one request at ``at_cycle`` (the default).
+    AT = "at"
+    #: Submit *now* only if the task has no pending or running work —
+    #: the frame-dropping discipline soft-real-time nodes use.
+    NOW_IF_FREE = "now_if_free"
+    #: Schedule ``count`` requests ``period_cycles`` apart, starting at
+    #: ``at_cycle``.
+    PERIODIC = "periodic"
 
 
 @dataclass(frozen=True, order=True)
@@ -39,17 +71,35 @@ class MultiTaskSystem:
         self,
         config: AcceleratorConfig,
         iau_mode: str = "virtual",
-        functional: bool = False,
-        trace: bool = False,
+        functional: bool | None = None,
+        trace: bool | None = None,
+        *,
+        obs: ObsConfig | None = None,
     ):
         self.config = config
+        self.obs = resolve_obs_config(
+            obs, functional, trace, owner="MultiTaskSystem", default_functional=False
+        )
         self.ddr = Ddr()
-        self.core = AcceleratorCore(config, self.ddr, functional=functional)
-        self.trace = ExecutionTrace() if trace else None
-        self.iau = Iau(self.core, mode=iau_mode, trace=self.trace)
+
+        self.bus: EventBus | None = None
+        self.metrics: Metrics | None = None
+        self.trace: ExecutionTrace | None = None
+        if self.obs.enabled:
+            self.bus = EventBus(record=self.obs.events, sinks=self.obs.sinks)
+            if self.obs.metrics:
+                self.metrics = Metrics()
+                self.bus.attach(MetricsSink(self.metrics))
+            if self.obs.trace:
+                self.trace = ExecutionTrace.from_bus(self.bus)
+
+        self.core = AcceleratorCore(config, self.ddr, obs=self.obs, bus=self.bus)
+        self.iau = Iau(self.core, mode=iau_mode, bus=self.bus)
         self._requests: list[TimedRequest] = []
         self._sequence = 0
         self._task_ids: list[int] = []
+        #: Undelivered requests per task (keeps NOW_IF_FREE O(1)).
+        self._pending: dict[int, int] = {}
 
     # -- setup -------------------------------------------------------------
 
@@ -59,48 +109,98 @@ class MultiTaskSystem:
             self.ddr.adopt(region)
         self.iau.attach_task(task_id, compiled, vi_mode=vi_mode)
         self._task_ids.append(task_id)
+        self._pending[task_id] = 0
 
     # -- request injection ----------------------------------------------------
 
-    def submit(self, task_id: int, at_cycle: int = 0) -> None:
-        """Schedule one inference request for ``task_id`` at ``at_cycle``."""
+    def submit(
+        self,
+        task_id: int,
+        at_cycle: int = 0,
+        *,
+        policy: ArrivalPolicy = ArrivalPolicy.AT,
+        period_cycles: int | None = None,
+        count: int | None = None,
+    ) -> bool:
+        """Schedule inference request(s) for ``task_id``.
+
+        * ``policy=AT`` (default) — one request at ``at_cycle``;
+        * ``policy=NOW_IF_FREE`` — submit at the current clock unless the
+          task already has work pending or running (returns whether the
+          request was accepted);
+        * ``policy=PERIODIC`` — ``count`` requests ``period_cycles`` apart,
+          the first at ``at_cycle``.
+
+        Returns True when at least one request was scheduled.
+        """
         if task_id not in self._task_ids:
             raise SchedulerError(f"no task attached at slot {task_id}")
+        if policy is ArrivalPolicy.AT:
+            if period_cycles is not None or count is not None:
+                raise SchedulerError("period_cycles/count require policy=PERIODIC")
+            self._schedule(task_id, at_cycle)
+            return True
+        if policy is ArrivalPolicy.NOW_IF_FREE:
+            if period_cycles is not None or count is not None:
+                raise SchedulerError("period_cycles/count require policy=PERIODIC")
+            if self.iau.context(task_id).runnable or self._pending[task_id]:
+                return False
+            self._schedule(task_id, self.iau.clock)
+            return True
+        if policy is ArrivalPolicy.PERIODIC:
+            if period_cycles is None or count is None:
+                raise SchedulerError("policy=PERIODIC requires period_cycles and count")
+            if period_cycles <= 0:
+                raise SchedulerError(f"period must be positive, got {period_cycles}")
+            if count <= 0:
+                raise SchedulerError(f"count must be positive, got {count}")
+            for index in range(count):
+                self._schedule(task_id, at_cycle + index * period_cycles)
+            return True
+        raise SchedulerError(f"unknown arrival policy {policy!r}")  # pragma: no cover
+
+    def _schedule(self, task_id: int, at_cycle: int) -> None:
         if at_cycle < self.iau.clock:
             raise SchedulerError(
                 f"cannot submit in the past (at {at_cycle}, clock {self.iau.clock})"
             )
         heapq.heappush(self._requests, TimedRequest(at_cycle, self._sequence, task_id))
         self._sequence += 1
+        self._pending[task_id] += 1
 
     def submit_if_free(self, task_id: int) -> bool:
-        """Submit a request *now* unless the task already has work pending.
-
-        This is the frame-dropping discipline soft-real-time nodes use (the
-        DSLAM PR node: process the newest frame when free, skip the rest).
-        Returns True when the job was accepted.  Only meaningful for "now"
-        submissions — the busy check reads the task's current state.
-        """
-        if task_id not in self._task_ids:
-            raise SchedulerError(f"no task attached at slot {task_id}")
-        context = self.iau.context(task_id)
-        if context.runnable:
-            return False
-        if any(request.task_id == task_id for request in self._requests):
-            return False
-        self.submit(task_id, at_cycle=self.iau.clock)
-        return True
+        """Deprecated: use ``submit(task_id, policy=ArrivalPolicy.NOW_IF_FREE)``."""
+        warnings.warn(
+            "submit_if_free() is deprecated; use "
+            "submit(task_id, policy=ArrivalPolicy.NOW_IF_FREE)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.submit(task_id, policy=ArrivalPolicy.NOW_IF_FREE)
 
     def submit_periodic(self, task_id: int, period_cycles: int, count: int, offset: int = 0) -> None:
-        """Schedule ``count`` requests spaced ``period_cycles`` apart."""
-        for index in range(count):
-            self.submit(task_id, offset + index * period_cycles)
+        """Deprecated: use ``submit(task_id, offset, policy=ArrivalPolicy.PERIODIC, ...)``."""
+        warnings.warn(
+            "submit_periodic() is deprecated; use "
+            "submit(task_id, offset, policy=ArrivalPolicy.PERIODIC, "
+            "period_cycles=..., count=...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.submit(
+            task_id,
+            offset,
+            policy=ArrivalPolicy.PERIODIC,
+            period_cycles=period_cycles,
+            count=count,
+        )
 
     # -- simulation ---------------------------------------------------------------
 
     def _deliver_due(self) -> None:
         while self._requests and self._requests[0].cycle <= self.iau.clock:
             request = heapq.heappop(self._requests)
+            self._pending[request.task_id] -= 1
             # Back-date to the true arrival: the request may become visible
             # only after the in-flight instruction retires, but its latency
             # clock starts when the interrupt line was raised.
@@ -137,6 +237,22 @@ class MultiTaskSystem:
                 f"task {task_id} completed {len(completed)} job(s), wanted #{index}"
             )
         return completed[index]
+
+    def spans(self, task_id: int | None = None) -> list[Span]:
+        """Per-job span trees derived from the recorded events."""
+        if self.bus is None:
+            raise SchedulerError(
+                "no events recorded: construct with obs=ObsConfig(events=True)"
+            )
+        return job_spans(self.bus, task_id)
+
+    def summary(self) -> str:
+        """Plain-text per-task observability summary."""
+        if self.bus is None:
+            raise SchedulerError(
+                "no events recorded: construct with obs=ObsConfig(events=True)"
+            )
+        return summarize(self.bus)
 
     def seconds(self, cycles: int) -> float:
         return self.config.clock.cycles_to_s(cycles)

@@ -4,19 +4,31 @@ Writes the ``chrome://tracing`` / Perfetto JSON format so a pre-emption
 schedule can be inspected interactively: one row per task, one duration
 event per executed instruction, microsecond timestamps at the accelerator
 clock.
+
+:func:`write_chrome_trace` accepts the legacy :class:`ExecutionTrace`, an
+:class:`~repro.obs.bus.EventBus`, or a plain list of
+:class:`~repro.obs.events.Event`; the bus forms additionally carry
+pre-emptions, VI expansions, DDR bursts, and job/ROS instants.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
+from typing import Iterable
 
 from repro.accel.trace import ExecutionTrace
+from repro.obs.bus import EventBus
+from repro.obs.events import Event
+from repro.obs.export import events_to_chrome
 from repro.units import Frequency
+
+#: Anything :func:`write_chrome_trace` can render.
+TraceSource = ExecutionTrace | EventBus | Iterable[Event]
 
 
 def trace_to_chrome_events(trace: ExecutionTrace, clock: Frequency) -> list[dict]:
-    """Convert a trace into Chrome 'X' (complete) events."""
+    """Convert a legacy flat trace into Chrome 'X' (complete) events."""
     events = []
     for event in trace.events:
         events.append(
@@ -38,13 +50,21 @@ def trace_to_chrome_events(trace: ExecutionTrace, clock: Frequency) -> list[dict
     return events
 
 
+def _chrome_events(source: TraceSource, clock: Frequency) -> list[dict]:
+    if isinstance(source, ExecutionTrace):
+        return trace_to_chrome_events(source, clock)
+    if isinstance(source, EventBus):
+        return events_to_chrome(source.events, clock)
+    return events_to_chrome(list(source), clock)
+
+
 def write_chrome_trace(
-    trace: ExecutionTrace, clock: Frequency, path: str | Path
+    source: TraceSource, clock: Frequency, path: str | Path
 ) -> Path:
     """Write the trace file; open it in chrome://tracing or ui.perfetto.dev."""
     path = Path(path)
     payload = {
-        "traceEvents": trace_to_chrome_events(trace, clock),
+        "traceEvents": _chrome_events(source, clock),
         "displayTimeUnit": "ns",
         "metadata": {
             "tool": "repro (INCA reproduction)",

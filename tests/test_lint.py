@@ -1,0 +1,33 @@
+"""Lint gate: ruff over src/ and tests/ with the pyproject configuration.
+
+Skips cleanly when ruff is not installed (it is an optional dev tool; the
+configuration in pyproject.toml is authoritative either way).
+"""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.mark.skipif(shutil.which("ruff") is None, reason="ruff not installed")
+def test_ruff_clean():
+    result = subprocess.run(
+        ["ruff", "check", "src", "tests", "benchmarks", "examples"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, f"ruff found issues:\n{result.stdout}{result.stderr}"
+
+
+def test_ruff_configuration_present():
+    """The config must exist even when the binary is absent."""
+    pyproject = (REPO_ROOT / "pyproject.toml").read_text()
+    assert "[tool.ruff]" in pyproject
+    assert "[tool.ruff.lint]" in pyproject
