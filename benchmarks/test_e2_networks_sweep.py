@@ -12,7 +12,6 @@ accelerator's VGA compiles run to ~1.4M instructions each.
 
 from __future__ import annotations
 
-import math
 
 import pytest
 

@@ -6,7 +6,7 @@ from benchmarks.conftest import write_result
 from repro.analysis import experiment_worked_example
 from repro.compiler import compile_network
 from repro.hw.config import AcceleratorConfig
-from repro.interrupt import LAYER_BY_LAYER, VIRTUAL_INSTRUCTION, measure_interrupt, run_alone
+from repro.interrupt import LAYER_BY_LAYER, VIRTUAL_INSTRUCTION, measure_interrupt
 from repro.zoo import build_medium_layer_net, build_tiny_conv
 
 

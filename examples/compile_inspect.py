@@ -18,7 +18,6 @@ import argparse
 
 from repro import AcceleratorConfig, compile_network
 from repro.analysis import format_table
-from repro.isa import Opcode
 from repro.nn import TensorShape
 from repro.zoo import build_resnet, build_superpoint, build_tiny_cnn
 

@@ -33,6 +33,14 @@ the metrics registry independently.
 from repro.accel.reference import golden_inference, golden_output
 from repro.accel.runner import RunResult, run_program
 from repro.compiler import CompiledNetwork, ViPolicy, compile_network
+from repro.errors import CheckpointError, EccError, FaultError
+from repro.faults import (
+    DeadlineMissed,
+    DegradationPolicy,
+    FaultPlan,
+    FaultSite,
+    run_campaign,
+)
 from repro.hw import AcceleratorConfig
 from repro.interrupt import (
     CPU_LIKE,
@@ -50,8 +58,15 @@ __all__ = [
     "AcceleratorConfig",
     "ArrivalPolicy",
     "CPU_LIKE",
+    "CheckpointError",
     "CompiledNetwork",
+    "DeadlineMissed",
+    "DegradationPolicy",
+    "EccError",
     "EventBus",
+    "FaultError",
+    "FaultPlan",
+    "FaultSite",
     "GraphBuilder",
     "LAYER_BY_LAYER",
     "Metrics",
@@ -68,6 +83,7 @@ __all__ = [
     "golden_inference",
     "golden_output",
     "measure_interrupt",
+    "run_campaign",
     "run_program",
     "summarize",
 ]

@@ -222,6 +222,13 @@ class AcceleratorCore:
                 f"layer {layer.name!r}: LOAD_D of {instruction.length} bytes "
                 f"overflows the data buffer ({other_bytes} already resident)"
             )
+        fault_cycles = 0
+        if self.ddr.faults is not None:
+            # ECC runs before the burst data leaves DDR.
+            source_region = (
+                layer.input2_region if instruction.operand_b else layer.input_region
+            )
+            fault_cycles = self.ddr.burst_faults(source_region, "load")
         array = None
         if self.functional:
             region_name = layer.input2_region if instruction.operand_b else layer.input_region
@@ -231,6 +238,11 @@ class AcceleratorCore:
                 :,
                 instruction.ch0 : instruction.ch0 + instruction.chs,
             ].copy()
+        if self.ddr.faults is not None:
+            # Read-disturb lands after the in-flight data left DDR intact.
+            self.ddr.read_disturb(
+                layer.input2_region if instruction.operand_b else layer.input_region
+            )
         self.data_tiles[slot] = DataTile(
             layer_id=instruction.layer_id,
             row0=instruction.row0,
@@ -240,7 +252,7 @@ class AcceleratorCore:
             nbytes=instruction.length,
             array=array,
         )
-        cycles = transfer_cycles(self.config, instruction.length)
+        cycles = transfer_cycles(self.config, instruction.length) + fault_cycles
         self.stats.load_cycles += cycles
         self.stats.bytes_loaded += instruction.length
         if self.bus is not None:
@@ -253,6 +265,9 @@ class AcceleratorCore:
                 f"layer {layer.name!r}: LOAD_W of {instruction.length} bytes "
                 f"overflows the weight buffer"
             )
+        fault_cycles = 0
+        if self.ddr.faults is not None:
+            fault_cycles = self.ddr.burst_faults(layer.weight_region, "load")
         array = None
         if self.functional:
             weights = self.ddr.region(layer.weight_region).array
@@ -265,6 +280,12 @@ class AcceleratorCore:
                     instruction.in_ch0 : instruction.in_ch0 + instruction.in_chs,
                     instruction.ch0 : instruction.ch0 + instruction.chs,
                 ]
+        if self.ddr.faults is not None:
+            if array is not None:
+                # The tile must not alias DDR: a later in-place ECC
+                # correction (or a fresh flip) would reach into the tile.
+                array = array.copy()
+            self.ddr.read_disturb(layer.weight_region)
         self.weight_tile = WeightTile(
             layer_id=instruction.layer_id,
             ch0=instruction.ch0,
@@ -274,7 +295,7 @@ class AcceleratorCore:
             nbytes=instruction.length,
             array=array,
         )
-        cycles = transfer_cycles(self.config, instruction.length)
+        cycles = transfer_cycles(self.config, instruction.length) + fault_cycles
         self.stats.load_cycles += cycles
         self.stats.bytes_loaded += instruction.length
         if self.bus is not None:
@@ -540,6 +561,13 @@ class AcceleratorCore:
         if not section.groups:
             self.out = None
         cycles = transfer_cycles(self.config, instruction.length)
+        if self.ddr.faults is not None:
+            # The burst rewrote the ECC words under the saved slice; only
+            # then may the write disturb a cell.
+            self.ddr.note_write(
+                layer.output_region, instruction.row0, instruction.rows, lo, hi
+            )
+            cycles += self.ddr.burst_faults(layer.output_region, "save")
         self.stats.save_cycles += cycles
         self.stats.bytes_saved += instruction.length
         if self.bus is not None:

@@ -33,6 +33,7 @@ from repro.dslam.place_recognition import PlaceDatabase, PlaceEncoder, PlaceMatc
 from repro.dslam.vo import Pose
 from repro.dslam.world import World, WorldConfig
 from repro.errors import DslamError
+from repro.faults.plan import FaultPlan
 from repro.obs.config import ObsConfig
 from repro.ros.executor import Executor
 from repro.runtime.system import MultiTaskSystem
@@ -60,6 +61,9 @@ class DslamScenario:
     #: Observability configuration for each agent's accelerator system
     #: (``None`` keeps instrumentation off, the fast path).
     obs: ObsConfig | None = None
+    #: Fault-injection plan threaded through each agent's accelerator,
+    #: IAU and ROS executor (``None`` = no fault code runs at all).
+    faults: FaultPlan | None = None
 
 
 @dataclass
@@ -159,7 +163,10 @@ def build_agent(
     """Wire one robot: accelerator system, executor, and the four nodes."""
     config = fe_compiled.config
     system = MultiTaskSystem(
-        config, iau_mode="virtual", obs=scenario.obs if scenario.obs is not None else ObsConfig()
+        config,
+        iau_mode="virtual",
+        obs=scenario.obs if scenario.obs is not None else ObsConfig(),
+        faults=scenario.faults,
     )
     system.add_task(0, fe_compiled, vi_mode="vi")
     system.add_task(1, pr_compiled, vi_mode="vi")

@@ -56,5 +56,21 @@ class RosError(IncaError):
     """The ROS-like middleware was misused (unknown topic, bad node...)."""
 
 
+class FaultError(IncaError):
+    """Base class for failures surfaced by the fault-tolerance machinery."""
+
+
+class CheckpointError(FaultError):
+    """A Vir_SAVE checkpoint failed CRC verification beyond the retry budget."""
+
+
+class EccError(FaultError):
+    """DDR corruption the modelled ECC can detect but not correct."""
+
+
+class CampaignError(FaultError):
+    """A fault-injection campaign was misconfigured or misused."""
+
+
 class DslamError(IncaError):
     """A DSLAM component failed (no landmarks in view, bad trajectory...)."""

@@ -1,0 +1,61 @@
+"""Fault injection and fault tolerance (``repro.faults``).
+
+Two halves, one seed:
+
+* **Injection** — a :class:`FaultPlan` drives deterministic fault injectors
+  threaded through the DDR model, the IAU, the runtime and the ROS layer.
+* **Campaigns** — :func:`run_campaign` executes many seeded runs of a
+  scenario, classifies each against a fault-free golden run, and reports
+  survival / recovery rates.
+
+The campaign half imports the full runtime stack, so it is loaded lazily
+(module ``__getattr__``); importing :mod:`repro.faults` from low-level
+modules (``repro.hw``, ``repro.iau``) stays cycle-free.
+"""
+
+from __future__ import annotations
+
+from repro.faults.plan import (
+    ALL_SITES,
+    DeadlineMissed,
+    DegradationPolicy,
+    FaultPlan,
+    FaultSite,
+    InjectedFault,
+)
+
+__all__ = [
+    "ALL_SITES",
+    "CampaignReport",
+    "DeadlineMissed",
+    "DegradationPolicy",
+    "FaultPlan",
+    "FaultSite",
+    "InjectedFault",
+    "RunOutcome",
+    "RunReport",
+    "ScenarioRun",
+    "default_rates",
+    "make_preemption_scenario",
+    "run_campaign",
+]
+
+_CAMPAIGN_NAMES = frozenset(
+    {
+        "CampaignReport",
+        "RunOutcome",
+        "RunReport",
+        "ScenarioRun",
+        "default_rates",
+        "make_preemption_scenario",
+        "run_campaign",
+    }
+)
+
+
+def __getattr__(name: str):
+    if name in _CAMPAIGN_NAMES:
+        from repro.faults import campaign
+
+        return getattr(campaign, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

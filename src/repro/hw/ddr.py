@@ -10,10 +10,15 @@ functional simulation reads and writes real data.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.errors import MemoryMapError
+from repro.errors import EccError, MemoryMapError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults -> hw)
+    from repro.faults.plan import FaultPlan
+    from repro.obs.bus import EventBus
 
 #: Alignment of every allocation (DMA burst friendly).
 DDR_ALIGNMENT = 64
@@ -34,14 +39,37 @@ class DdrRegion:
 
 
 @dataclass
+class _PendingFlip:
+    """One injected bit flip awaiting ECC detection at the next read."""
+
+    region_name: str
+    index: int
+    original: int
+    corrupted: int
+    uncorrectable: bool
+
+
+@dataclass
 class Ddr:
-    """A flat DDR address space with named, non-overlapping regions."""
+    """A flat DDR address space with named, non-overlapping regions.
+
+    When a :class:`~repro.faults.plan.FaultPlan` is attached (see
+    :meth:`attach_faults`), every DMA burst becomes a fault-injection
+    opportunity: bursts may stall, and reads may flip a bit in the touched
+    region.  Detection models SECDED ECC — a single flipped bit is detected
+    and corrected at the next read of its region (or by :meth:`scrub`), an
+    uncorrectable flip raises :class:`~repro.errors.EccError`.  With no plan
+    attached none of this code runs.
+    """
 
     capacity: int = 1 << 32
     base: int = 0
     _cursor: int = field(init=False)
     _regions: dict[str, DdrRegion] = field(init=False, default_factory=dict)
     _by_base: dict[int, DdrRegion] = field(init=False, default_factory=dict)
+    faults: "FaultPlan | None" = field(init=False, default=None)
+    bus: "EventBus | None" = field(init=False, default=None)
+    _pending_flips: list[_PendingFlip] = field(init=False, default_factory=list)
 
     def __post_init__(self) -> None:
         if self.capacity <= 0:
@@ -108,6 +136,175 @@ class Ddr:
 
     def regions(self) -> list[DdrRegion]:
         return sorted(self._regions.values(), key=lambda region: region.base)
+
+    # -- fault injection (ECC model) -----------------------------------------
+
+    def attach_faults(self, plan: "FaultPlan", bus: "EventBus | None" = None) -> None:
+        """Arm the DDR injectors; ``bus`` receives the fault events."""
+        self.faults = plan
+        self.bus = bus
+
+    def burst_faults(self, region_name: str, direction: str) -> int:
+        """Fault hook for one DMA burst; returns extra stall cycles.
+
+        Reads first pass the ECC check (pending flips in the region are
+        detected, and corrected or escalated) — ECC runs before the data
+        leaves DDR, so the hook must precede the functional read.  Then the
+        burst may stall.  Write bursts may also deposit a fresh bit flip
+        (the write lands first, then the disturbance); read-disturb flips
+        are injected by :meth:`read_disturb` *after* the functional read,
+        because disturbance corrupts the cell, not the data in flight.
+        Called by the accelerator core only when a plan is attached.
+        """
+        from repro.faults.plan import FaultSite
+
+        plan = self.faults
+        if direction == "load":
+            self._ecc_check(region_name)
+        extra = 0
+        if plan.fires(FaultSite.DDR_STALL):
+            extra = plan.ddr_stall_cycles
+            self._record_and_emit(
+                FaultSite.DDR_STALL,
+                region=region_name,
+                direction=direction,
+                stall_cycles=extra,
+            )
+        if direction != "load" and plan.fires(FaultSite.DDR_BIT_FLIP):
+            self._inject_flip(region_name)
+        return extra
+
+    def note_write(self, region_name: str, row0: int, rows: int, ch0: int, chs: int) -> None:
+        """A burst overwrote ``[row0:row0+rows, :, ch0:ch0+chs]`` of a region.
+
+        A write recomputes the stored ECC code word, so pending flips under
+        the write are retired *unconditionally* — comparing byte values
+        instead would alias whenever the newly written byte happens to equal
+        the corrupted value (common with small power-of-two activations)
+        and "correct" legitimate data back to a stale original.
+        """
+        if not self._pending_flips:
+            return
+        array = self.region(region_name).array
+        _, width, channels = array.shape
+        itemsize = array.itemsize
+        remaining: list[_PendingFlip] = []
+        for flip in self._pending_flips:
+            if flip.region_name == region_name:
+                element = flip.index // itemsize
+                row = element // (width * channels)
+                channel = element % channels
+                if row0 <= row < row0 + rows and ch0 <= channel < ch0 + chs:
+                    continue  # the write refreshed this word's ECC code
+            remaining.append(flip)
+        self._pending_flips = remaining
+
+    def read_disturb(self, region_name: str) -> None:
+        """Post-read fault hook: a read burst may disturb a cell it touched.
+
+        The flip lands *after* the functional read consumed correct data; it
+        is detected (and corrected, or escalated) at the region's next ECC
+        pass, exactly like a write-path flip.
+        """
+        from repro.faults.plan import FaultSite
+
+        if self.faults.fires(FaultSite.DDR_BIT_FLIP):
+            self._inject_flip(region_name)
+
+    def _inject_flip(self, region_name: str) -> None:
+        from repro.faults.plan import FaultSite
+
+        plan = self.faults
+        region = self.region(region_name)
+        flat = region.array.reshape(-1).view(np.uint8)
+        index = plan.draw_index(FaultSite.DDR_BIT_FLIP, flat.size)
+        bit = 1 << plan.draw_index(FaultSite.DDR_BIT_FLIP, 8)
+        original = int(flat[index])
+        flat[index] = original ^ bit
+        uncorrectable = plan.draw_uncorrectable()
+        self._pending_flips.append(
+            _PendingFlip(
+                region_name=region_name,
+                index=index,
+                original=original,
+                corrupted=original ^ bit,
+                uncorrectable=uncorrectable,
+            )
+        )
+        self._record_and_emit(
+            FaultSite.DDR_BIT_FLIP,
+            region=region_name,
+            byte_index=index,
+            bit=bit,
+            uncorrectable=uncorrectable,
+        )
+
+    def _ecc_check(self, region_name: str) -> None:
+        """Detect pending flips in ``region_name``: correct or escalate.
+
+        A flip whose byte was overwritten since injection is silently
+        retired — the write replaced the corrupted word (and its ECC code).
+        """
+        from repro.faults.plan import FaultSite
+
+        remaining: list[_PendingFlip] = []
+        for flip in self._pending_flips:
+            if flip.region_name != region_name:
+                remaining.append(flip)
+                continue
+            flat = self.region(region_name).array.reshape(-1).view(np.uint8)
+            if int(flat[flip.index]) != flip.corrupted:
+                continue  # overwritten since injection: nothing to correct
+            self._emit_fault(
+                "fault_detect",
+                FaultSite.DDR_BIT_FLIP,
+                region=region_name,
+                byte_index=flip.index,
+                uncorrectable=flip.uncorrectable,
+            )
+            if flip.uncorrectable:
+                raise EccError(
+                    f"uncorrectable DDR corruption in region {region_name!r} "
+                    f"at byte {flip.index}"
+                )
+            flat[flip.index] = flip.original
+            self._emit_fault(
+                "fault_recover",
+                FaultSite.DDR_BIT_FLIP,
+                region=region_name,
+                byte_index=flip.index,
+                action="ecc_correct",
+            )
+        self._pending_flips = remaining
+
+    def scrub(self) -> int:
+        """End-of-run ECC scrubber: check every region with pending flips.
+
+        Returns the number of corrections applied; raises
+        :class:`~repro.errors.EccError` on an uncorrectable flip.  Run
+        harnesses call this before reading results back so latent
+        corruption can never masquerade as a valid output.
+        """
+        before = len(self._pending_flips)
+        for name in {flip.region_name for flip in self._pending_flips}:
+            self._ecc_check(name)
+        return before - len(self._pending_flips)
+
+    @property
+    def pending_flip_count(self) -> int:
+        return len(self._pending_flips)
+
+    def _record_and_emit(self, site, **detail) -> None:
+        cycle = self.bus.cycle if self.bus is not None else 0
+        self.faults.record(site, cycle, **detail)
+        self._emit_fault("fault_inject", site, **detail)
+
+    def _emit_fault(self, kind_value: str, site, **detail) -> None:
+        if self.bus is None:
+            return
+        from repro.obs.events import EventKind
+
+        self.bus.emit(EventKind(kind_value), site=site.value, **detail)
 
 
 def _aligned(num_bytes: int) -> int:

@@ -26,6 +26,16 @@ class JobRecord:
     request_cycle: int
     start_cycle: int | None = None
     complete_cycle: int | None = None
+    #: True when the degradation policy ran this job on its down-tiered
+    #: program variant.
+    degraded: bool = False
+    #: Typed completion outcome beyond plain success (e.g.
+    #: :class:`~repro.faults.plan.DeadlineMissed`); ``None`` when nominal.
+    outcome: object | None = None
+
+    @property
+    def deadline_missed(self) -> bool:
+        return self.outcome is not None
 
     @property
     def response_cycles(self) -> int:
@@ -39,6 +49,32 @@ class JobRecord:
         if self.complete_cycle is None:
             raise IauError("job has not completed yet")
         return self.complete_cycle - self.request_cycle
+
+
+@dataclass
+class Checkpoint:
+    """CRC-guarded record of one Vir_SAVE interrupt context.
+
+    Created when a VIR_SAVE backs up a partial section to DDR; verified
+    against the DDR contents when the task resumes (Vir_LOAD path).  A
+    verified checkpoint becomes the task's rollback target: re-execution
+    restarts at ``instr_index + 1`` (the recovery loads) with the recorded
+    ``save_id`` / ``saved_chs`` registers.
+    """
+
+    #: Program index of the VIR_SAVE this checkpoint was taken at.
+    instr_index: int
+    save_id: int
+    saved_chs: int
+    #: DDR region + slice the backed-up context occupies.
+    region_name: str
+    row0: int
+    rows: int
+    ch0: int
+    chs: int
+    #: CRC32 of the slice bytes at backup time.
+    crc: int
+    verified: bool = False
 
 
 @dataclass
@@ -71,10 +107,31 @@ class TaskContext:
     completed: list[JobRecord] = field(default_factory=list)
     #: Cycles spent executing this task's instructions (incl. fetches).
     busy_cycles: int = 0
+    #: Watchdog deadline (request -> complete bound, cycles); None disables.
+    deadline_cycles: int | None = None
+    #: Checkpoint awaiting CRC verification at the next resume.
+    checkpoint: Checkpoint | None = None
+    #: Last checkpoint whose CRC verified OK (the rollback target).
+    good_checkpoint: Checkpoint | None = None
+    #: Rollbacks performed for the current job (bounded by the fault plan).
+    checkpoint_retries: int = 0
+    #: Degradation: the program the job was attached with, the down-tiered
+    #: variant, and whether the next job should use it.
+    base_program: Program | None = None
+    degraded_program: Program | None = None
+    want_degraded: bool = False
+
+    def __post_init__(self) -> None:
+        self.base_program = self.program
 
     @property
     def runnable(self) -> bool:
         return self.active or bool(self.queue)
+
+    @property
+    def pending_jobs(self) -> int:
+        """Jobs queued or in flight (the degradation policy's load signal)."""
+        return (1 if self.active else 0) + len(self.queue)
 
     def enqueue(self, record: JobRecord) -> None:
         self.queue.append(record)
@@ -86,11 +143,19 @@ class TaskContext:
             raise IauError(f"task {self.task_id} has no queued job to begin")
         self.current_job = self.queue.popleft()
         self.active = True
+        if self.want_degraded and self.degraded_program is not None:
+            self.program = self.degraded_program
+            self.current_job.degraded = True
+        else:
+            self.program = self.base_program
         self.instr_index = 0
         self.in_recovery = False
         self.save_id = NO_SAVE_ID
         self.saved_chs = 0
         self.snapshot = None
+        self.checkpoint = None
+        self.good_checkpoint = None
+        self.checkpoint_retries = 0
         return self.current_job
 
     def finish_job(self, clock: int) -> JobRecord:
@@ -106,6 +171,9 @@ class TaskContext:
         self.save_id = NO_SAVE_ID
         self.saved_chs = 0
         self.snapshot = None
+        self.checkpoint = None
+        self.good_checkpoint = None
+        self.checkpoint_retries = 0
         return job
 
     def clear_save_state(self) -> None:

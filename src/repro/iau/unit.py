@@ -22,12 +22,17 @@ Two interrupt disciplines are modelled on top of the same task table:
 
 from __future__ import annotations
 
+import zlib
+
+import numpy as np
+
 from repro.accel.core import AcceleratorCore
 from repro.accel.trace import ExecutionTrace
 from repro.compiler.compile import CompiledNetwork
-from repro.errors import IauError
+from repro.errors import CheckpointError, IauError
+from repro.faults.plan import DeadlineMissed, FaultPlan, FaultSite
 from repro.hw.timing import fetch_cycles, transfer_cycles
-from repro.iau.context import JobRecord, TaskContext
+from repro.iau.context import Checkpoint, JobRecord, TaskContext
 from repro.isa.instructions import NO_SAVE_ID, Instruction
 from repro.isa.opcodes import Opcode
 from repro.obs.bus import EventBus
@@ -51,6 +56,7 @@ class Iau:
         *,
         bus: EventBus | None = None,
         obs_scope: str | None = None,
+        faults: FaultPlan | None = None,
     ):
         if mode not in IAU_MODES:
             raise IauError(f"mode must be one of {IAU_MODES}, got {mode!r}")
@@ -75,6 +81,13 @@ class Iau:
         self.backup_cycles = 0
         self.restore_cycles = 0
         self.num_switches = 0
+        #: Fault machinery: the injection plan (None = no fault code runs),
+        #: checkpoint rollbacks performed, watchdog deadline misses seen.
+        self.faults = faults
+        self.num_rollbacks = 0
+        self.num_deadline_misses = 0
+        if faults is not None and core.ddr.faults is None:
+            core.ddr.attach_faults(faults, bus)
         #: Optional hook called as ``on_complete(task_id, job)`` whenever a
         #: job finishes (the ROS layer uses it to schedule callbacks).
         self.on_complete = None
@@ -82,9 +95,20 @@ class Iau:
     # -- task management -----------------------------------------------------
 
     def attach_task(
-        self, task_id: int, compiled: CompiledNetwork, vi_mode: str = "vi"
+        self,
+        task_id: int,
+        compiled: CompiledNetwork,
+        vi_mode: str = "vi",
+        *,
+        deadline_cycles: int | None = None,
     ) -> TaskContext:
-        """Bind a compiled network to a priority slot (0 = highest)."""
+        """Bind a compiled network to a priority slot (0 = highest).
+
+        ``deadline_cycles`` arms the per-job watchdog: a job whose
+        request-to-complete turnaround exceeds it gets a typed
+        :class:`~repro.faults.plan.DeadlineMissed` outcome (and a
+        ``deadline_miss`` event), without aborting the run.
+        """
         if not 0 <= task_id < MAX_TASKS:
             raise IauError(f"task_id must be in [0, {MAX_TASKS}), got {task_id}")
         if self.contexts[task_id] is not None:
@@ -96,6 +120,7 @@ class Iau:
             task_id=task_id,
             compiled=compiled,
             program=compiled.program_for(vi_mode),
+            deadline_cycles=deadline_cycles,
         )
         self.contexts[task_id] = context
         return context
@@ -216,6 +241,26 @@ class Iau:
                     request_cycle=job.request_cycle,
                     response_cycles=job.response_cycles,
                 )
+            if self.faults is not None and self.faults.fires(FaultSite.JOB_OVERRUN):
+                stall = self.faults.overrun_cycles
+                self.faults.record(
+                    FaultSite.JOB_OVERRUN,
+                    self.clock,
+                    task_id=context.task_id,
+                    stall_cycles=stall,
+                )
+                if self.bus is not None:
+                    self._emit(
+                        EventKind.FAULT_INJECT,
+                        task_id=context.task_id,
+                        site=FaultSite.JOB_OVERRUN.value,
+                        duration=stall,
+                        stall_cycles=stall,
+                    )
+                self.clock += stall
+                context.busy_cycles += stall
+        if resumed and context.checkpoint is not None:
+            self._verify_checkpoint(context)
         if self.mode == "cpu" and context.snapshot is not None:
             # Restore every on-chip buffer from DDR.
             cycles = transfer_cycles(self.config, self.config.total_buffer_bytes)
@@ -252,6 +297,24 @@ class Iau:
     def _complete_job(self, context: TaskContext) -> None:
         job = context.finish_job(self.clock)
         self.current = None
+        if (
+            context.deadline_cycles is not None
+            and job.turnaround_cycles > context.deadline_cycles
+        ):
+            job.outcome = DeadlineMissed(
+                task_id=context.task_id,
+                deadline_cycles=context.deadline_cycles,
+                turnaround_cycles=job.turnaround_cycles,
+                request_cycle=job.request_cycle,
+            )
+            self.num_deadline_misses += 1
+            if self.bus is not None:
+                self._emit(
+                    EventKind.DEADLINE_MISS,
+                    task_id=context.task_id,
+                    deadline_cycles=context.deadline_cycles,
+                    turnaround_cycles=job.turnaround_cycles,
+                )
         if self.bus is not None:
             self._emit(
                 EventKind.JOB_COMPLETE,
@@ -325,6 +388,25 @@ class Iau:
             instruction.is_switch_point
             and self._preempting_task(context.task_id) is not None
         )
+        if self.faults is not None and instruction.is_switch_point:
+            if can_switch and self.faults.fires(FaultSite.IAU_DROP_PREEMPT):
+                # Interrupt line glitches low: the pending preemption is not
+                # seen here; it fires at the next switch point instead.
+                can_switch = False
+                self._inject(
+                    FaultSite.IAU_DROP_PREEMPT,
+                    task_id=context.task_id,
+                    program_index=context.instr_index,
+                )
+            elif not can_switch and self.faults.fires(FaultSite.IAU_SPURIOUS_PREEMPT):
+                # Interrupt line glitches high: back up and switch away with
+                # no higher-priority work, paying backup + recovery.
+                can_switch = True
+                self._inject(
+                    FaultSite.IAU_SPURIOUS_PREEMPT,
+                    task_id=context.task_id,
+                    program_index=context.instr_index,
+                )
         if not can_switch:
             context.instr_index += 1  # discard: no interrupt pending here
             return
@@ -347,6 +429,8 @@ class Iau:
                 self.backup_cycles += backup_transfer_cycles
             context.save_id = instruction.save_id
             context.saved_chs = instruction.chs
+            if self.faults is not None:
+                self._take_checkpoint(context, instruction)
             context.instr_index += 1  # resume at the recovery loads that follow
             context.in_recovery = True
         elif instruction.opcode in (Opcode.VIR_LOAD_D, Opcode.VIR_LOAD_W):
@@ -375,6 +459,123 @@ class Iau:
                 task_id=context.task_id,
                 by=None if winner is None else winner.task_id,
                 backup_cycles=backup_transfer_cycles,
+            )
+
+    # -- checkpoints & fault helpers ------------------------------------------
+
+    def _inject(self, site: FaultSite, **detail) -> None:
+        """Record one fired fault with the plan and mirror it on the bus."""
+        self.faults.record(site, self.clock, **detail)
+        if self.bus is not None:
+            self._emit(EventKind.FAULT_INJECT, site=site.value, **detail)
+
+    def _take_checkpoint(self, context: TaskContext, instruction: Instruction) -> None:
+        """CRC the Vir_SAVE context just written to DDR (then maybe corrupt it).
+
+        Called with ``instr_index`` still pointing at the VIR_SAVE.  The CRC
+        covers the *whole* saved window ``[ch0, ch0 + chs)`` — including the
+        part an earlier VIR_SAVE of the same section stored — because that is
+        exactly what the recovery loads will read back.
+        """
+        layer = context.compiled.layer_config(instruction.layer_id)
+        checkpoint = Checkpoint(
+            instr_index=context.instr_index,
+            save_id=context.save_id,
+            saved_chs=context.saved_chs,
+            region_name=layer.output_region,
+            row0=instruction.row0,
+            rows=instruction.rows,
+            ch0=instruction.ch0,
+            chs=instruction.chs,
+            crc=0,
+        )
+        checkpoint.crc = self._checkpoint_crc(checkpoint)
+        context.checkpoint = checkpoint
+        if self.faults.fires(FaultSite.CHECKPOINT_CORRUPT):
+            self._corrupt_checkpoint(context, checkpoint)
+
+    def _checkpoint_crc(self, checkpoint: Checkpoint) -> int:
+        region = self.core.ddr.region(checkpoint.region_name)
+        view = region.array[
+            checkpoint.row0 : checkpoint.row0 + checkpoint.rows,
+            :,
+            checkpoint.ch0 : checkpoint.ch0 + checkpoint.chs,
+        ]
+        return zlib.crc32(np.ascontiguousarray(view).tobytes())
+
+    def _corrupt_checkpoint(self, context: TaskContext, checkpoint: Checkpoint) -> None:
+        """The backup burst writes a bad word with consistent ECC: only the
+        checkpoint CRC can catch it, at the task's next resume."""
+        region = self.core.ddr.region(checkpoint.region_name)
+        view = region.array[
+            checkpoint.row0 : checkpoint.row0 + checkpoint.rows,
+            :,
+            checkpoint.ch0 : checkpoint.ch0 + checkpoint.chs,
+        ]
+        index = self.faults.draw_index(FaultSite.CHECKPOINT_CORRUPT, view.size)
+        coords = np.unravel_index(index, view.shape)
+        view[coords] = ~view[coords]
+        self._inject(
+            FaultSite.CHECKPOINT_CORRUPT,
+            task_id=context.task_id,
+            program_index=checkpoint.instr_index,
+        )
+
+    def _verify_checkpoint(self, context: TaskContext) -> None:
+        """Verify the pending Vir_SAVE context on resume; roll back on mismatch.
+
+        Retries are bounded per job by the plan's ``max_checkpoint_retries``;
+        exhausting the budget raises :class:`~repro.errors.CheckpointError`
+        (detected-fatal, never silent).
+        """
+        checkpoint = context.checkpoint
+        context.checkpoint = None
+        if self._checkpoint_crc(checkpoint) == checkpoint.crc:
+            checkpoint.verified = True
+            context.good_checkpoint = checkpoint
+            return
+        if self.bus is not None:
+            self._emit(
+                EventKind.FAULT_DETECT,
+                task_id=context.task_id,
+                site=FaultSite.CHECKPOINT_CORRUPT.value,
+                program_index=checkpoint.instr_index,
+            )
+        context.checkpoint_retries += 1
+        limit = self.faults.max_checkpoint_retries if self.faults is not None else 1
+        if context.checkpoint_retries > limit:
+            raise CheckpointError(
+                f"task {context.task_id}: checkpoint at instruction "
+                f"{checkpoint.instr_index} failed CRC verification "
+                f"{context.checkpoint_retries} times (budget {limit})"
+            )
+        self._rollback(context, checkpoint)
+
+    def _rollback(self, context: TaskContext, failed: Checkpoint) -> None:
+        """Re-execute from the last good checkpoint (or the job's start)."""
+        good = context.good_checkpoint
+        if good is not None and self._checkpoint_crc(good) != good.crc:
+            # The corruption reaches into the rollback target itself.
+            context.good_checkpoint = good = None
+        if good is not None:
+            context.instr_index = good.instr_index + 1
+            context.save_id = good.save_id
+            context.saved_chs = good.saved_chs
+            context.in_recovery = True
+        else:
+            context.instr_index = 0
+            context.clear_save_state()
+            context.in_recovery = False
+        self.core.invalidate()
+        self.num_rollbacks += 1
+        if self.bus is not None:
+            self._emit(
+                EventKind.FAULT_RECOVER,
+                task_id=context.task_id,
+                site=FaultSite.CHECKPOINT_CORRUPT.value,
+                action="rollback",
+                from_index=failed.instr_index,
+                to_index=context.instr_index,
             )
 
     def _execute(self, context: TaskContext, instruction: Instruction) -> int:

@@ -9,6 +9,7 @@ the paper's flow.  The on-disk format is a small header followed by packed
 from __future__ import annotations
 
 import struct
+import zlib
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -18,8 +19,10 @@ from repro.isa.instructions import Instruction
 from repro.isa.opcodes import Opcode
 
 _MAGIC = b"INCA"
-_VERSION = 1
-_HEADER = struct.Struct("<4sHHI")  # magic, version, reserved, instruction count
+#: v2 adds a CRC32 of the body so any corruption of a stored
+#: ``instruction.bin`` is caught at load time, before decode.
+_VERSION = 2
+_HEADER = struct.Struct("<4sHHII")  # magic, version, reserved, count, body crc32
 
 
 @dataclass(frozen=True)
@@ -84,24 +87,37 @@ class Program:
     # -- serialization -------------------------------------------------------
 
     def to_bytes(self) -> bytes:
-        header = _HEADER.pack(_MAGIC, _VERSION, 0, len(self.instructions))
-        return header + encode_stream(self.instructions)
+        body = encode_stream(self.instructions)
+        header = _HEADER.pack(
+            _MAGIC, _VERSION, 0, len(self.instructions), zlib.crc32(body)
+        )
+        return header + body
 
     @classmethod
     def from_bytes(cls, blob: bytes, name: str = "loaded") -> "Program":
         if len(blob) < _HEADER.size:
             raise ProgramError("blob too short to hold a program header")
-        magic, version, _reserved, count = _HEADER.unpack_from(blob, 0)
+        magic, version, reserved, count, crc = _HEADER.unpack_from(blob, 0)
         if magic != _MAGIC:
             raise ProgramError(f"bad magic {magic!r}; not an instruction.bin")
         if version != _VERSION:
             raise ProgramError(f"unsupported instruction.bin version {version}")
+        if reserved != 0:
+            # Every header bit is load-bearing: a flipped reserved field means
+            # the blob did not come out of this serializer intact.
+            raise ProgramError(f"reserved header field must be 0, got {reserved:#x}")
         body = blob[_HEADER.size :]
         expected = count * INSTRUCTION_BYTES
         if len(body) != expected:
             raise ProgramError(
                 f"instruction.bin declares {count} instructions ({expected} bytes), "
                 f"body has {len(body)} bytes"
+            )
+        actual = zlib.crc32(body)
+        if actual != crc:
+            raise ProgramError(
+                f"instruction.bin body CRC mismatch "
+                f"(header {crc:#010x}, computed {actual:#010x}): corrupted blob"
             )
         return cls(name=name, instructions=tuple(decode_stream(body)))
 

@@ -22,10 +22,14 @@ from __future__ import annotations
 import heapq
 import warnings
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.accel.core import AcceleratorCore
 from repro.compiler.compile import CompiledNetwork
 from repro.errors import SchedulerError
+
+if TYPE_CHECKING:
+    from repro.faults.plan import FaultPlan
 from repro.hw.config import AcceleratorConfig
 from repro.hw.ddr import Ddr
 from repro.iau.context import JobRecord
@@ -63,6 +67,7 @@ class MultiCoreSystem:
         functional: bool | None = None,
         *,
         obs: ObsConfig | None = None,
+        faults: "FaultPlan | None" = None,
     ):
         if num_cores < 1:
             raise SchedulerError(f"num_cores must be >= 1, got {num_cores}")
@@ -81,12 +86,15 @@ class MultiCoreSystem:
             else None
         )
         self.ddr = Ddr()
+        self.faults = faults
+        # The plan is shared: one DDR, one set of per-site RNG streams.
         self.cores: list[Iau] = [
             Iau(
                 AcceleratorCore(config, self.ddr, obs=self.obs),
                 mode=iau_mode,
                 bus=self.bus,
                 obs_scope=f"core{index}",
+                faults=faults,
             )
             for index in range(num_cores)
         ]
@@ -106,6 +114,8 @@ class MultiCoreSystem:
         compiled: CompiledNetwork,
         vi_mode: str = "vi",
         core: int | None = None,
+        *,
+        deadline_cycles: int | None = None,
     ) -> None:
         """Bind a network to a priority slot; ``core`` pins it (static).
 
@@ -128,7 +138,9 @@ class MultiCoreSystem:
             if region.name not in {r.name for r in self.ddr.regions()}:
                 self.ddr.adopt(region)
         for target in targets:
-            self.cores[target].attach_task(task_id, compiled, vi_mode=vi_mode)
+            self.cores[target].attach_task(
+                task_id, compiled, vi_mode=vi_mode, deadline_cycles=deadline_cycles
+            )
         self._bindings[task_id] = _TaskBinding(
             compiled=compiled, vi_mode=vi_mode, static_core=core
         )
@@ -232,6 +244,8 @@ class MultiCoreSystem:
                 steps += 1
                 if steps > max_steps:
                     raise SchedulerError(f"drain exceeded {max_steps} steps")
+        if self.faults is not None:
+            self.ddr.scrub()
         return max(core.clock for core in self.cores)
 
     # -- results ---------------------------------------------------------------

@@ -49,11 +49,18 @@ class Block:
 
     def integer(self, key: str, default: int | None = None) -> int | None:
         value = self.first(key)
-        return int(value) if value is not None else default
+        return _int(value, key) if value is not None else default
 
     def block(self, key: str) -> "Block | None":
         blocks = self.blocks.get(key)
         return blocks[0] if blocks else None
+
+
+def _int(value: str, context: str) -> int:
+    try:
+        return int(value)
+    except ValueError:
+        raise GraphError(f"prototxt field {context!r}: {value!r} is not an integer") from None
 
 
 def tokenize(text: str) -> list[str]:
@@ -119,7 +126,7 @@ def parse_prototxt(text: str) -> NetworkGraph:
 
     input_name = root.first("input")
     if input_name is not None:
-        dims = [int(v) for v in root.fields.get("input_dim", [])]
+        dims = [_int(v, "input_dim") for v in root.fields.get("input_dim", [])]
         if len(dims) != 4:
             raise GraphError("top-level input needs 4 input_dim entries (N, C, H, W)")
         append(Input(input_name, shape=TensorShape(dims[2], dims[3], dims[1])), [input_name])
@@ -137,6 +144,8 @@ def parse_prototxt(text: str) -> NetworkGraph:
 
         if layer_type == "ReLU":
             # Fold into the producer, exactly as the deployment flow does.
+            if not bottoms:
+                raise GraphError(f"ReLU {layer_name!r} has no bottom to fuse into")
             producer = bottoms[0]
             position = index_of[producer]
             folded = layers[position]
@@ -170,10 +179,13 @@ def _convert_layer(layer_type: str, layer_name: str, spec: Block, bottoms: list[
     if layer_type == "Input":
         param = spec.block("input_param")
         shape_block = param.block("shape") if param else None
-        dims = [int(v) for v in (shape_block.fields.get("dim", []) if shape_block else [])]
+        dims = [_int(v, "dim") for v in (shape_block.fields.get("dim", []) if shape_block else [])]
         if len(dims) != 4:
             raise GraphError(f"Input layer {layer_name!r} needs 4 shape dims")
         return Input(layer_name, shape=TensorShape(dims[2], dims[3], dims[1]))
+
+    if not bottoms:
+        raise GraphError(f"layer {layer_name!r} ({layer_type}) needs at least one bottom")
 
     if layer_type == "Convolution":
         param = spec.block("convolution_param")

@@ -18,6 +18,15 @@ kind                    emitted by / meaning
 ``JOB_COMPLETE``        IAU — a job retired its last instruction
 ``ROS_PUBLISH``         ROS executor — a message was published to a topic
 ``ROS_DELIVER``         ROS executor — one subscriber callback received it
+``FAULT_INJECT``        fault plan — an injector fired (``site`` names it)
+``FAULT_DETECT``        tolerance layer — a guard noticed corruption (ECC,
+                        checkpoint CRC, watchdog)
+``FAULT_RECOVER``       tolerance layer — the fault was repaired (ECC
+                        correction, rollback to the last good checkpoint)
+``JOB_DEGRADED``        runtime — the degradation policy shed or down-tiered
+                        a low-priority job under overload
+``DEADLINE_MISS``       IAU watchdog — a job overran its deadline (the job's
+                        record carries the typed ``DeadlineMissed`` outcome)
 ======================  =====================================================
 
 ``cycle`` is the accelerator clock at emission and is non-decreasing within
@@ -46,6 +55,11 @@ class EventKind(enum.Enum):
     JOB_COMPLETE = "job_complete"
     ROS_PUBLISH = "ros_publish"
     ROS_DELIVER = "ros_deliver"
+    FAULT_INJECT = "fault_inject"
+    FAULT_DETECT = "fault_detect"
+    FAULT_RECOVER = "fault_recover"
+    JOB_DEGRADED = "job_degraded"
+    DEADLINE_MISS = "deadline_miss"
 
 
 @dataclass(frozen=True)

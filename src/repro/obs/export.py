@@ -170,6 +170,18 @@ def summarize(source) -> str:
     if published:
         delivered = sum(1 for e in events if e.kind is EventKind.ROS_DELIVER)
         lines += f"\nROS: {published} messages published, {delivered} deliveries"
+    injected = sum(1 for e in events if e.kind is EventKind.FAULT_INJECT)
+    if injected:
+        detected = sum(1 for e in events if e.kind is EventKind.FAULT_DETECT)
+        recovered = sum(1 for e in events if e.kind is EventKind.FAULT_RECOVER)
+        misses = sum(1 for e in events if e.kind is EventKind.DEADLINE_MISS)
+        degraded = sum(1 for e in events if e.kind is EventKind.JOB_DEGRADED)
+        lines += (
+            f"\nFaults: {injected} injected, {detected} detected, "
+            f"{recovered} recovered"
+        )
+        if misses or degraded:
+            lines += f"; {misses} deadline miss(es), {degraded} degradation action(s)"
     return lines
 
 

@@ -158,7 +158,9 @@ class MetricsSink:
     ``ddr_bytes`` / ``ddr_bursts`` (per direction), ``preemptions`` /
     ``vi_expansions`` (per task), ``jobs`` and the ``response_cycles`` /
     ``turnaround_cycles`` histograms (per task), ``ros_published`` /
-    ``ros_delivered`` (per topic).
+    ``ros_delivered`` (per topic), ``faults_injected`` / ``faults_detected``
+    / ``faults_recovered`` (per site), ``jobs_degraded`` (per task, action)
+    and ``deadline_misses`` (per task).
     """
 
     def __init__(self, metrics: Metrics):
@@ -198,3 +200,17 @@ class MetricsSink:
             metrics.counter("ros_published", topic=event.data.get("topic", "?")).inc()
         elif kind is EventKind.ROS_DELIVER:
             metrics.counter("ros_delivered", topic=event.data.get("topic", "?")).inc()
+        elif kind is EventKind.FAULT_INJECT:
+            metrics.counter("faults_injected", site=event.data.get("site", "?")).inc()
+        elif kind is EventKind.FAULT_DETECT:
+            metrics.counter("faults_detected", site=event.data.get("site", "?")).inc()
+        elif kind is EventKind.FAULT_RECOVER:
+            metrics.counter("faults_recovered", site=event.data.get("site", "?")).inc()
+        elif kind is EventKind.JOB_DEGRADED:
+            metrics.counter(
+                "jobs_degraded",
+                task=event.task_id,
+                action=event.data.get("action", "?"),
+            ).inc()
+        elif kind is EventKind.DEADLINE_MISS:
+            metrics.counter("deadline_misses", task=event.task_id).inc()

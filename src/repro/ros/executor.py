@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.errors import RosError
+from repro.faults.plan import FaultPlan, FaultSite
 from repro.iau.context import JobRecord
 from repro.obs.bus import EventBus
 from repro.obs.events import EventKind
@@ -41,9 +42,18 @@ class Executor:
     delivery on the same bus, stamped at the executor clock.
     """
 
-    def __init__(self, system: MultiTaskSystem | None = None, *, bus: EventBus | None = None):
+    def __init__(
+        self,
+        system: MultiTaskSystem | None = None,
+        *,
+        bus: EventBus | None = None,
+        faults: FaultPlan | None = None,
+    ):
         self.system = system
         self.bus = bus if bus is not None else getattr(system, "bus", None)
+        #: Message-level fault injection; defaults to the attached system's
+        #: plan so one FaultPlan covers the whole agent.
+        self.faults = faults if faults is not None else getattr(system, "faults", None)
         self.topics = TopicRegistry()
         self._events: list[_Event] = []
         self._sequence = 0
@@ -82,7 +92,26 @@ class Executor:
     # -- pub/sub ----------------------------------------------------------------
 
     def publish(self, topic_name: str, message: object) -> None:
-        """Deliver a message to all subscribers immediately (same timestamp)."""
+        """Deliver a message to all subscribers immediately (same timestamp).
+
+        With a fault plan attached, a publish may be dropped (the message is
+        lost before delivery) or delayed (delivered ``ros_delay_cycles``
+        late); both are recorded with the plan and mirrored on the bus.
+        """
+        if self.faults is not None:
+            if self.faults.fires(FaultSite.ROS_DROP):
+                self._inject(FaultSite.ROS_DROP, topic=topic_name)
+                return
+            if self.faults.fires(FaultSite.ROS_DELAY):
+                delay = self.faults.ros_delay_cycles
+                self._inject(FaultSite.ROS_DELAY, topic=topic_name, delay_cycles=delay)
+                self.schedule(
+                    self.clock + delay, lambda: self._deliver(topic_name, message)
+                )
+                return
+        self._deliver(topic_name, message)
+
+    def _deliver(self, topic_name: str, message: object) -> None:
         topic = self.topics.topic(topic_name)
         if self.bus is None:
             topic.deliver(message)
@@ -104,6 +133,11 @@ class Executor:
                 subscriber=getattr(callback, "__qualname__", repr(callback)),
             ),
         )
+
+    def _inject(self, site: FaultSite, **detail) -> None:
+        self.faults.record(site, self.clock, **detail)
+        if self.bus is not None:
+            self.bus.emit(EventKind.FAULT_INJECT, cycle=self.clock, site=site.value, **detail)
 
     def subscribe(self, topic_name: str, callback) -> None:
         self.topics.topic(topic_name).subscribe(callback)
@@ -168,4 +202,8 @@ class Executor:
                 self._dispatch_cycle = None
         if until_cycle is not None:
             self.clock = max(self.clock, until_cycle)
+        if self.system is not None and self.system.faults is not None:
+            # The executor drives the IAU directly, bypassing the system's
+            # run(); scrub latent DDR corruption here too.
+            self.system.ddr.scrub()
         return self.clock

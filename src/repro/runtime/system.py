@@ -29,10 +29,12 @@ from repro.accel.core import AcceleratorCore
 from repro.accel.trace import ExecutionTrace
 from repro.compiler.compile import CompiledNetwork, compile_network
 from repro.errors import SchedulerError
+from repro.faults.plan import DegradationPolicy, FaultPlan
 from repro.hw.config import AcceleratorConfig
 from repro.hw.ddr import Ddr
 from repro.iau.context import JobRecord
 from repro.iau.unit import Iau
+from repro.obs.events import EventKind
 from repro.nn.graph import NetworkGraph
 from repro.obs.bus import EventBus
 from repro.obs.config import ObsConfig, resolve_obs_config
@@ -75,6 +77,8 @@ class MultiTaskSystem:
         trace: bool | None = None,
         *,
         obs: ObsConfig | None = None,
+        faults: FaultPlan | None = None,
+        degradation: DegradationPolicy | None = None,
     ):
         self.config = config
         self.obs = resolve_obs_config(
@@ -94,7 +98,11 @@ class MultiTaskSystem:
                 self.trace = ExecutionTrace.from_bus(self.bus)
 
         self.core = AcceleratorCore(config, self.ddr, obs=self.obs, bus=self.bus)
-        self.iau = Iau(self.core, mode=iau_mode, bus=self.bus)
+        self.iau = Iau(self.core, mode=iau_mode, bus=self.bus, faults=faults)
+        self.faults = faults
+        self.degradation = degradation
+        #: Requests shed by the degradation policy, per task.
+        self.shed: dict[int, int] = {}
         self._requests: list[TimedRequest] = []
         self._sequence = 0
         self._task_ids: list[int] = []
@@ -103,13 +111,27 @@ class MultiTaskSystem:
 
     # -- setup -------------------------------------------------------------
 
-    def add_task(self, task_id: int, compiled: CompiledNetwork, vi_mode: str = "vi") -> None:
+    def add_task(
+        self,
+        task_id: int,
+        compiled: CompiledNetwork,
+        vi_mode: str = "vi",
+        *,
+        deadline_cycles: int | None = None,
+    ) -> None:
         """Attach a compiled network at a priority slot and map its DDR."""
         for region in compiled.layout.ddr.regions():
             self.ddr.adopt(region)
-        self.iau.attach_task(task_id, compiled, vi_mode=vi_mode)
+        self.iau.attach_task(
+            task_id, compiled, vi_mode=vi_mode, deadline_cycles=deadline_cycles
+        )
         self._task_ids.append(task_id)
         self._pending[task_id] = 0
+        self.shed[task_id] = 0
+
+    def set_deadline(self, task_id: int, cycles: int | None) -> None:
+        """(Re)arm the per-job watchdog for an attached task."""
+        self.iau.context(task_id).deadline_cycles = cycles
 
     # -- request injection ----------------------------------------------------
 
@@ -201,10 +223,53 @@ class MultiTaskSystem:
         while self._requests and self._requests[0].cycle <= self.iau.clock:
             request = heapq.heappop(self._requests)
             self._pending[request.task_id] -= 1
+            if self.degradation is not None and self._degrade(request):
+                continue
             # Back-date to the true arrival: the request may become visible
             # only after the in-flight instruction retires, but its latency
             # clock starts when the interrupt line was raised.
             self.iau.request(request.task_id, at_cycle=request.cycle)
+
+    def _degrade(self, request: TimedRequest) -> bool:
+        """Apply the degradation policy to one arriving request.
+
+        Returns True when the request was shed (not delivered).  May also
+        flip the task between its full and down-tiered program depending on
+        the backlog.
+        """
+        policy = self.degradation
+        if request.task_id < policy.min_task_id:
+            return False
+        context = self.iau.context(request.task_id)
+        backlog = context.pending_jobs
+        if backlog >= policy.max_pending:
+            self.shed[request.task_id] += 1
+            if self.bus is not None:
+                self.bus.emit(
+                    EventKind.JOB_DEGRADED,
+                    cycle=self.iau.clock,
+                    task_id=request.task_id,
+                    action="shed",
+                    pending=backlog,
+                )
+            return True
+        if policy.downtier_pending is not None:
+            want = backlog >= policy.downtier_pending
+            if want and not context.want_degraded:
+                if context.degraded_program is None:
+                    context.degraded_program = context.compiled.program_for(
+                        policy.downtier_vi_mode
+                    )
+                if self.bus is not None:
+                    self.bus.emit(
+                        EventKind.JOB_DEGRADED,
+                        cycle=self.iau.clock,
+                        task_id=request.task_id,
+                        action="downtier",
+                        pending=backlog,
+                    )
+            context.want_degraded = want
+        return False
 
     def run(self, max_steps: int = 500_000_000) -> int:
         """Run until every request is delivered and every job drained.
@@ -216,7 +281,7 @@ class MultiTaskSystem:
             self._deliver_due()
             if self.iau.idle:
                 if not self._requests:
-                    return self.iau.clock
+                    break
                 # Fast-forward to the next arrival.
                 self.iau.clock = max(self.iau.clock, self._requests[0].cycle)
                 continue
@@ -224,6 +289,11 @@ class MultiTaskSystem:
             steps += 1
             if steps > max_steps:
                 raise SchedulerError(f"simulation did not finish in {max_steps} steps")
+        if self.faults is not None:
+            # End-of-run ECC scrub: latent DDR corruption must be corrected
+            # (or escalate to EccError) before anyone reads results back.
+            self.ddr.scrub()
+        return self.iau.clock
 
     # -- results -------------------------------------------------------------------
 

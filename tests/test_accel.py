@@ -8,11 +8,9 @@ from repro.accel.reference import golden_inference, golden_output
 from repro.accel.runner import run_program
 from repro.compiler import compile_network
 from repro.errors import ExecutionError
-from repro.hw.config import AcceleratorConfig
 from repro.isa.instructions import Instruction
 from repro.isa.opcodes import Opcode
 from repro.nn import GraphBuilder, TensorShape
-from repro.zoo import build_tiny_cnn
 
 from tests.conftest import random_input
 

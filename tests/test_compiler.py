@@ -7,7 +7,6 @@ from repro.compiler import (
     allocate_network,
     compile_network,
     initialize_parameters,
-    plan_layer,
 )
 from repro.compiler.tiling import check_blob_count
 from repro.errors import CompileError
@@ -15,7 +14,7 @@ from repro.hw.config import AcceleratorConfig
 from repro.isa.opcodes import Opcode
 from repro.nn import GraphBuilder, TensorShape
 from repro.units import ceil_div
-from repro.zoo import build_tiny_cnn, build_tiny_residual
+from repro.zoo import build_tiny_cnn
 
 
 class TestAllocator:

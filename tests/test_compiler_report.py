@@ -1,6 +1,5 @@
 """Compile-time statistics (repro.compiler.report)."""
 
-import pytest
 
 from repro.accel.runner import run_program
 from repro.compiler.report import per_layer_worst_wait, program_stats

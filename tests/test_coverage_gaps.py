@@ -1,6 +1,5 @@
 """Targeted tests for paths the main suites don't reach."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -45,7 +44,6 @@ class TestVirLoadWPath:
         from repro.hw.ddr import Ddr
         from repro.iau import Iau
         from repro.isa import Instruction, Opcode, Program
-        from repro.isa.instructions import FLAG_SWITCH_POINT
 
         low, high = tiny_pair
         base = low.programs["vi"].instructions

@@ -4,7 +4,6 @@ import pytest
 from dataclasses import replace
 
 from repro.analysis.design_space import (
-    DesignSpaceResult,
     default_design_grid,
     explore,
 )

@@ -1,10 +1,9 @@
 """PR precision/recall evaluation, map rendering, FE post-processing timing."""
 
-import numpy as np
 import pytest
 
 from repro.dslam import World, WorldConfig
-from repro.dslam.evaluation import PrCurve, evaluate_place_recognition
+from repro.dslam.evaluation import evaluate_place_recognition
 from repro.dslam.frontend import FrontendConfig
 from repro.errors import DslamError
 from repro.tools.mapviz import render_map, render_merged

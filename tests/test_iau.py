@@ -8,7 +8,6 @@ from repro.accel.reference import golden_output
 from repro.errors import IauError
 from repro.hw.ddr import Ddr
 from repro.iau import Iau, MAX_TASKS
-from repro.interrupt import CPU_LIKE, LAYER_BY_LAYER, VIRTUAL_INSTRUCTION
 from repro.runtime.system import MultiTaskSystem
 
 from tests.conftest import random_input

@@ -9,7 +9,7 @@ from repro.compiler import compile_network
 from repro.hw.config import AcceleratorConfig
 from repro.isa import Program, validate_program
 from repro.nn import GraphBuilder, TensorShape
-from repro.runtime import MultiTaskSystem, compile_tasks
+from repro.runtime import MultiTaskSystem
 from repro.zoo import build_superpoint, build_tiny_cnn
 
 from tests.conftest import random_input

@@ -1,6 +1,5 @@
 """Interrupt methods: descriptors, analytic model, measurement driver."""
 
-import math
 
 import pytest
 

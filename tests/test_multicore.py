@@ -1,6 +1,5 @@
 """Multi-core multi-tasking (the paper's future work, implemented)."""
 
-import numpy as np
 import pytest
 
 from repro.errors import SchedulerError

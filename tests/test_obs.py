@@ -400,7 +400,21 @@ class TestPackageSurface:
     def test_top_level_exports(self):
         import repro
 
-        for name in ("EventBus", "Metrics", "ObsConfig", "summarize", "ArrivalPolicy"):
+        for name in (
+            "EventBus",
+            "Metrics",
+            "ObsConfig",
+            "summarize",
+            "ArrivalPolicy",
+            "FaultPlan",
+            "FaultSite",
+            "DegradationPolicy",
+            "DeadlineMissed",
+            "run_campaign",
+            "FaultError",
+            "CheckpointError",
+            "EccError",
+        ):
             assert name in repro.__all__
             assert getattr(repro, name) is not None
 

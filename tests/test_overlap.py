@@ -1,7 +1,5 @@
 """DMA/compute overlap ablation model."""
 
-import numpy as np
-import pytest
 
 from repro.analysis.latency import instruction_cycles
 from repro.analysis.overlap import (

@@ -1,6 +1,5 @@
 """Pipelined (double-buffered) timing model."""
 
-import numpy as np
 import pytest
 
 from repro.accel.pipelined import engine_busy_cycles, pipelined_schedule

@@ -13,7 +13,6 @@ compile -> IAU -> core -> DDR stack on small but structurally rich networks
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,6 +1,5 @@
 """Caffe prototxt import/export."""
 
-import numpy as np
 import pytest
 
 from repro.errors import GraphError

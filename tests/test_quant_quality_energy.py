@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.analysis.quantization_quality import quantization_report
-from repro.compiler import compile_network
 from repro.hw.config import AcceleratorConfig
 from repro.hw.energy import (
     EnergyModel,
@@ -13,9 +12,7 @@ from repro.hw.energy import (
     interrupt_energy_overhead,
 )
 from repro.quant.float_ref import float_inference
-from repro.zoo import build_tiny_cnn, build_tiny_residual
 
-from tests.conftest import random_input
 
 
 def moderate_input(compiled, seed=0):

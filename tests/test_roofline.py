@@ -1,6 +1,5 @@
 """Roofline analysis of compiled networks."""
 
-import pytest
 
 from repro.analysis.latency import instruction_cycles
 from repro.analysis.roofline import roofline_report

@@ -9,7 +9,6 @@ accepts and the simulator executes bit-exactly.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 

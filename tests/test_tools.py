@@ -3,7 +3,6 @@
 import subprocess
 import sys
 
-import pytest
 
 from repro.accel.trace import ExecutionTrace, TraceEvent
 from repro.isa.opcodes import Opcode

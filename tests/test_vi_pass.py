@@ -2,11 +2,10 @@
 
 import pytest
 
-from repro.compiler.vi_pass import insert_layer_barriers, insert_virtual_instructions
+from repro.compiler.vi_pass import insert_virtual_instructions
 from repro.isa.instructions import NO_SAVE_ID
 from repro.isa.opcodes import Opcode
 from repro.isa.validate import validate_program
-from repro.isa.program import Program
 
 
 def vi_program(compiled):

@@ -88,7 +88,7 @@ class TestTradeoff:
         import numpy as np
 
         from repro.accel.reference import golden_output
-        from repro.runtime import MultiTaskSystem, compile_tasks
+        from repro.runtime import MultiTaskSystem
         from repro.zoo import build_tiny_residual
         from tests.conftest import random_input
 
