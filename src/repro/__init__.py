@@ -48,15 +48,28 @@ from repro.interrupt import (
     VIRTUAL_INSTRUCTION,
     measure_interrupt,
 )
+from repro.errors import InvariantViolation, QosError
 from repro.nn import GraphBuilder, NetworkGraph, TensorShape
 from repro.obs import EventBus, Metrics, ObsConfig, summarize
+from repro.qos import (
+    AdmissionDenied,
+    AdmissionPolicy,
+    BackpressureProfile,
+    InvariantMonitor,
+    QosConfig,
+    QueuePolicy,
+    scan_events,
+)
 from repro.runtime import ArrivalPolicy, MultiTaskSystem, compile_tasks
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AcceleratorConfig",
+    "AdmissionDenied",
+    "AdmissionPolicy",
     "ArrivalPolicy",
+    "BackpressureProfile",
     "CPU_LIKE",
     "CheckpointError",
     "CompiledNetwork",
@@ -68,11 +81,16 @@ __all__ = [
     "FaultPlan",
     "FaultSite",
     "GraphBuilder",
+    "InvariantMonitor",
+    "InvariantViolation",
     "LAYER_BY_LAYER",
     "Metrics",
     "MultiTaskSystem",
     "NetworkGraph",
     "ObsConfig",
+    "QosConfig",
+    "QosError",
+    "QueuePolicy",
     "RunResult",
     "TensorShape",
     "VIRTUAL_INSTRUCTION",
@@ -85,5 +103,6 @@ __all__ = [
     "measure_interrupt",
     "run_campaign",
     "run_program",
+    "scan_events",
     "summarize",
 ]

@@ -137,7 +137,9 @@ class AcceleratorCore:
         self.out: OutputSection | None = None
         self.stats = CoreStats()
 
-    def _emit_burst(self, instruction: Instruction, direction: str, cycles: int) -> None:
+    def _emit_burst(
+        self, instruction: Instruction, direction: str, cycles: int, region: str
+    ) -> None:
         """Report one DMA transfer on the bus (stamped at the bus clock)."""
         self.bus.emit(
             EventKind.DDR_BURST,
@@ -146,6 +148,7 @@ class AcceleratorCore:
             direction=direction,
             opcode=instruction.opcode.name,
             bytes=instruction.length,
+            region=region,
         )
 
     # -- context switching support -------------------------------------------
@@ -256,7 +259,8 @@ class AcceleratorCore:
         self.stats.load_cycles += cycles
         self.stats.bytes_loaded += instruction.length
         if self.bus is not None:
-            self._emit_burst(instruction, "load", cycles)
+            region = layer.input2_region if instruction.operand_b else layer.input_region
+            self._emit_burst(instruction, "load", cycles, region)
         return cycles
 
     def _load_w(self, instruction: Instruction, layer: LayerConfig) -> int:
@@ -299,7 +303,7 @@ class AcceleratorCore:
         self.stats.load_cycles += cycles
         self.stats.bytes_loaded += instruction.length
         if self.bus is not None:
-            self._emit_burst(instruction, "load", cycles)
+            self._emit_burst(instruction, "load", cycles, layer.weight_region)
         return cycles
 
     # -- calc ------------------------------------------------------------------
@@ -571,5 +575,5 @@ class AcceleratorCore:
         self.stats.save_cycles += cycles
         self.stats.bytes_saved += instruction.length
         if self.bus is not None:
-            self._emit_burst(instruction, "save", cycles)
+            self._emit_burst(instruction, "save", cycles, layer.output_region)
         return cycles

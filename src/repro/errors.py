@@ -72,5 +72,18 @@ class CampaignError(FaultError):
     """A fault-injection campaign was misconfigured or misused."""
 
 
+class QosError(IncaError):
+    """A QoS policy object was misconfigured (bad depth, bad profile...)."""
+
+
+class InvariantViolation(IncaError):
+    """The online invariant monitor caught the runtime lying to itself.
+
+    Raised immediately in ``mode="raise"``; in ``mode="report"`` violations
+    are collected on the monitor instead (see
+    :class:`~repro.qos.monitor.InvariantMonitor`).
+    """
+
+
 class DslamError(IncaError):
     """A DSLAM component failed (no landmarks in view, bad trajectory...)."""

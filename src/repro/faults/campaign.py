@@ -32,6 +32,7 @@ from repro.errors import CampaignError, IncaError
 from repro.faults.plan import FaultPlan, FaultSite
 from repro.obs.config import ObsConfig
 from repro.obs.metrics import Metrics
+from repro.qos.monitor import scan_events
 
 #: Event kinds that count as the tolerance machinery *acting*.
 _DETECTION_KINDS = frozenset({"fault_detect", "fault_recover", "deadline_miss"})
@@ -86,6 +87,9 @@ class RunReport:
     #: Extra cycles vs golden, for RECOVERED runs (the recovery window).
     recovery_latency_cycles: int | None
     detail: str = ""
+    #: Invariant-monitor findings from replaying the run's event stream
+    #: (empty for a run whose telemetry is self-consistent).
+    invariant_violations: tuple[str, ...] = ()
 
 
 @dataclass
@@ -108,6 +112,10 @@ class CampaignReport:
     @property
     def total_injected(self) -> int:
         return sum(run.injected for run in self.runs)
+
+    @property
+    def total_invariant_violations(self) -> int:
+        return sum(len(run.invariant_violations) for run in self.runs)
 
     def sites_covered(self) -> set[FaultSite]:
         covered: set[FaultSite] = set()
@@ -158,6 +166,9 @@ class CampaignReport:
         latency = self.mean_recovery_latency_cycles()
         if latency is not None:
             lines.append(f"  mean recovery latency: {latency:.0f} cycles")
+        lines.append(
+            f"  invariant violations: {self.total_invariant_violations}"
+        )
         site_counts: dict[str, int] = {}
         for run in self.runs:
             for site in run.sites:
@@ -257,6 +268,7 @@ def run_campaign(
     rates: Mapping[FaultSite | str, float] | None = None,
     base_seed: int = 0,
     metrics: Metrics | None = None,
+    invariants: bool = True,
     **plan_kwargs: Any,
 ) -> CampaignReport:
     """Execute ``runs`` seeded fault runs and classify each against golden.
@@ -264,6 +276,11 @@ def run_campaign(
     ``plan_kwargs`` are forwarded to every :class:`FaultPlan` (stall sizes,
     retry budgets, ``uncorrectable_share``...).  Pass ``metrics`` to publish
     the verdict counters through :mod:`repro.obs`.
+
+    With ``invariants`` (the default) every completed run's event stream is
+    additionally replayed through the :mod:`repro.qos` invariant monitor;
+    findings land on each run's ``invariant_violations`` without changing
+    the run's outcome classification.
     """
     if runs < 1:
         raise CampaignError(f"a campaign needs at least 1 run, got {runs}")
@@ -286,7 +303,12 @@ def run_campaign(
                 )
             )
             continue
-        reports.append(_classify(golden, result, plan))
+        classified = _classify(golden, result, plan)
+        if invariants:
+            classified.invariant_violations = tuple(
+                str(violation) for violation in scan_events(result.events)
+            )
+        reports.append(classified)
     report = CampaignReport(golden_cycle=golden.final_cycle, runs=reports)
     if metrics is not None:
         report.to_metrics(metrics)

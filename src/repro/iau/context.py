@@ -84,6 +84,10 @@ class TaskContext:
     task_id: int
     compiled: CompiledNetwork
     program: Program
+    #: Criticality level (0 = highest).  Defaults to the slot index, which
+    #: reproduces the hardware's strict slot-priority arbitration; giving two
+    #: slots the same level makes them peers the QoS layer may EDF-order.
+    priority: int | None = None
     #: InstrAddr — next instruction to translate.
     instr_index: int = 0
     #: Software-configured base offsets (modelled registers; the runtime
@@ -123,10 +127,26 @@ class TaskContext:
 
     def __post_init__(self) -> None:
         self.base_program = self.program
+        if self.priority is None:
+            self.priority = self.task_id
 
     @property
     def runnable(self) -> bool:
         return self.active or bool(self.queue)
+
+    @property
+    def head_job(self) -> JobRecord | None:
+        """The in-flight job, else the oldest queued one, else None."""
+        if self.active:
+            return self.current_job
+        return self.queue[0] if self.queue else None
+
+    def head_deadline(self) -> float:
+        """Absolute deadline of the head job (inf when undeclared/idle)."""
+        job = self.head_job
+        if job is None or self.deadline_cycles is None:
+            return float("inf")
+        return job.request_cycle + self.deadline_cycles
 
     @property
     def pending_jobs(self) -> int:

@@ -37,6 +37,8 @@ from repro.isa.instructions import NO_SAVE_ID, Instruction
 from repro.isa.opcodes import Opcode
 from repro.obs.bus import EventBus
 from repro.obs.events import EventKind
+from repro.qos.admission import AdmissionController
+from repro.qos.config import QosConfig
 
 #: Number of task slots in the hardware (paper's Fig. IAU).
 MAX_TASKS = 4
@@ -57,6 +59,8 @@ class Iau:
         bus: EventBus | None = None,
         obs_scope: str | None = None,
         faults: FaultPlan | None = None,
+        qos: QosConfig | None = None,
+        admission: AdmissionController | None = None,
     ):
         if mode not in IAU_MODES:
             raise IauError(f"mode must be one of {IAU_MODES}, got {mode!r}")
@@ -88,6 +92,13 @@ class Iau:
         self.num_deadline_misses = 0
         if faults is not None and core.ddr.faults is None:
             core.ddr.attach_faults(faults, bus)
+        #: QoS machinery (all three are None/off on the pre-QoS fast path).
+        self.qos = qos
+        self.admission = admission
+        self._edf = qos is not None and qos.edf_tiebreak
+        self._detect_inversion = qos is not None and qos.detect_inversion
+        self.num_inversions = 0
+        self._inversions_seen: set[tuple[int, int]] = set()
         #: Optional hook called as ``on_complete(task_id, job)`` whenever a
         #: job finishes (the ROS layer uses it to schedule callbacks).
         self.on_complete = None
@@ -101,6 +112,7 @@ class Iau:
         vi_mode: str = "vi",
         *,
         deadline_cycles: int | None = None,
+        priority: int | None = None,
     ) -> TaskContext:
         """Bind a compiled network to a priority slot (0 = highest).
 
@@ -108,6 +120,11 @@ class Iau:
         request-to-complete turnaround exceeds it gets a typed
         :class:`~repro.faults.plan.DeadlineMissed` outcome (and a
         ``deadline_miss`` event), without aborting the run.
+
+        ``priority`` sets the criticality level independently of the slot
+        index (default: the slot index, the hardware's strict ordering).
+        Equal-priority slots never preempt each other; with the QoS layer's
+        EDF tie-break they are picked by earliest absolute deadline.
         """
         if not 0 <= task_id < MAX_TASKS:
             raise IauError(f"task_id must be in [0, {MAX_TASKS}), got {task_id}")
@@ -120,6 +137,7 @@ class Iau:
             task_id=task_id,
             compiled=compiled,
             program=compiled.program_for(vi_mode),
+            priority=priority,
             deadline_cycles=deadline_cycles,
         )
         self.contexts[task_id] = context
@@ -142,14 +160,33 @@ class Iau:
             task_id=task_id,
             request_cycle=self.clock if at_cycle is None else at_cycle,
         )
-        self.context(task_id).enqueue(record)
+        context = self.context(task_id)
+        if self.admission is not None and not self.admission.admit(
+            context, record, clock=self.clock
+        ):
+            # Denied (record.outcome carries the typed AdmissionDenied) or
+            # parked by the BLOCK policy (admitted when a slot frees).
+            return record
+        self._enqueue(context, record)
+        return record
+
+    def _enqueue(self, context: TaskContext, record: JobRecord) -> None:
+        context.enqueue(record)
         if self.bus is not None:
             self._emit(
                 EventKind.JOB_SUBMIT,
-                task_id=task_id,
+                task_id=context.task_id,
                 request_cycle=record.request_cycle,
             )
-        return record
+
+    def _release_parked(self, context: TaskContext) -> None:
+        """Admit BLOCK-policy requests now that the queue has room."""
+        if self.admission is None:
+            return
+        released = self.admission.release_parked(context)
+        while released is not None:
+            self._enqueue(context, released)
+            released = self.admission.release_parked(context)
 
     def _emit(self, kind: EventKind, **kwargs) -> None:
         """Emit one bus event stamped at the IAU clock (callers gate on bus)."""
@@ -170,17 +207,46 @@ class Iau:
 
     # -- scheduling ---------------------------------------------------------
 
-    def _highest_runnable(self) -> TaskContext | None:
-        for context in self.contexts:
-            if context is not None and context.runnable:
-                return context
-        return None
+    def _rank(self, context: TaskContext) -> tuple:
+        """Arbitration key: lower sorts first.
 
-    def _preempting_task(self, current_priority: int) -> TaskContext | None:
-        for context in self.contexts[:current_priority]:
-            if context is not None and context.runnable:
-                return context
-        return None
+        Strict (priority, slot) by default — identical to the hardware's
+        slot-order scan.  With the QoS EDF tie-break, equal-priority slots
+        are ordered by the head job's absolute deadline (laxity order for
+        equal-length jobs), undeclared deadlines last.
+        """
+        if self._edf:
+            return (context.priority, context.head_deadline(), context.task_id)
+        return (context.priority, context.task_id)
+
+    def _highest_runnable(self) -> TaskContext | None:
+        best: TaskContext | None = None
+        best_key: tuple | None = None
+        for context in self.contexts:
+            if context is None or not context.runnable:
+                continue
+            key = self._rank(context)
+            if best_key is None or key < best_key:
+                best, best_key = context, key
+        return best
+
+    def _preempting_task(self, current: TaskContext) -> TaskContext | None:
+        """The strictly-higher-priority runnable task that would win the
+        core, or None.  Equal-priority peers never preempt each other."""
+        best: TaskContext | None = None
+        best_key: tuple | None = None
+        for context in self.contexts:
+            if (
+                context is None
+                or context is current
+                or not context.runnable
+                or context.priority >= current.priority
+            ):
+                continue
+            key = self._rank(context)
+            if best_key is None or key < best_key:
+                best, best_key = context, key
+        return best
 
     @property
     def idle(self) -> bool:
@@ -205,6 +271,9 @@ class Iau:
         fetch = fetch_cycles(self.config)
         self.clock += fetch
         context.busy_cycles += fetch
+
+        if self._detect_inversion:
+            self._check_inversion(context)
 
         if self.mode == "cpu" and self._maybe_cpu_preempt(context):
             return True
@@ -241,6 +310,7 @@ class Iau:
                     request_cycle=job.request_cycle,
                     response_cycles=job.response_cycles,
                 )
+            self._release_parked(context)  # starting a job freed a queue slot
             if self.faults is not None and self.faults.fires(FaultSite.JOB_OVERRUN):
                 stall = self.faults.overrun_cycles
                 self.faults.record(
@@ -272,10 +342,37 @@ class Iau:
         if resumed and self.bus is not None:
             self._emit(EventKind.PREEMPT_END, task_id=context.task_id)
 
+    def _check_inversion(self, context: TaskContext) -> None:
+        """Flag a lower-criticality job holding the core past a waiting
+        higher-criticality job's slack (one event per waiting job)."""
+        winner = self._preempting_task(context)
+        if winner is None:
+            return
+        head = winner.head_job
+        if head is None or winner.deadline_cycles is None:
+            return
+        estimate = self.admission.estimate(winner) if self.admission is not None else 0
+        slack = head.request_cycle + winner.deadline_cycles - self.clock - estimate
+        if slack >= 0:
+            return
+        key = (winner.task_id, head.request_cycle)
+        if key in self._inversions_seen:
+            return
+        self._inversions_seen.add(key)
+        self.num_inversions += 1
+        if self.bus is not None:
+            self._emit(
+                EventKind.PRIORITY_INVERSION,
+                task_id=winner.task_id,
+                holder=context.task_id,
+                slack_cycles=slack,
+                request_cycle=head.request_cycle,
+            )
+
     def _maybe_cpu_preempt(self, context: TaskContext) -> bool:
         """CPU-like discipline: check for a higher-priority task before every
         instruction, spilling the whole chip state on pre-emption."""
-        winner = self._preempting_task(context.task_id)
+        winner = self._preempting_task(context)
         if winner is None:
             return False
         cycles = transfer_cycles(self.config, self.config.total_buffer_bytes)
@@ -386,7 +483,7 @@ class Iau:
 
         can_switch = (
             instruction.is_switch_point
-            and self._preempting_task(context.task_id) is not None
+            and self._preempting_task(context) is not None
         )
         if self.faults is not None and instruction.is_switch_point:
             if can_switch and self.faults.fires(FaultSite.IAU_DROP_PREEMPT):
@@ -444,7 +541,7 @@ class Iau:
         self.core.invalidate()
         self.current = None
         if self.bus is not None:
-            winner = self._preempting_task(context.task_id)
+            winner = self._preempting_task(context)
             self._emit(
                 EventKind.VI_EXPAND,
                 cycle=self.clock - backup_transfer_cycles,

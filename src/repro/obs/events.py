@@ -27,6 +27,19 @@ kind                    emitted by / meaning
                         a low-priority job under overload
 ``DEADLINE_MISS``       IAU watchdog — a job overran its deadline (the job's
                         record carries the typed ``DeadlineMissed`` outcome)
+``ADMISSION_DENY``      QoS admission control — a request was rejected, shed
+                        or parked (``reason`` / ``policy`` name the cause)
+``PRIORITY_INVERSION``  IAU — a lower-criticality job held the core past a
+                        higher-criticality job's slack
+``ROS_QUEUE_DROP``      ROS executor — a backpressured topic dropped a
+                        message (queue overflow, unreliable drop, or retry
+                        timeout; ``reason`` distinguishes them)
+``ROS_RETRY``           ROS executor — a reliable delivery attempt failed
+                        and was rescheduled with exponential backoff
+``ROS_ACK``             ROS executor — a backpressured delivery completed
+                        (``latency`` is publish-to-deliver cycles)
+``INVARIANT_VIOLATION`` online monitor (report mode) — a runtime invariant
+                        did not hold (``check`` names it)
 ======================  =====================================================
 
 ``cycle`` is the accelerator clock at emission and is non-decreasing within
@@ -60,6 +73,12 @@ class EventKind(enum.Enum):
     FAULT_RECOVER = "fault_recover"
     JOB_DEGRADED = "job_degraded"
     DEADLINE_MISS = "deadline_miss"
+    ADMISSION_DENY = "admission_deny"
+    PRIORITY_INVERSION = "priority_inversion"
+    ROS_QUEUE_DROP = "ros_queue_drop"
+    ROS_RETRY = "ros_retry"
+    ROS_ACK = "ros_ack"
+    INVARIANT_VIOLATION = "invariant_violation"
 
 
 @dataclass(frozen=True)

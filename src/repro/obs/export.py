@@ -170,18 +170,41 @@ def summarize(source) -> str:
     if published:
         delivered = sum(1 for e in events if e.kind is EventKind.ROS_DELIVER)
         lines += f"\nROS: {published} messages published, {delivered} deliveries"
+        queue_drops = sum(1 for e in events if e.kind is EventKind.ROS_QUEUE_DROP)
+        retries = sum(1 for e in events if e.kind is EventKind.ROS_RETRY)
+        acks = sum(1 for e in events if e.kind is EventKind.ROS_ACK)
+        if queue_drops or retries or acks:
+            lines += (
+                f"; {queue_drops} queue drop(s), {retries} retry(ies), "
+                f"{acks} ack(s)"
+            )
+    denied = sum(1 for e in events if e.kind is EventKind.ADMISSION_DENY)
+    inversions = sum(1 for e in events if e.kind is EventKind.PRIORITY_INVERSION)
+    violations = sum(1 for e in events if e.kind is EventKind.INVARIANT_VIOLATION)
+    if denied or inversions or violations:
+        lines += (
+            f"\nQoS: {denied} admission denial(s), "
+            f"{inversions} priority inversion(s), "
+            f"{violations} invariant violation(s)"
+        )
     injected = sum(1 for e in events if e.kind is EventKind.FAULT_INJECT)
+    misses = sum(1 for e in events if e.kind is EventKind.DEADLINE_MISS)
+    degraded = sum(1 for e in events if e.kind is EventKind.JOB_DEGRADED)
     if injected:
         detected = sum(1 for e in events if e.kind is EventKind.FAULT_DETECT)
         recovered = sum(1 for e in events if e.kind is EventKind.FAULT_RECOVER)
-        misses = sum(1 for e in events if e.kind is EventKind.DEADLINE_MISS)
-        degraded = sum(1 for e in events if e.kind is EventKind.JOB_DEGRADED)
         lines += (
             f"\nFaults: {injected} injected, {detected} detected, "
             f"{recovered} recovered"
         )
         if misses or degraded:
             lines += f"; {misses} deadline miss(es), {degraded} degradation action(s)"
+    elif misses or degraded:
+        # Degradation acts without a fault plan too (pure overload shedding).
+        lines += (
+            f"\nDegradation: {misses} deadline miss(es), "
+            f"{degraded} degradation action(s)"
+        )
     return lines
 
 

@@ -1,0 +1,55 @@
+"""Overload-robust QoS runtime (``repro.qos``).
+
+Three defences against sustained overload, all off by default and all
+cycle-neutral when disarmed:
+
+* **Admission control** (:mod:`repro.qos.admission`) — bounded per-task
+  queues at the IAU with reject / shed-oldest / shed-newest / block
+  policies plus slack-based admission against declared deadlines;
+* **Backpressure profiles** (:class:`BackpressureProfile`, applied by the
+  ROS executor) — per-topic bounded queues with drop/oldest/latest
+  semantics, delivery acknowledgements and reliable retry with exponential
+  backoff;
+* **Invariant monitoring** (:mod:`repro.qos.monitor`) — an event-bus sink
+  that checks cycle monotonicity, preemption pairing, queue bounds, DDR
+  region ownership and deadline bookkeeping, raising
+  :class:`~repro.errors.InvariantViolation` (or counting, in report mode).
+
+Arm them with one :class:`QosConfig`::
+
+    system = MultiTaskSystem(
+        config,
+        obs=ObsConfig(events=True),
+        qos=QosConfig(
+            admission=AdmissionPolicy.SHED_OLDEST,
+            queue_depth=2,
+            monitor=True,
+        ),
+    )
+"""
+
+from repro.qos.admission import (
+    AdmissionController,
+    AdmissionDenied,
+    estimate_job_cycles,
+)
+from repro.qos.config import (
+    AdmissionPolicy,
+    BackpressureProfile,
+    QosConfig,
+    QueuePolicy,
+)
+from repro.qos.monitor import InvariantMonitor, Violation, scan_events
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDenied",
+    "AdmissionPolicy",
+    "BackpressureProfile",
+    "InvariantMonitor",
+    "QosConfig",
+    "QueuePolicy",
+    "Violation",
+    "estimate_job_cycles",
+    "scan_events",
+]

@@ -1,0 +1,125 @@
+"""QoS policy objects: admission, backpressure and monitor configuration.
+
+Everything here is pure, frozen configuration.  A default-constructed
+:class:`QosConfig` arms *nothing*: every field that changes behaviour is off,
+so ``MultiTaskSystem(config, qos=QosConfig())`` is cycle-for-cycle identical
+to ``qos=None`` (enforced by ``benchmarks/test_overload_qos.py``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import QosError
+
+
+class AdmissionPolicy(enum.Enum):
+    """What a full task queue does with the next arriving request."""
+
+    #: Deny the incoming request (typed ``AdmissionDenied`` outcome).
+    REJECT = "reject"
+    #: Drop the oldest *queued* (not running) job to admit the new one —
+    #: the freshest-data discipline sensor pipelines want.
+    SHED_OLDEST = "shed_oldest"
+    #: Drop the newest queued job and admit the incoming one in its place.
+    SHED_NEWEST = "shed_newest"
+    #: Park the request and admit it when a queue slot frees; its latency
+    #: clock keeps running from the original arrival cycle.
+    BLOCK = "block"
+
+
+class QueuePolicy(enum.Enum):
+    """Per-topic overflow discipline for backpressured ROS topics."""
+
+    #: Evict the oldest pending message (ROS ``KEEP_LAST`` depth semantics).
+    DROP_OLDEST = "drop_oldest"
+    #: Refuse the incoming message, keep the backlog.
+    DROP_NEWEST = "drop_newest"
+
+
+@dataclass(frozen=True)
+class BackpressureProfile:
+    """ROS-like QoS profile for one topic.
+
+    ``depth`` bounds the pending (published-but-undelivered) messages;
+    overflow follows ``policy``.  ``reliable`` turns fault-injected drops
+    into retries with exponential backoff (``retry_base_cycles * 2**n``)
+    until ``max_retries`` or ``retry_timeout_cycles`` past publish, after
+    which the message is declared undelivered (never silently lost).
+    """
+
+    depth: int = 8
+    policy: QueuePolicy = QueuePolicy.DROP_OLDEST
+    reliable: bool = False
+    retry_base_cycles: int = 1_000
+    max_retries: int = 3
+    retry_timeout_cycles: int = 100_000
+
+    def __post_init__(self) -> None:
+        if self.depth < 1:
+            raise QosError(f"depth must be >= 1, got {self.depth}")
+        if self.retry_base_cycles < 1:
+            raise QosError(
+                f"retry_base_cycles must be >= 1, got {self.retry_base_cycles}"
+            )
+        if self.max_retries < 0:
+            raise QosError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.retry_timeout_cycles < 1:
+            raise QosError(
+                f"retry_timeout_cycles must be >= 1, got {self.retry_timeout_cycles}"
+            )
+
+
+@dataclass(frozen=True)
+class QosConfig:
+    """One options object arming the runtime's overload defences.
+
+    * ``admission`` + ``queue_depth`` — bounded per-task queues at the IAU
+      (tasks with ``task_id >= min_task_id``; priority 0 is never gated);
+    * ``slack_admission`` — deny requests whose projected completion
+      (static program-cycle estimate x backlog) already overruns their
+      declared deadline;
+    * ``edf_tiebreak`` — order equal-priority runnable tasks by absolute
+      deadline (earliest first) instead of slot index;
+    * ``detect_inversion`` — emit ``PRIORITY_INVERSION`` events when a
+      lower-criticality job holds the core past a waiting higher-criticality
+      job's slack;
+    * ``monitor`` — attach an online :class:`~repro.qos.monitor.InvariantMonitor`
+      to the system's event bus (``monitor_mode`` picks raise vs report).
+    """
+
+    admission: AdmissionPolicy | None = None
+    queue_depth: int | None = None
+    slack_admission: bool = False
+    min_task_id: int = 1
+    edf_tiebreak: bool = False
+    detect_inversion: bool = False
+    monitor: bool = False
+    monitor_mode: str = "raise"
+
+    def __post_init__(self) -> None:
+        if self.queue_depth is not None and self.queue_depth < 1:
+            raise QosError(f"queue_depth must be >= 1, got {self.queue_depth}")
+        if self.admission is not None and self.queue_depth is None:
+            raise QosError("admission policy needs queue_depth")
+        if self.monitor_mode not in ("raise", "report"):
+            raise QosError(
+                f"monitor_mode must be 'raise' or 'report', got {self.monitor_mode!r}"
+            )
+        if self.min_task_id < 0:
+            raise QosError(f"min_task_id must be >= 0, got {self.min_task_id}")
+
+    @property
+    def wants_admission(self) -> bool:
+        return self.admission is not None or self.slack_admission
+
+    @property
+    def armed(self) -> bool:
+        """True when any field changes runtime behaviour."""
+        return (
+            self.wants_admission
+            or self.edf_tiebreak
+            or self.detect_inversion
+            or self.monitor
+        )

@@ -10,10 +10,11 @@ from repro.ros.messages import (
     PlaceDescriptor,
 )
 from repro.ros.node import Node
-from repro.ros.topic import Topic, TopicRegistry
+from repro.ros.topic import Delivery, Topic, TopicRegistry
 
 __all__ = [
     "CameraFrame",
+    "Delivery",
     "Executor",
     "Feature",
     "FeatureArray",

@@ -23,7 +23,8 @@ from repro.faults.plan import FaultPlan, FaultSite
 from repro.iau.context import JobRecord
 from repro.obs.bus import EventBus
 from repro.obs.events import EventKind
-from repro.ros.topic import TopicRegistry
+from repro.qos.config import BackpressureProfile, QueuePolicy
+from repro.ros.topic import Delivery, Topic, TopicRegistry
 from repro.runtime.system import MultiTaskSystem
 
 
@@ -83,33 +84,167 @@ class Executor:
     def create_timer(
         self, period_cycles: int, callback: Callable[[], None], count: int, offset: int = 0
     ) -> None:
-        """Fire ``callback`` ``count`` times, ``period_cycles`` apart."""
+        """Fire ``callback`` ``count`` times, ``period_cycles`` apart.
+
+        ``offset`` is relative to the current clock (the first firing lands
+        ``offset`` cycles from now), matching :meth:`schedule_after`.
+        """
         if period_cycles <= 0:
             raise RosError(f"timer period must be positive, got {period_cycles}")
         for index in range(count):
-            self.schedule(offset + index * period_cycles, callback)
+            self.schedule(self.clock + offset + index * period_cycles, callback)
 
     # -- pub/sub ----------------------------------------------------------------
 
-    def publish(self, topic_name: str, message: object) -> None:
+    def set_qos(self, topic_name: str, profile: BackpressureProfile | None) -> None:
+        """Attach (or clear) a backpressure profile on a topic.
+
+        Profiled topics bound their in-flight queue and report each
+        publish's fate as a :class:`~repro.ros.topic.Delivery`; reliable
+        profiles additionally retry dropped transmissions with exponential
+        backoff and acknowledge successful ones on the bus.
+        """
+        self.topics.topic(topic_name).qos = profile
+
+    def publish(self, topic_name: str, message: object) -> Delivery | None:
         """Deliver a message to all subscribers immediately (same timestamp).
 
         With a fault plan attached, a publish may be dropped (the message is
         lost before delivery) or delayed (delivered ``ros_delay_cycles``
         late); both are recorded with the plan and mirrored on the bus.
+
+        On a topic with a backpressure profile (see :meth:`set_qos`) the
+        publish instead goes through the bounded queue and returns a
+        :class:`~repro.ros.topic.Delivery`; unprofiled topics keep the
+        legacy fire-and-forget path and return ``None``.
         """
+        topic = self.topics.topic(topic_name)
+        if topic.qos is not None:
+            return self._publish_qos(topic, message)
         if self.faults is not None:
             if self.faults.fires(FaultSite.ROS_DROP):
                 self._inject(FaultSite.ROS_DROP, topic=topic_name)
-                return
+                return None
             if self.faults.fires(FaultSite.ROS_DELAY):
                 delay = self.faults.ros_delay_cycles
                 self._inject(FaultSite.ROS_DELAY, topic=topic_name, delay_cycles=delay)
-                self.schedule(
-                    self.clock + delay, lambda: self._deliver(topic_name, message)
+                # Measure the delay from the dispatching event's logical
+                # time, not the (possibly further advanced) wall clock.
+                base = (
+                    self._dispatch_cycle
+                    if self._dispatch_cycle is not None
+                    else self.clock
                 )
-                return
+                self.schedule(
+                    max(base + delay, self.clock),
+                    lambda: self._deliver(topic_name, message),
+                )
+                return None
         self._deliver(topic_name, message)
+        return None
+
+    # -- backpressure ------------------------------------------------------
+
+    def _publish_qos(self, topic: Topic, message: object) -> Delivery:
+        profile = topic.qos
+        delivery = Delivery(
+            topic=topic.name, message=message, enqueued_cycle=self.clock
+        )
+        if len(topic.pending) >= profile.depth:
+            if profile.policy is QueuePolicy.DROP_NEWEST:
+                delivery.status = "dropped"
+                topic.dropped += 1
+                self._emit_qos(
+                    EventKind.ROS_QUEUE_DROP,
+                    topic=topic.name,
+                    policy=profile.policy.value,
+                    depth=len(topic.pending),
+                )
+                return delivery
+            victim = topic.pending.popleft()
+            victim.status = "dropped"
+            topic.dropped += 1
+            self._emit_qos(
+                EventKind.ROS_QUEUE_DROP,
+                topic=topic.name,
+                policy=profile.policy.value,
+                depth=len(topic.pending) + 1,
+            )
+        topic.pending.append(delivery)
+        self._attempt(topic, delivery)
+        return delivery
+
+    def _attempt(self, topic: Topic, delivery: Delivery) -> None:
+        if delivery.status != "pending":
+            return  # evicted while a retry was in flight
+        profile = topic.qos
+        delivery.attempts += 1
+        if self.faults is not None and self.faults.fires(FaultSite.ROS_DROP):
+            self._inject(FaultSite.ROS_DROP, topic=topic.name)
+            if profile.reliable:
+                self._schedule_retry(topic, delivery)
+            else:
+                self._finish(topic, delivery, "dropped")
+            return
+        delay = 0
+        if self.faults is not None and self.faults.fires(FaultSite.ROS_DELAY):
+            delay = self.faults.ros_delay_cycles
+            self._inject(
+                FaultSite.ROS_DELAY, topic=topic.name, delay_cycles=delay
+            )
+        if delay:
+            base = (
+                self._dispatch_cycle if self._dispatch_cycle is not None else self.clock
+            )
+            self.schedule(
+                max(base + delay, self.clock),
+                lambda: self._complete_delivery(topic, delivery),
+            )
+        else:
+            self._complete_delivery(topic, delivery)
+
+    def _complete_delivery(self, topic: Topic, delivery: Delivery) -> None:
+        if delivery.status != "pending":
+            return
+        self._deliver(topic.name, delivery.message)
+        delivery.delivered_cycle = self.clock
+        self._finish(topic, delivery, "delivered")
+        if topic.qos is not None and topic.qos.reliable:
+            self._emit_qos(
+                EventKind.ROS_ACK,
+                topic=topic.name,
+                attempts=delivery.attempts,
+                latency_cycles=self.clock - delivery.enqueued_cycle,
+            )
+
+    def _schedule_retry(self, topic: Topic, delivery: Delivery) -> None:
+        profile = topic.qos
+        waited = self.clock - delivery.enqueued_cycle
+        if (
+            delivery.attempts > profile.max_retries
+            or waited >= profile.retry_timeout_cycles
+        ):
+            self._finish(topic, delivery, "failed")
+            return
+        backoff = profile.retry_base_cycles * (2 ** (delivery.attempts - 1))
+        self._emit_qos(
+            EventKind.ROS_RETRY,
+            topic=topic.name,
+            attempt=delivery.attempts,
+            backoff_cycles=backoff,
+        )
+        self.schedule(self.clock + backoff, lambda: self._attempt(topic, delivery))
+
+    def _finish(self, topic: Topic, delivery: Delivery, status: str) -> None:
+        delivery.status = status
+        try:
+            topic.pending.remove(delivery)
+        except ValueError:
+            pass  # already evicted from the bounded queue
+
+    def _emit_qos(self, kind: EventKind, **data) -> None:
+        if self.bus is not None:
+            self.bus.emit(kind, cycle=self.clock, **data)
 
     def _deliver(self, topic_name: str, message: object) -> None:
         topic = self.topics.topic(topic_name)

@@ -1,14 +1,45 @@
-"""Topics: named pub/sub channels with recorded history."""
+"""Topics: named pub/sub channels with recorded history and optional QoS.
+
+A topic with no :class:`~repro.qos.config.BackpressureProfile` keeps the
+original fire-and-forget semantics.  Attaching a profile (via
+``Executor.set_qos``) bounds the in-flight queue and, for reliable
+profiles, arms acknowledged delivery with retries — each publish then
+returns a :class:`Delivery` record tracking the message's fate.
+"""
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.errors import RosError
+from repro.qos.config import BackpressureProfile
 
 #: A subscriber callback: receives the message object.
 Callback = Callable[[object], None]
+
+
+@dataclass
+class Delivery:
+    """Fate of one message published on a QoS-profiled topic.
+
+    ``status`` walks ``pending`` -> one of ``delivered`` (reached the
+    subscribers), ``dropped`` (evicted by the bounded queue or lost on an
+    unreliable topic), or ``failed`` (reliable retries exhausted / timed
+    out).
+    """
+
+    topic: str
+    message: object
+    enqueued_cycle: int
+    status: str = "pending"
+    attempts: int = 0
+    delivered_cycle: int | None = None
+
+    @property
+    def done(self) -> bool:
+        return self.status != "pending"
 
 
 @dataclass
@@ -19,6 +50,12 @@ class Topic:
     subscribers: list[Callback] = field(default_factory=list)
     history: list[object] = field(default_factory=list)
     record: bool = True
+    #: Backpressure profile; None keeps legacy fire-and-forget publishes.
+    qos: BackpressureProfile | None = None
+    #: Deliveries enqueued but not yet resolved (bounded by ``qos.depth``).
+    pending: deque[Delivery] = field(default_factory=deque)
+    #: Messages evicted by the bounded queue (both drop policies).
+    dropped: int = 0
 
     def subscribe(self, callback: Callback) -> None:
         self.subscribers.append(callback)

@@ -41,6 +41,9 @@ from repro.obs.config import ObsConfig, resolve_obs_config
 from repro.obs.export import summarize
 from repro.obs.metrics import Metrics, MetricsSink
 from repro.obs.spans import Span, job_spans
+from repro.qos.admission import AdmissionController
+from repro.qos.config import QosConfig
+from repro.qos.monitor import InvariantMonitor
 from repro.units import MIB
 
 
@@ -79,6 +82,7 @@ class MultiTaskSystem:
         obs: ObsConfig | None = None,
         faults: FaultPlan | None = None,
         degradation: DegradationPolicy | None = None,
+        qos: QosConfig | None = None,
     ):
         self.config = config
         self.obs = resolve_obs_config(
@@ -97,8 +101,31 @@ class MultiTaskSystem:
             if self.obs.trace:
                 self.trace = ExecutionTrace.from_bus(self.bus)
 
+        #: QoS layer: admission controller + online invariant monitor
+        #: (both None unless a QosConfig arms them — the pre-QoS fast path).
+        self.qos = qos
+        self.admission: AdmissionController | None = None
+        self.monitor: InvariantMonitor | None = None
+        if qos is not None and qos.wants_admission:
+            self.admission = AdmissionController(qos, bus=self.bus)
+        if qos is not None and qos.monitor:
+            if self.bus is None:
+                raise SchedulerError(
+                    "qos.monitor needs the event bus: construct with "
+                    "obs=ObsConfig(events=True)"
+                )
+            self.monitor = InvariantMonitor(mode=qos.monitor_mode, bus=self.bus)
+            self.bus.attach(self.monitor)
+
         self.core = AcceleratorCore(config, self.ddr, obs=self.obs, bus=self.bus)
-        self.iau = Iau(self.core, mode=iau_mode, bus=self.bus, faults=faults)
+        self.iau = Iau(
+            self.core,
+            mode=iau_mode,
+            bus=self.bus,
+            faults=faults,
+            qos=qos,
+            admission=self.admission,
+        )
         self.faults = faults
         self.degradation = degradation
         #: Requests shed by the degradation policy, per task.
@@ -118,20 +145,36 @@ class MultiTaskSystem:
         vi_mode: str = "vi",
         *,
         deadline_cycles: int | None = None,
+        priority: int | None = None,
     ) -> None:
         """Attach a compiled network at a priority slot and map its DDR."""
         for region in compiled.layout.ddr.regions():
             self.ddr.adopt(region)
         self.iau.attach_task(
-            task_id, compiled, vi_mode=vi_mode, deadline_cycles=deadline_cycles
+            task_id,
+            compiled,
+            vi_mode=vi_mode,
+            deadline_cycles=deadline_cycles,
+            priority=priority,
         )
         self._task_ids.append(task_id)
         self._pending[task_id] = 0
         self.shed[task_id] = 0
+        if self.monitor is not None:
+            if (
+                self.qos.admission is not None
+                and task_id >= self.qos.min_task_id
+            ):
+                self.monitor.expect_queue_bound(task_id, self.qos.queue_depth)
+            self.monitor.expect_deadline(task_id, deadline_cycles)
+            for region in compiled.layout.ddr.regions():
+                self.monitor.own_region(region.name, task_id)
 
     def set_deadline(self, task_id: int, cycles: int | None) -> None:
         """(Re)arm the per-job watchdog for an attached task."""
         self.iau.context(task_id).deadline_cycles = cycles
+        if self.monitor is not None:
+            self.monitor.expect_deadline(task_id, cycles)
 
     # -- request injection ----------------------------------------------------
 
