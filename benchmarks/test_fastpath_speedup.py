@@ -1,0 +1,91 @@
+"""Fast-path speedup guard: the horizon-batched dispatch loop must beat the
+step-wise loop by >= 5x on a timing-only multi-task workload.
+
+The workload is ResNet-scale (tens of thousands of instructions per job)
+with periodic overlapping arrivals, exactly the regime the fast path was
+built for: long uninterruptible stretches punctuated by switch points.
+Correctness (cycle- and event-exactness) is covered by
+``tests/test_fastpath.py``; this file pins the *performance* claim and
+records it under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.nn import TensorShape
+from repro.runtime.system import ArrivalPolicy, MultiTaskSystem, compile_tasks
+from repro.zoo import build_resnet, build_superpoint
+
+from .conftest import write_result
+
+SPEEDUP_FLOOR = 5.0
+
+
+@pytest.fixture(scope="module")
+def fastpath_pair(big_config):
+    return compile_tasks(
+        [
+            build_resnet("resnet18", TensorShape(240, 320, 3)),
+            build_superpoint(TensorShape(120, 160, 1), head="detector"),
+        ],
+        big_config,
+        weights="zeros",
+    )
+
+
+def run_workload(pair, batched: bool) -> int:
+    low, high = pair
+    system = MultiTaskSystem(low.config)
+    system.add_task(0, high)
+    system.add_task(1, low)
+    system.submit(
+        1, at_cycle=0, policy=ArrivalPolicy.PERIODIC,
+        period_cycles=600_000, count=6,
+    )
+    system.submit(
+        0, at_cycle=150_000, policy=ArrivalPolicy.PERIODIC,
+        period_cycles=450_000, count=8,
+    )
+    return system.run(batched=batched)
+
+
+def best_of(repeats: int, fn) -> tuple[float, int]:
+    best = float("inf")
+    clock = 0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        clock = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, clock
+
+
+def test_fastpath_speedup(fastpath_pair):
+    # Warm once so program-metadata construction (a one-time, per-program
+    # cost amortised across every later run) is priced separately.
+    cold_start = time.perf_counter()
+    clock_warmup = run_workload(fastpath_pair, batched=True)
+    cold = time.perf_counter() - cold_start
+
+    stepped_s, clock_stepped = best_of(2, lambda: run_workload(fastpath_pair, False))
+    batched_s, clock_batched = best_of(2, lambda: run_workload(fastpath_pair, True))
+
+    assert clock_batched == clock_stepped == clock_warmup  # cycle-exact
+    speedup_cold = stepped_s / cold
+    speedup_warm = stepped_s / batched_s
+
+    lines = [
+        "Fast-path speedup: horizon-batched vs step-wise dispatch",
+        "workload: ResNet-18@240x320 + SuperPoint@120x160, 14 periodic jobs",
+        f"final clock (both paths)   : {clock_batched:>12,} cycles",
+        f"step-wise wall time        : {stepped_s * 1e3:>12.1f} ms",
+        f"batched wall time (cold)   : {cold * 1e3:>12.1f} ms   ({speedup_cold:.1f}x)",
+        f"batched wall time (warm)   : {batched_s * 1e3:>12.1f} ms   ({speedup_warm:.1f}x)",
+        f"acceptance floor           : {SPEEDUP_FLOOR:.1f}x",
+    ]
+    write_result("fastpath_speedup", "\n".join(lines))
+
+    assert speedup_cold >= SPEEDUP_FLOOR
+    assert speedup_warm >= SPEEDUP_FLOOR

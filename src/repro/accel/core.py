@@ -184,6 +184,33 @@ class AcceleratorCore:
 
     # -- execution ---------------------------------------------------------------
 
+    def retire_batch(
+        self,
+        aggregates: dict,
+        data_tiles: dict[int, DataTile],
+        weight_tile: WeightTile | None,
+    ) -> None:
+        """Advance the core past a pre-validated instruction stretch.
+
+        The IAU's horizon-batched fast path (timing-only, provably
+        uninterruptible) retires many instructions at once: ``aggregates``
+        carries the summed :class:`CoreStats` deltas, and the buffer
+        bookkeeping jumps to the precomputed clean-boundary state (no
+        accumulator or un-saved output section in flight there).
+        """
+        stats = self.stats
+        stats.instructions += aggregates["instructions"]
+        stats.cycles += aggregates["cycles"]
+        stats.load_cycles += aggregates["load_cycles"]
+        stats.calc_cycles += aggregates["calc_cycles"]
+        stats.save_cycles += aggregates["save_cycles"]
+        stats.bytes_loaded += aggregates["bytes_loaded"]
+        stats.bytes_saved += aggregates["bytes_saved"]
+        self.data_tiles = data_tiles
+        self.weight_tile = weight_tile
+        self.acc = None
+        self.out = None
+
     def execute(self, instruction: Instruction, layer: LayerConfig) -> int:
         """Run one original-ISA instruction; returns its cycle count."""
         opcode = instruction.opcode
@@ -274,21 +301,22 @@ class AcceleratorCore:
             fault_cycles = self.ddr.burst_faults(layer.weight_region, "load")
         array = None
         if self.functional:
+            # The tile must not alias DDR (matching _load_d): a host-side
+            # weight update — or, with faults armed, an in-place ECC
+            # correction or a fresh flip — must not reach an in-flight tile.
             weights = self.ddr.region(layer.weight_region).array
             if layer.kind == "depthwise":
-                array = weights[:, :, instruction.ch0 : instruction.ch0 + instruction.chs]
+                array = weights[
+                    :, :, instruction.ch0 : instruction.ch0 + instruction.chs
+                ].copy()
             else:
                 array = weights[
                     :,
                     :,
                     instruction.in_ch0 : instruction.in_ch0 + instruction.in_chs,
                     instruction.ch0 : instruction.ch0 + instruction.chs,
-                ]
+                ].copy()
         if self.ddr.faults is not None:
-            if array is not None:
-                # The tile must not alias DDR: a later in-place ECC
-                # correction (or a fresh flip) would reach into the tile.
-                array = array.copy()
             self.ddr.read_disturb(layer.weight_region)
         self.weight_tile = WeightTile(
             layer_id=instruction.layer_id,

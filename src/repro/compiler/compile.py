@@ -51,9 +51,11 @@ class CompiledNetwork:
     quantization: dict[str, LayerQuantization]
     programs: dict[str, Program]
     _configs_by_id: dict[int, LayerConfig] = field(init=False)
+    _meta_cache: dict = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         self._configs_by_id = {cfg.layer_id: cfg for cfg in self.layer_configs}
+        self._meta_cache = {}
 
     # -- program access ----------------------------------------------------
 
@@ -74,6 +76,22 @@ class CompiledNetwork:
             raise CompileError(
                 f"network {self.graph.name!r} has no layer id {layer_id}"
             ) from None
+
+    def execution_meta(self, program: Program):
+        """Fast-path metadata of ``program`` on this network's accelerator.
+
+        Built lazily and cached for the lifetime of the compiled network,
+        so every system simulating the same workload shares one O(n)
+        precomputation (see :mod:`repro.iau.fastpath`).
+        """
+        from repro.iau.fastpath import build_program_meta
+
+        key = id(program)
+        hit = self._meta_cache.get(key)
+        if hit is None or hit[0] is not program:
+            hit = (program, build_program_meta(self, program))
+            self._meta_cache[key] = hit
+        return hit[1]
 
     # -- host-side I/O -------------------------------------------------------
 

@@ -14,9 +14,16 @@ paper's backup-vs-convolution table (e.g. the 30x40x512->512 3x3 layer:
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.errors import HardwareError
 from repro.hw.config import AcceleratorConfig
+from repro.isa.opcodes import Opcode
 from repro.units import ceil_div
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.compiler.layer_config import LayerConfig
+    from repro.isa.instructions import Instruction
 
 
 def calc_cycles(
@@ -65,6 +72,40 @@ def layer_calc_cycles(
 def transfer_cycles(config: AcceleratorConfig, num_bytes: int) -> int:
     """Cycles of one DMA descriptor moving ``num_bytes`` between DDR and chip."""
     return config.ddr.transfer_cycles(num_bytes)
+
+
+def instruction_cycles(
+    config: AcceleratorConfig,
+    instruction: "Instruction",
+    layer: "LayerConfig",
+) -> int:
+    """Execution cycles of one instruction, excluding its fetch.
+
+    This is the single source of truth the core's cycle accounting, the
+    admission estimator and the horizon-batched fast path all agree on:
+    LOAD/SAVE pay the DMA descriptor time, CALC pays MAC-array occupancy,
+    and virtual instructions cost nothing here (on the uninterrupted path
+    the IAU discards them after the fetch, which is charged separately).
+    """
+    if instruction.is_virtual:
+        return 0
+    opcode = instruction.opcode
+    if opcode in (Opcode.LOAD_D, Opcode.LOAD_W):
+        return transfer_cycles(config, instruction.length)
+    if opcode == Opcode.SAVE:
+        # A fully pre-saved SAVE (chs == 0) retires for free.
+        return transfer_cycles(config, instruction.length) if instruction.chs else 0
+    if opcode in (Opcode.CALC_I, Opcode.CALC_F):
+        if layer.kind == "add":
+            return calc_cycles(config, layer.out_shape.width, (1, 1))
+        if layer.kind == "global":
+            return (
+                layer.in_shape.height * layer.in_shape.width
+                + config.calc_overhead_cycles
+            )
+        # conv / depthwise / pool share the MAC-array formula.
+        return calc_cycles(config, layer.out_shape.width, layer.kernel)
+    raise HardwareError(f"no timing model for opcode {opcode.name}")
 
 
 def fetch_cycles(config: AcceleratorConfig, num_instructions: int = 1) -> int:

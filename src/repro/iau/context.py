@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.compiler.compile import CompiledNetwork
 from repro.errors import IauError
+from repro.faults.plan import DeadlineMissed
 from repro.isa.instructions import NO_SAVE_ID
 from repro.isa.program import Program
 
@@ -35,7 +36,9 @@ class JobRecord:
 
     @property
     def deadline_missed(self) -> bool:
-        return self.outcome is not None
+        """True only for a watchdog miss — other typed outcomes (e.g. an
+        ``AdmissionDenied``) are not deadline misses."""
+        return isinstance(self.outcome, DeadlineMissed)
 
     @property
     def response_cycles(self) -> int:

@@ -1,0 +1,285 @@
+"""Horizon-batched fast-path metadata for the IAU dispatch loop.
+
+Timing-only experiments spend almost all their wall time in
+``Iau.step()``'s per-instruction Python loop, even though on the
+uninterrupted path every quantity that loop computes is a pure function of
+the program: the cycle cost of each instruction, the DDR bursts it would
+report, and the on-chip buffer bookkeeping it would leave behind.
+
+:func:`build_program_meta` precomputes all of it once per
+``(CompiledNetwork, Program)`` pair — cached on the compiled network, so
+thousands of simulated runs over the same workload (interrupt-latency
+sweeps, overload campaigns, design-space exploration) pay the O(n) walk a
+single time:
+
+* per-instruction cycle costs and their prefix sums (``cum``), so a whole
+  stretch of instructions can be retired with one subtraction and the
+  stop index found with one bisect against the arrival horizon;
+* per-instruction event templates, so an armed :class:`~repro.obs.bus.EventBus`
+  can be replayed the *identical* ``DDR_BURST``/``INSTR_RETIRE`` stream the
+  step-wise path would have emitted;
+* :class:`~repro.accel.core.CoreStats` prefix sums, so the aggregate counters
+  advance exactly;
+* *clean boundaries* — indices where the replayed core holds no in-flight
+  accumulator or un-saved output section — with the data/weight tiles
+  resident there, so the core's buffer bookkeeping can be fast-forwarded to
+  any boundary and the step-wise path resumed seamlessly.
+
+``Iau.run_batched`` consumes this metadata; the equivalence contract
+(cycle-exact and event-exact against ``step()``) is enforced by
+``tests/test_fastpath.py``.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+
+from repro.accel.core import DataTile, WeightTile
+from repro.hw.timing import fetch_cycles, instruction_cycles
+from repro.isa.opcodes import Opcode
+
+#: Event template of one real instruction: (layer_id, opcode name, exec
+#: cycles, burst direction or None, burst region or None, burst bytes).
+_EventSpec = tuple[int, str, int, str | None, str | None, int]
+
+#: Resident-tile snapshot at a clean boundary.
+_DataSpec = tuple[int, int, int, int, int, int]  # layer, row0, rows, ch0, chs, nbytes
+_WeightSpec = tuple[int, int, int, int, int, int]  # layer, ch0, chs, in_ch0, in_chs, nbytes
+
+
+@dataclass
+class _StatsPrefix:
+    """Prefix sums of every :class:`CoreStats` counter (length n+1 each)."""
+
+    instructions: list[int]
+    cycles: list[int]
+    load_cycles: list[int]
+    calc_cycles: list[int]
+    save_cycles: list[int]
+    bytes_loaded: list[int]
+    bytes_saved: list[int]
+
+
+class ProgramMeta:
+    """Precomputed execution metadata of one program on one accelerator."""
+
+    def __init__(
+        self,
+        fetch: int,
+        cum: list[int],
+        stats: _StatsPrefix,
+        events: list[_EventSpec | None],
+        boundaries: list[int],
+        boundary_tiles: dict[int, tuple[tuple[tuple[int, _DataSpec], ...], _WeightSpec | None]],
+    ):
+        self.fetch = fetch
+        #: ``cum[j]`` — cycles elapsed (fetch + execute of instructions
+        #: ``[0, j)``) when instruction ``j`` is about to be fetched.
+        self.cum = cum
+        self.stats = stats
+        self.events = events
+        #: Sorted indices where the core holds no accumulator / output
+        #: section; a batch may end at any of them.
+        self.boundaries = boundaries
+        self._boundary_tiles = boundary_tiles
+
+    @property
+    def total_cycles(self) -> int:
+        """Cycles of one uninterrupted job (== the admission estimate)."""
+        return self.cum[-1]
+
+    def stop_for_horizon(self, start: int, base: int, horizon: int | None) -> int:
+        """First index ``>= start`` whose loop-top clock reaches ``horizon``.
+
+        ``base`` is the absolute clock minus ``cum[start]``; with no horizon
+        the whole remaining program is batchable.
+        """
+        n = len(self.cum) - 1
+        if horizon is None:
+            return n
+        return bisect_left(self.cum, horizon - base, start, n)
+
+    def boundary_at_or_before(self, index: int) -> int:
+        """Largest clean boundary ``<= index`` (-1 when there is none)."""
+        pos = bisect_right(self.boundaries, index) - 1
+        return self.boundaries[pos] if pos >= 0 else -1
+
+    def batch_stats(self, start: int, stop: int) -> dict[str, int]:
+        """Aggregate :class:`CoreStats` deltas over ``[start, stop)``."""
+        s = self.stats
+        return {
+            "instructions": s.instructions[stop] - s.instructions[start],
+            "cycles": s.cycles[stop] - s.cycles[start],
+            "load_cycles": s.load_cycles[stop] - s.load_cycles[start],
+            "calc_cycles": s.calc_cycles[stop] - s.calc_cycles[start],
+            "save_cycles": s.save_cycles[stop] - s.save_cycles[start],
+            "bytes_loaded": s.bytes_loaded[stop] - s.bytes_loaded[start],
+            "bytes_saved": s.bytes_saved[stop] - s.bytes_saved[start],
+        }
+
+    def tiles_at(self, boundary: int) -> tuple[dict[int, DataTile], WeightTile | None]:
+        """Fresh timing-only tile objects resident at a clean boundary."""
+        data_specs, weight_spec = self._boundary_tiles[boundary]
+        data_tiles = {
+            slot: DataTile(
+                layer_id=spec[0],
+                row0=spec[1],
+                rows=spec[2],
+                ch0=spec[3],
+                chs=spec[4],
+                nbytes=spec[5],
+                array=None,
+            )
+            for slot, spec in data_specs
+        }
+        weight_tile = None
+        if weight_spec is not None:
+            weight_tile = WeightTile(
+                layer_id=weight_spec[0],
+                ch0=weight_spec[1],
+                chs=weight_spec[2],
+                in_ch0=weight_spec[3],
+                in_chs=weight_spec[4],
+                nbytes=weight_spec[5],
+                array=None,
+            )
+        return data_tiles, weight_tile
+
+
+def build_program_meta(compiled, program) -> ProgramMeta:
+    """Walk ``program`` once, mirroring the step-wise timing/bookkeeping.
+
+    The replay assumes the uninterrupted path (virtual instructions are
+    discarded after their fetch) — exactly the regime ``run_batched``
+    restricts itself to.
+    """
+    config = compiled.config
+    fetch = fetch_cycles(config)
+    n = len(program)
+
+    cum = [0] * (n + 1)
+    stats = _StatsPrefix(*([0] * (n + 1) for _ in range(7)))
+    events: list[_EventSpec | None] = [None] * n
+    boundaries: list[int] = []
+    boundary_tiles: dict[int, tuple] = {}
+
+    # Replayed on-chip bookkeeping (timing-only: descriptors, no arrays).
+    data_tiles: dict[int, _DataSpec] = {}
+    weight: _WeightSpec | None = None
+    acc: tuple | None = None  # (layer, row0, rows, ch0, chs); next_in_ch0 untracked
+    out: tuple | None = None  # (layer, row0, rows, [groups (ch0, chs, nbytes)])
+
+    def snapshot(index: int) -> None:
+        boundaries.append(index)
+        boundary_tiles[index] = (
+            tuple(sorted(data_tiles.items())),
+            weight,
+        )
+
+    snapshot(0)
+    clock = 0
+    for j, instruction in enumerate(program):
+        layer = compiled.layer_config(instruction.layer_id)
+        cycles = instruction_cycles(config, instruction, layer)
+        clock += fetch + cycles
+        cum[j + 1] = clock
+
+        opcode = instruction.opcode
+        for prefix in (
+            stats.instructions,
+            stats.cycles,
+            stats.load_cycles,
+            stats.calc_cycles,
+            stats.save_cycles,
+            stats.bytes_loaded,
+            stats.bytes_saved,
+        ):
+            prefix[j + 1] = prefix[j]
+        if not instruction.is_virtual:
+            stats.instructions[j + 1] += 1
+            stats.cycles[j + 1] += cycles
+
+        if opcode == Opcode.LOAD_D:
+            slot = 1 if instruction.operand_b else 0
+            for key in [k for k, t in data_tiles.items() if t[0] != instruction.layer_id]:
+                del data_tiles[key]
+            data_tiles[slot] = (
+                instruction.layer_id,
+                instruction.row0,
+                instruction.rows,
+                instruction.ch0,
+                instruction.chs,
+                instruction.length,
+            )
+            stats.load_cycles[j + 1] += cycles
+            stats.bytes_loaded[j + 1] += instruction.length
+            region = layer.input2_region if instruction.operand_b else layer.input_region
+            events[j] = (
+                instruction.layer_id, opcode.name, cycles, "load", region, instruction.length,
+            )
+        elif opcode == Opcode.LOAD_W:
+            weight = (
+                instruction.layer_id,
+                instruction.ch0,
+                instruction.chs,
+                instruction.in_ch0,
+                instruction.in_chs,
+                instruction.length,
+            )
+            stats.load_cycles[j + 1] += cycles
+            stats.bytes_loaded[j + 1] += instruction.length
+            events[j] = (
+                instruction.layer_id, opcode.name, cycles, "load",
+                layer.weight_region, instruction.length,
+            )
+        elif opcode in (Opcode.CALC_I, Opcode.CALC_F):
+            blob_key = (
+                instruction.layer_id,
+                instruction.row0,
+                instruction.rows,
+                instruction.ch0,
+                instruction.chs,
+            )
+            if layer.kind == "conv":
+                if instruction.in_ch0 == 0:
+                    acc = blob_key
+                finalize = opcode == Opcode.CALC_F
+            else:
+                finalize = True  # non-conv kinds never hold an accumulator
+            if finalize:
+                section_key = (instruction.layer_id, instruction.row0, instruction.rows)
+                if out is None or out[:3] != section_key:
+                    out = (*section_key, [])
+                out[3].append(
+                    (
+                        instruction.ch0,
+                        instruction.chs,
+                        instruction.rows * layer.out_shape.width * instruction.chs,
+                    )
+                )
+                if layer.kind == "conv":
+                    acc = None
+            stats.calc_cycles[j + 1] += cycles
+            events[j] = (instruction.layer_id, opcode.name, cycles, None, None, 0)
+        elif opcode == Opcode.SAVE:
+            if instruction.chs:
+                lo, hi = instruction.ch0, instruction.ch0 + instruction.chs
+                if out is not None:
+                    remaining = [g for g in out[3] if not (lo <= g[0] < hi)]
+                    out = (*out[:3], remaining) if remaining else None
+                stats.save_cycles[j + 1] += cycles
+                stats.bytes_saved[j + 1] += instruction.length
+                events[j] = (
+                    instruction.layer_id, opcode.name, cycles, "save",
+                    layer.output_region, instruction.length,
+                )
+            else:
+                events[j] = (instruction.layer_id, opcode.name, 0, None, None, 0)
+        # Virtual instructions: discarded after their fetch — no event, no
+        # stats, no bookkeeping.
+
+        if acc is None and out is None:
+            snapshot(j + 1)
+
+    return ProgramMeta(fetch, cum, stats, events, boundaries, boundary_tiles)

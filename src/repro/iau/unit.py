@@ -291,6 +291,119 @@ class Iau:
                 return
         raise IauError(f"IAU did not go idle within {max_steps} steps")
 
+    # -- horizon-batched fast path --------------------------------------------
+
+    #: Stretches shorter than this are not worth the batching overhead.
+    _MIN_BATCH = 2
+
+    def _fast_path_ok(self, context: TaskContext) -> bool:
+        """True when the run is provably uninterruptible from here.
+
+        Timing-only, no fault plan armed, no per-step QoS work (inversion
+        detection / invariant monitor), the task is mid-stream clean (not
+        replaying recovery loads, no pending SAVE rewriting) and no
+        strictly-higher-priority task is runnable.  Arrivals are handled by
+        the caller-provided horizon.
+        """
+        return (
+            not self.core.functional
+            and self.faults is None
+            and not self._detect_inversion
+            and (self.qos is None or not self.qos.monitor)
+            and not context.in_recovery
+            and context.save_id == NO_SAVE_ID
+            and self._preempting_task(context) is None
+        )
+
+    def run_batched(self, horizon: int | None = None) -> bool:
+        """Retire a whole uninterruptible stretch of instructions at once.
+
+        Cycle-exact and event-exact against :meth:`step`: the clock,
+        :class:`~repro.accel.core.CoreStats`, ``busy_cycles`` and buffer
+        bookkeeping advance in aggregate from metadata precomputed on the
+        compiled network, and an armed bus receives the identical event
+        stream.  Falls back to a single :meth:`step` whenever the fast path
+        cannot engage (armed features, recovery state, a runnable
+        higher-priority task, or a stretch too short to matter).
+
+        ``horizon`` bounds the batch to instructions that *start* strictly
+        before it — the caller's next scheduled arrival, after which
+        delivery (and hence pre-emption eligibility) must be re-evaluated.
+        Returns False when nothing is runnable, like :meth:`step`.
+        """
+        if self.current is None:
+            context = self._highest_runnable()
+            if context is None:
+                return False
+            self._switch_in(context)
+        context = self.context(self.current)
+
+        index = context.instr_index
+        if index >= len(context.program):
+            self._complete_job(context)
+            return True
+        if not self._fast_path_ok(context):
+            return self.step()
+
+        meta = context.compiled.execution_meta(context.program)
+        base = self.clock - meta.cum[index]
+        stop = meta.stop_for_horizon(index, base, horizon)
+        # A batch may only end where no accumulator / output section is in
+        # flight, so a later step() finds exactly the state it expects.
+        boundary = meta.boundary_at_or_before(stop)
+        if boundary - index < self._MIN_BATCH:
+            return self.step()
+
+        if self.bus is not None:
+            self._replay_events(context, meta, index, boundary)
+        delta = meta.cum[boundary] - meta.cum[index]
+        self.clock += delta
+        context.busy_cycles += delta
+        context.instr_index = boundary
+        data_tiles, weight_tile = meta.tiles_at(boundary)
+        self.core.retire_batch(
+            meta.batch_stats(index, boundary), data_tiles, weight_tile
+        )
+        return True
+
+    def _replay_events(self, context, meta, start: int, stop: int) -> None:
+        """Emit the exact DDR_BURST / INSTR_RETIRE stream step() would."""
+        bus = self.bus
+        base = self.clock - meta.cum[start]
+        fetch = meta.fetch
+        scope: dict = {} if self.obs_scope is None else {"scope": self.obs_scope}
+        for j in range(start, stop):
+            spec = meta.events[j]
+            if spec is None:
+                continue  # a discarded virtual instruction emits nothing
+            layer_id, opcode_name, cycles, direction, region, nbytes = spec
+            cycle = base + meta.cum[j] + fetch
+            if direction is not None:
+                # Mirror the step-wise path exactly: _execute() advances the
+                # bus (max-only) and the core stamps the burst at the *bus*
+                # clock, which on a shared multi-core bus may already sit
+                # past this core's local clock.
+                bus.advance(cycle)
+                bus.emit(
+                    EventKind.DDR_BURST,
+                    layer_id=layer_id,
+                    duration=cycles,
+                    direction=direction,
+                    opcode=opcode_name,
+                    bytes=nbytes,
+                    region=region,
+                )
+            bus.emit(
+                EventKind.INSTR_RETIRE,
+                cycle=cycle,
+                task_id=context.task_id,
+                layer_id=layer_id,
+                duration=cycles,
+                opcode=opcode_name,
+                program_index=j,
+                **scope,
+            )
+
     # -- switching ------------------------------------------------------------
 
     def _switch_in(self, context: TaskContext) -> None:
@@ -394,6 +507,9 @@ class Iau:
     def _complete_job(self, context: TaskContext) -> None:
         job = context.finish_job(self.clock)
         self.current = None
+        # The head job this entry de-duplicated is done: drop it so
+        # long-running periodic workloads don't grow the set without bound.
+        self._inversions_seen.discard((context.task_id, job.request_cycle))
         if (
             context.deadline_cycles is not None
             and job.turnaround_cycles > context.deadline_cycles

@@ -11,6 +11,7 @@ from __future__ import annotations
 import struct
 import zlib
 from dataclasses import dataclass
+from functools import cached_property
 from pathlib import Path
 
 from repro.errors import ProgramError
@@ -53,16 +54,35 @@ class Program:
             counts[instruction.opcode] = counts.get(instruction.opcode, 0) + 1
         return counts
 
-    def num_virtual(self) -> int:
-        return sum(1 for instruction in self.instructions if instruction.is_virtual)
-
-    def interrupt_points(self) -> list[int]:
-        """Indices at which the IAU may switch tasks (virtual instructions)."""
-        return [
+    @cached_property
+    def virtual_indices(self) -> tuple[int, ...]:
+        """Indices of all virtual instructions (computed once, cached)."""
+        return tuple(
             index
             for index, instruction in enumerate(self.instructions)
             if instruction.is_virtual
-        ]
+        )
+
+    @cached_property
+    def switch_point_indices(self) -> tuple[int, ...]:
+        """Indices at which a pending pre-emption may actually fire.
+
+        A subset of :attr:`virtual_indices`: recovery loads trailing a
+        VIR_SAVE carry no switch-point flag (switching there would skip the
+        backup the VIR_SAVE encodes).
+        """
+        return tuple(
+            index
+            for index in self.virtual_indices
+            if self.instructions[index].is_switch_point
+        )
+
+    def num_virtual(self) -> int:
+        return len(self.virtual_indices)
+
+    def interrupt_points(self) -> list[int]:
+        """Indices at which the IAU may switch tasks (virtual instructions)."""
+        return list(self.virtual_indices)
 
     def layer_span(self, layer_id: int) -> tuple[int, int]:
         """(first, last+1) instruction indices belonging to ``layer_id``."""

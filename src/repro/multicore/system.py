@@ -180,6 +180,14 @@ class MultiCoreSystem:
         raise SchedulerError(f"arrival policy {policy!r} is not supported on MultiCoreSystem")
 
     def _schedule(self, task_id: int, at_cycle: int) -> None:
+        # Same validation surface as the single-core MultiTaskSystem: the
+        # dispatcher's "now" is the slowest core's clock — nothing can be
+        # back-dated to before it.
+        now = min(core.clock for core in self.cores)
+        if at_cycle < now:
+            raise SchedulerError(
+                f"cannot submit in the past (at {at_cycle}, clock {now})"
+            )
         heapq.heappush(self._requests, _Request(at_cycle, self._sequence, task_id))
         self._sequence += 1
 
@@ -205,7 +213,9 @@ class MultiCoreSystem:
     def _advance_core_to(self, core: Iau, cycle: int, max_steps: int) -> None:
         steps = 0
         while not core.idle and core.clock < cycle:
-            core.step()
+            # Batch up to the dispatch horizon; falls back to step() at
+            # every switch point or armed feature (cycle-exact either way).
+            core.run_batched(cycle)
             steps += 1
             if steps > max_steps:
                 raise SchedulerError("core failed to reach dispatch time")
@@ -240,7 +250,8 @@ class MultiCoreSystem:
             core.request(request.task_id, at_cycle=request.cycle)
         steps = 0
         for core in self.cores:
-            while core.step():
+            # No arrivals remain: drain each core with an unbounded horizon.
+            while core.run_batched():
                 steps += 1
                 if steps > max_steps:
                     raise SchedulerError(f"drain exceeded {max_steps} steps")

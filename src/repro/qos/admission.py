@@ -22,8 +22,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 
-from repro.hw.timing import calc_cycles, fetch_cycles, transfer_cycles
-from repro.isa.opcodes import Opcode
+from repro.hw.timing import fetch_cycles, instruction_cycles
 from repro.obs.events import EventKind
 from repro.qos.config import AdmissionPolicy, QosConfig
 
@@ -50,29 +49,12 @@ def estimate_job_cycles(config, compiled, program) -> int:
     has not run yet.  Virtual instructions cost their fetch only — exactly
     what they cost on the uninterrupted path.
     """
-    total = 0
-    fetch = fetch_cycles(config)
+    total = fetch_cycles(config) * len(program)
     for instruction in program:
-        total += fetch
-        if instruction.is_virtual:
-            continue
-        opcode = instruction.opcode
-        if opcode in (Opcode.LOAD_D, Opcode.LOAD_W):
-            total += transfer_cycles(config, instruction.length)
-        elif opcode == Opcode.SAVE:
-            if instruction.chs:
-                total += transfer_cycles(config, instruction.length)
-        elif opcode in (Opcode.CALC_I, Opcode.CALC_F):
-            layer = compiled.layer_config(instruction.layer_id)
-            if layer.kind == "add":
-                total += calc_cycles(config, layer.out_shape.width, (1, 1))
-            elif layer.kind == "global":
-                total += (
-                    layer.in_shape.height * layer.in_shape.width
-                    + config.calc_overhead_cycles
-                )
-            else:  # conv / depthwise / pool share the MAC-array formula
-                total += calc_cycles(config, layer.out_shape.width, layer.kernel)
+        if not instruction.is_virtual:
+            total += instruction_cycles(
+                config, instruction, compiled.layer_config(instruction.layer_id)
+            )
     return total
 
 

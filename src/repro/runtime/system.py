@@ -314,8 +314,15 @@ class MultiTaskSystem:
             context.want_degraded = want
         return False
 
-    def run(self, max_steps: int = 500_000_000) -> int:
+    def run(self, max_steps: int = 500_000_000, *, batched: bool = True) -> int:
         """Run until every request is delivered and every job drained.
+
+        ``batched=True`` (the default) lets the IAU retire provably
+        uninterruptible stretches in one step via
+        :meth:`~repro.iau.unit.Iau.run_batched`, bounded by the next
+        scheduled arrival; it is cycle- and event-exact against
+        ``batched=False``, which forces the per-instruction ``step()`` loop
+        (the differential-testing reference).
 
         Returns the final clock (cycles).
         """
@@ -328,7 +335,13 @@ class MultiTaskSystem:
                 # Fast-forward to the next arrival.
                 self.iau.clock = max(self.iau.clock, self._requests[0].cycle)
                 continue
-            self.iau.step()
+            if batched:
+                # The horizon is re-read every iteration: completions may
+                # schedule new work (ROS callbacks) between batches.
+                horizon = self._requests[0].cycle if self._requests else None
+                self.iau.run_batched(horizon)
+            else:
+                self.iau.step()
             steps += 1
             if steps > max_steps:
                 raise SchedulerError(f"simulation did not finish in {max_steps} steps")
