@@ -67,3 +67,36 @@ def test_e1_every_position_ordering(benchmark, e1_result):
         cpu = position.measurements[CPU_LIKE.name].response_cycles
         assert vi < layer
         assert vi < cpu
+
+
+def test_e1_static_wcirl_dominates_measured(benchmark, e1_result, paper_workloads):
+    """The verifier's static WCIRL upper-bounds every measured response.
+
+    The bound is computed from the instruction stream alone (no simulation);
+    soundness means no sampled preemption of the paper-scale workload may
+    respond slower than it.  The benchmark times the bound computation itself
+    over the ~400k-instruction GeM program.
+    """
+    from repro.verify import wcirl_bound
+    from repro.verify.engine import layer_table
+
+    gem, _, _ = paper_workloads
+    layers = layer_table(gem)
+    bounds = {
+        method.name: wcirl_bound(
+            gem.program_for(method.vi_mode), gem.config, layers
+        ).worst_response_cycles
+        for method in (VIRTUAL_INSTRUCTION, LAYER_BY_LAYER)
+    }
+    benchmark.pedantic(
+        lambda: wcirl_bound(gem.program_for("vi"), gem.config, layers),
+        rounds=1,
+        iterations=1,
+    )
+    for position in e1_result.positions:
+        for name, bound in bounds.items():
+            measured = position.measurements[name].response_cycles
+            assert measured <= bound, (
+                f"{name} at request {position.request_cycle}: measured "
+                f"{measured} cycles exceeds static WCIRL {bound}"
+            )

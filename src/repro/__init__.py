@@ -61,6 +61,16 @@ from repro.qos import (
     scan_events,
 )
 from repro.runtime import ArrivalPolicy, MultiTaskSystem, compile_tasks
+from repro.verify import (
+    Diagnostic,
+    Report,
+    Severity,
+    StaticWcirl,
+    verify_network,
+    verify_program,
+    verify_task_set,
+    wcirl_bound,
+)
 
 __version__ = "1.0.0"
 
@@ -75,6 +85,7 @@ __all__ = [
     "CompiledNetwork",
     "DeadlineMissed",
     "DegradationPolicy",
+    "Diagnostic",
     "EccError",
     "EventBus",
     "FaultError",
@@ -91,7 +102,10 @@ __all__ = [
     "QosConfig",
     "QosError",
     "QueuePolicy",
+    "Report",
     "RunResult",
+    "Severity",
+    "StaticWcirl",
     "TensorShape",
     "VIRTUAL_INSTRUCTION",
     "ViPolicy",
@@ -105,4 +119,8 @@ __all__ = [
     "run_program",
     "scan_events",
     "summarize",
+    "verify_network",
+    "verify_program",
+    "verify_task_set",
+    "wcirl_bound",
 ]

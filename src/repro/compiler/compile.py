@@ -148,6 +148,7 @@ def compile_network(
     validate: bool = True,
     vi_policy: ViPolicy = DEFAULT_VI_POLICY,
     weight_percentile: float = 99.9,
+    verify: str | None = None,
 ) -> CompiledNetwork:
     """Compile ``graph`` for ``config``.
 
@@ -156,7 +157,20 @@ def compile_network(
     for timing-only experiments.  ``base_addr`` offsets every DDR region so
     multiple compiled networks can share one address space.  ``vi_policy``
     controls interrupt-position selection (default: every legal point).
+
+    ``verify`` selects the static-verification gate: ``"structural"`` runs
+    the program-shape rules (the default when ``validate`` is true),
+    ``"full"`` additionally runs the abstract-interpretation passes of
+    :mod:`repro.verify` over the compiled artefact, and ``"off"`` skips
+    verification entirely.  When ``verify`` is given it overrides the legacy
+    ``validate`` flag.  Violations raise :class:`~repro.errors.ProgramError`
+    carrying the full diagnostics report.
     """
+    mode = verify if verify is not None else ("structural" if validate else "off")
+    if mode not in ("off", "structural", "full"):
+        raise CompileError(
+            f"unknown verify mode {mode!r}; choose 'off', 'structural' or 'full'"
+        )
     layout = allocate_network(graph, base_addr=base_addr)
     quantization = initialize_parameters(
         graph, layout, mode=weights, seed=seed, percentile=weight_percentile
@@ -177,10 +191,10 @@ def compile_network(
             instructions=tuple(insert_layer_barriers(original)),
         ),
     }
-    if validate:
+    if mode == "structural":
         for program in programs.values():
             validate_program(program)
-    return CompiledNetwork(
+    compiled = CompiledNetwork(
         graph=graph,
         config=config,
         layout=layout,
@@ -189,3 +203,10 @@ def compile_network(
         quantization=quantization,
         programs=programs,
     )
+    if mode == "full":
+        # Imported lazily: repro.verify is a downstream consumer of the
+        # compiler's types and must not be a hard import dependency here.
+        from repro.verify.engine import verify_network
+
+        verify_network(compiled).raise_if_errors()
+    return compiled

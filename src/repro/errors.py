@@ -7,6 +7,11 @@ sub-classes keep failure modes distinguishable in tests and logs.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (verify imports errors)
+    from repro.verify.diagnostics import Report
+
 
 class IncaError(Exception):
     """Base class for all errors raised by :mod:`repro`."""
@@ -25,7 +30,16 @@ class IsaError(IncaError):
 
 
 class ProgramError(IncaError):
-    """An instruction *sequence* violates a program-level invariant."""
+    """An instruction *sequence* violates a program-level invariant.
+
+    When raised by the static verifier, the full
+    :class:`~repro.verify.diagnostics.Report` rides along on :attr:`report`
+    (the message pretty-prints only the top findings).
+    """
+
+    def __init__(self, message: str, *, report: "Report | None" = None) -> None:
+        super().__init__(message)
+        self.report = report
 
 
 class CompileError(IncaError):

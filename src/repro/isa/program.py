@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import struct
 import zlib
+from collections.abc import Iterator
 from dataclasses import dataclass
 from functools import cached_property
 from pathlib import Path
@@ -43,7 +44,7 @@ class Program:
     def __getitem__(self, index: int) -> Instruction:
         return self.instructions[index]
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Instruction]:
         return iter(self.instructions)
 
     # -- queries -----------------------------------------------------------

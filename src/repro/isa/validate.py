@@ -1,126 +1,24 @@
-"""Static validation of instruction programs.
+"""Static validation of instruction programs (compatibility wrapper).
 
-The validator enforces the invariants the IAU and accelerator rely on, so a
-malformed compile fails loudly *before* simulation:
-
-* layer ids are non-decreasing (the schedule is layer-ordered);
-* within a layer, every CALC_I run is terminated by a CALC_F over the same
-  output-channel window (the CalcBlob contract);
-* a CALC is preceded (within its layer) by at least one LOAD_D and — for
-  weighted layers — a LOAD_W covering its channels;
-* every VIR_SAVE carries a ``save_id`` that a later real SAVE in the same
-  layer also carries (otherwise SAVE rewriting could drop data);
-* virtual instructions sit only at legal interrupt points: immediately after
-  a CALC_F, a SAVE, another virtual instruction, or a layer boundary;
-* transfers declare positive lengths.
+Historically this module implemented the structural checks itself and raised
+on the first violation.  They now live in the :mod:`repro.verify` engine as
+rules (``PRG001``-``PRG004``, ``VI001``-``VI003``) that report *every*
+violation; this wrapper keeps the raising contract for callers that just
+want a pass/fail gate — the raised :class:`~repro.errors.ProgramError`
+carries the full report on its ``report`` attribute.
 """
 
 from __future__ import annotations
 
-from repro.errors import ProgramError
-from repro.isa.instructions import NO_SAVE_ID, Instruction
-from repro.isa.opcodes import Opcode
 from repro.isa.program import Program
 
 
 def validate_program(program: Program) -> None:
-    """Raise :class:`ProgramError` on the first violated invariant."""
-    _check_layer_ordering(program)
-    _check_transfer_lengths(program)
-    _check_calc_blobs(program)
-    _check_virtual_positions(program)
-    _check_save_id_pairing(program)
+    """Raise :class:`~repro.errors.ProgramError` if ``program`` violates any
+    structural invariant; the exception's ``report`` lists all findings."""
+    # Imported here, not at module top: repro.verify pulls in hw/timing
+    # modules, and importing them while ``repro.isa`` is still initializing
+    # would cycle (isa -> verify -> hw -> ... -> isa).
+    from repro.verify.engine import verify_program
 
-
-def _check_layer_ordering(program: Program) -> None:
-    previous = -1
-    for index, instruction in enumerate(program):
-        if instruction.layer_id < previous:
-            raise ProgramError(
-                f"{program.name}[{index}]: layer_id {instruction.layer_id} "
-                f"after layer_id {previous} — schedule must be layer-ordered"
-            )
-        previous = instruction.layer_id
-
-
-def _check_transfer_lengths(program: Program) -> None:
-    transfer_ops = (Opcode.LOAD_W, Opcode.LOAD_D, Opcode.SAVE, Opcode.VIR_SAVE, Opcode.VIR_LOAD_D)
-    for index, instruction in enumerate(program):
-        if instruction.opcode in transfer_ops and instruction.length <= 0:
-            raise ProgramError(
-                f"{program.name}[{index}]: {instruction.opcode.name} with length "
-                f"{instruction.length}; transfers must move at least one byte"
-            )
-
-
-def _check_calc_blobs(program: Program) -> None:
-    """CALC_I runs must end in a CALC_F on the same output-channel window."""
-    open_window: tuple[int, int, int] | None = None  # (layer, ch0, chs)
-    for index, instruction in enumerate(program):
-        if instruction.opcode == Opcode.CALC_I:
-            window = (instruction.layer_id, instruction.ch0, instruction.chs)
-            if open_window is not None and open_window != window:
-                raise ProgramError(
-                    f"{program.name}[{index}]: CALC_I window {window} while blob "
-                    f"{open_window} is still open"
-                )
-            open_window = window
-        elif instruction.opcode == Opcode.CALC_F:
-            window = (instruction.layer_id, instruction.ch0, instruction.chs)
-            if open_window is not None and open_window != window:
-                raise ProgramError(
-                    f"{program.name}[{index}]: CALC_F window {window} does not close "
-                    f"open blob {open_window}"
-                )
-            open_window = None
-        elif instruction.opcode == Opcode.SAVE and open_window is not None:
-            raise ProgramError(
-                f"{program.name}[{index}]: SAVE while CalcBlob {open_window} has "
-                f"no CALC_F — intermediate results would be lost"
-            )
-    if open_window is not None:
-        raise ProgramError(
-            f"{program.name}: program ends with unterminated CalcBlob {open_window}"
-        )
-
-
-def _check_virtual_positions(program: Program) -> None:
-    """Virtual instructions may only follow CALC_F / SAVE / virtual / layer start."""
-    legal_predecessors = (
-        Opcode.CALC_F,
-        Opcode.SAVE,
-        Opcode.VIR_SAVE,
-        Opcode.VIR_LOAD_D,
-        Opcode.VIR_LOAD_W,
-        Opcode.VIR_BARRIER,
-    )
-    previous: Instruction | None = None
-    for index, instruction in enumerate(program):
-        if instruction.is_virtual:
-            at_layer_boundary = previous is None or previous.layer_id != instruction.layer_id
-            if not at_layer_boundary and previous.opcode not in legal_predecessors:
-                raise ProgramError(
-                    f"{program.name}[{index}]: {instruction.opcode.name} after "
-                    f"{previous.opcode.name} — interrupt points are only legal "
-                    f"after CALC_F or SAVE"
-                )
-        previous = instruction
-
-
-def _check_save_id_pairing(program: Program) -> None:
-    pending: dict[int, int] = {}  # save_id -> index of the VIR_SAVE announcing it
-    for index, instruction in enumerate(program):
-        if instruction.opcode == Opcode.VIR_SAVE:
-            if instruction.save_id == NO_SAVE_ID:
-                raise ProgramError(
-                    f"{program.name}[{index}]: VIR_SAVE without a save_id"
-                )
-            pending[instruction.save_id] = index
-        elif instruction.opcode == Opcode.SAVE and instruction.save_id != NO_SAVE_ID:
-            pending.pop(instruction.save_id, None)
-    if pending:
-        save_id, index = next(iter(pending.items()))
-        raise ProgramError(
-            f"{program.name}[{index}]: VIR_SAVE save_id={save_id} has no "
-            f"subsequent real SAVE to rewrite"
-        )
+    verify_program(program).raise_if_errors()

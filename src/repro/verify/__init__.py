@@ -1,0 +1,46 @@
+"""Static VI-ISA verifier.
+
+An abstract-interpretation diagnostics engine over compiled programs: typed
+:class:`Diagnostic` findings with stable rule IDs, buffer-state dataflow,
+DDR aliasing proofs, checkpoint-coverage proofs of the Vir_SAVE/Vir_LOAD
+expansion, and a static worst-case interrupt response latency (WCIRL).
+
+``python -m repro.verify`` runs the engine over the model zoo; the rule
+catalog is documented in ``docs/static-analysis.md``.
+"""
+
+from repro.verify.bufferflow import BufferSim, bufferflow_pass
+from repro.verify.checkpoint import checkpoint_pass
+from repro.verify.ddr import cross_task_aliasing, ddr_pass
+from repro.verify.diagnostics import Diagnostic, Report, Severity
+from repro.verify.engine import (
+    layer_table,
+    verify_network,
+    verify_program,
+    verify_task_set,
+)
+from repro.verify.rules import RULES, RuleInfo, rule_info
+from repro.verify.structural import structural_pass
+from repro.verify.wcirl import StaticWcirl, wcirl_bound, wcirl_pass
+
+__all__ = [
+    "BufferSim",
+    "Diagnostic",
+    "Report",
+    "RuleInfo",
+    "RULES",
+    "Severity",
+    "StaticWcirl",
+    "bufferflow_pass",
+    "checkpoint_pass",
+    "cross_task_aliasing",
+    "ddr_pass",
+    "layer_table",
+    "rule_info",
+    "structural_pass",
+    "verify_network",
+    "verify_program",
+    "verify_task_set",
+    "wcirl_bound",
+    "wcirl_pass",
+]

@@ -1,0 +1,181 @@
+"""Typed diagnostics the static verifier emits.
+
+A :class:`Diagnostic` pins one violated invariant to a rule ID (``VI001``,
+``BUF003``, ...), a severity, an instruction span inside the offending
+program, and a fix hint.  A :class:`Report` collects *all* findings of a
+verification run — unlike the historic ``validate_program``, which raised on
+the first — so one compile surfaces every problem at once.  The raising
+compatibility path is :meth:`Report.raise_if_errors`, which attaches the full
+report to the :class:`~repro.errors.ProgramError` it raises.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+from repro.errors import ProgramError
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings make :meth:`Report.ok` false (and the CLI exit
+    non-zero); ``WARNING`` marks suspicious-but-sound constructs (e.g. a
+    recovery load restoring a tile nothing will read); ``INFO`` is advisory.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of the static verifier."""
+
+    rule: str
+    severity: Severity
+    message: str
+    program: str
+    #: First instruction index the finding anchors to (None = whole program).
+    index: int | None = None
+    #: One-past-last index of the span; defaults to ``index + 1``.
+    end_index: int | None = None
+    hint: str | None = None
+
+    @property
+    def span(self) -> tuple[int, int] | None:
+        """Instruction index range ``[first, last+1)``, or None."""
+        if self.index is None:
+            return None
+        stop = self.end_index if self.end_index is not None else self.index + 1
+        return (self.index, stop)
+
+    def format(self) -> str:
+        where = self.program
+        span = self.span
+        if span is not None:
+            first, stop = span
+            where += f"[{first}]" if stop == first + 1 else f"[{first}:{stop}]"
+        text = f"{where}: {self.rule} {self.severity.value}: {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "message": self.message,
+            "program": self.program,
+            "index": self.index,
+            "end_index": self.end_index,
+            "hint": self.hint,
+        }
+
+
+@dataclass
+class Report:
+    """All findings of one verification run."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def add(
+        self,
+        rule: str,
+        message: str,
+        *,
+        program: str,
+        index: int | None = None,
+        end_index: int | None = None,
+        severity: Severity = Severity.ERROR,
+        hint: str | None = None,
+    ) -> Diagnostic:
+        diagnostic = Diagnostic(
+            rule=rule,
+            severity=severity,
+            message=message,
+            program=program,
+            index=index,
+            end_index=end_index,
+            hint=hint,
+        )
+        self.diagnostics.append(diagnostic)
+        return diagnostic
+
+    def extend(self, other: "Report") -> None:
+        self.diagnostics.extend(other.diagnostics)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """True when no ERROR-severity finding was recorded."""
+        return not self.errors
+
+    def rule_ids(self) -> set[str]:
+        return {d.rule for d in self.diagnostics}
+
+    def by_rule(self, rule: str) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.rule == rule]
+
+    # -- presentation --------------------------------------------------------
+
+    def format(self, limit: int | None = None) -> str:
+        """Human-readable listing, errors first; ``limit`` caps the lines."""
+        if not self.diagnostics:
+            return "verification passed: no findings"
+        ordered = sorted(
+            self.diagnostics,
+            key=lambda d: (d.severity is not Severity.ERROR, d.program, d.index or 0),
+        )
+        shown: Iterable[Diagnostic] = ordered if limit is None else ordered[:limit]
+        lines = [d.format() for d in shown]
+        hidden = len(ordered) - len(lines)
+        if hidden > 0:
+            lines.append(f"... and {hidden} more finding(s)")
+        return "\n".join(lines)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "diagnostics": [d.to_json() for d in self.diagnostics],
+        }
+
+    def raise_if_errors(self, limit: int = 3) -> None:
+        """Raise :class:`ProgramError` carrying this report if any error.
+
+        The exception message pretty-prints the top ``limit`` findings; the
+        full report rides along on the exception's ``report`` attribute.
+        """
+        errors = self.errors
+        if not errors:
+            return
+        programs = sorted({d.program for d in errors})
+        head = (
+            f"{len(errors)} verifier error(s) in "
+            + ", ".join(programs)
+            + ":\n"
+        )
+        body = "\n".join(d.format() for d in errors[:limit])
+        if len(errors) > limit:
+            body += f"\n... and {len(errors) - limit} more error(s)"
+        raise ProgramError(head + body, report=self)

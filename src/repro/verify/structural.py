@@ -1,0 +1,197 @@
+"""Structural program-shape rules (PRG001-PRG004, VI001-VI003).
+
+These are the historic :func:`repro.isa.validate.validate_program` checks
+re-expressed as engine rules: instead of raising on the first violation they
+record every one, so a malformed compile surfaces all of its problems at
+once.  The raising behaviour lives on in the thin compatibility wrapper.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping
+
+from repro.isa.instructions import NO_SAVE_ID, Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.program import Program
+from repro.verify.diagnostics import Report
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (compiler -> isa)
+    from repro.compiler.layer_config import LayerConfig
+
+#: Opcodes whose ``length`` field times a DMA descriptor.
+_TRANSFER_OPS = (
+    Opcode.LOAD_W,
+    Opcode.LOAD_D,
+    Opcode.SAVE,
+    Opcode.VIR_SAVE,
+    Opcode.VIR_LOAD_D,
+    Opcode.VIR_LOAD_W,
+)
+
+#: Opcodes a virtual instruction may legally follow (besides a layer boundary).
+_LEGAL_PREDECESSORS = (
+    Opcode.CALC_F,
+    Opcode.SAVE,
+    Opcode.VIR_SAVE,
+    Opcode.VIR_LOAD_D,
+    Opcode.VIR_LOAD_W,
+    Opcode.VIR_BARRIER,
+)
+
+
+def structural_pass(
+    program: Program,
+    report: Report,
+    layers: Mapping[int, LayerConfig] | None = None,
+) -> None:
+    """Run all structural rules over ``program`` into ``report``."""
+    _layer_ordering(program, report)
+    _transfer_lengths(program, report)
+    _calc_blobs(program, report)
+    _virtual_positions(program, report)
+    _save_id_pairing(program, report)
+    if layers is not None:
+        _known_layers(program, report, layers)
+
+
+def _layer_ordering(program: Program, report: Report) -> None:
+    previous = -1
+    for index, instruction in enumerate(program):
+        if instruction.layer_id < previous:
+            report.add(
+                "PRG001",
+                f"layer_id {instruction.layer_id} after layer_id {previous} "
+                f"— schedule must be layer-ordered",
+                program=program.name,
+                index=index,
+                hint="the lowering emits layers in topological order; reorder the schedule",
+            )
+        previous = max(previous, instruction.layer_id)
+
+
+def _transfer_lengths(program: Program, report: Report) -> None:
+    for index, instruction in enumerate(program):
+        if instruction.opcode in _TRANSFER_OPS and instruction.length <= 0:
+            report.add(
+                "PRG002",
+                f"{instruction.opcode.name} with length {instruction.length}; "
+                f"transfers must move at least one byte",
+                program=program.name,
+                index=index,
+                hint="a zero-length DMA descriptor stalls the real DMA engine",
+            )
+
+
+def _calc_blobs(program: Program, report: Report) -> None:
+    """CALC_I runs must end in a CALC_F on the same output-channel window."""
+    open_window: tuple[int, int, int] | None = None  # (layer, ch0, chs)
+    for index, instruction in enumerate(program):
+        if instruction.opcode == Opcode.CALC_I:
+            window = (instruction.layer_id, instruction.ch0, instruction.chs)
+            if open_window is not None and open_window != window:
+                report.add(
+                    "PRG003",
+                    f"CALC_I window {window} while blob {open_window} is still open",
+                    program=program.name,
+                    index=index,
+                    hint="finish the open CalcBlob with a CALC_F before starting another",
+                )
+            open_window = window
+        elif instruction.opcode == Opcode.CALC_F:
+            window = (instruction.layer_id, instruction.ch0, instruction.chs)
+            if open_window is not None and open_window != window:
+                report.add(
+                    "PRG003",
+                    f"CALC_F window {window} does not close open blob {open_window}",
+                    program=program.name,
+                    index=index,
+                    hint="CALC_F must cover the same (layer, ch0, chs) as its CALC_I run",
+                )
+            open_window = None
+        elif instruction.opcode == Opcode.SAVE and open_window is not None:
+            report.add(
+                "PRG003",
+                f"SAVE while CalcBlob {open_window} has no CALC_F — "
+                f"intermediate results would be lost",
+                program=program.name,
+                index=index,
+                hint="drain the blob with CALC_F before the SAVE",
+            )
+            open_window = None  # recover: keep later findings independent
+    if open_window is not None:
+        report.add(
+            "PRG003",
+            f"program ends with unterminated CalcBlob {open_window}",
+            program=program.name,
+            index=len(program) - 1,
+            hint="the last CALC of every blob must be a CALC_F",
+        )
+
+
+def _virtual_positions(program: Program, report: Report) -> None:
+    """Virtual instructions may only follow CALC_F / SAVE / virtual / layer start."""
+    previous: Instruction | None = None
+    for index, instruction in enumerate(program):
+        if instruction.is_virtual:
+            at_layer_boundary = (
+                previous is None or previous.layer_id != instruction.layer_id
+            )
+            if not at_layer_boundary and previous is not None and (
+                previous.opcode not in _LEGAL_PREDECESSORS
+            ):
+                report.add(
+                    "VI001",
+                    f"{instruction.opcode.name} after {previous.opcode.name} — "
+                    f"interrupt points are only legal after CALC_F or SAVE",
+                    program=program.name,
+                    index=index,
+                    hint="mid-blob and mid-load states cannot be backed up; move the "
+                    "virtual instruction to the next CALC_F/SAVE boundary",
+                )
+        previous = instruction
+
+
+def _save_id_pairing(program: Program, report: Report) -> None:
+    pending: dict[int, int] = {}  # save_id -> index of the VIR_SAVE announcing it
+    for index, instruction in enumerate(program):
+        if instruction.opcode == Opcode.VIR_SAVE:
+            if instruction.save_id == NO_SAVE_ID:
+                report.add(
+                    "VI002",
+                    "VIR_SAVE without a save_id",
+                    program=program.name,
+                    index=index,
+                    hint="SAVE rewriting credits the backup against the SAVE "
+                    "carrying the same save_id",
+                )
+            else:
+                pending[instruction.save_id] = index
+        elif instruction.opcode == Opcode.SAVE and instruction.save_id != NO_SAVE_ID:
+            pending.pop(instruction.save_id, None)
+    for save_id, index in pending.items():
+        report.add(
+            "VI003",
+            f"VIR_SAVE save_id={save_id} has no subsequent real SAVE to rewrite",
+            program=program.name,
+            index=index,
+            hint="every VIR_SAVE must be consumed by a later SAVE with the same "
+            "save_id, or its backup is never credited",
+        )
+
+
+def _known_layers(
+    program: Program, report: Report, layers: Mapping[int, LayerConfig]
+) -> None:
+    seen: set[int] = set()
+    for index, instruction in enumerate(program):
+        layer_id = instruction.layer_id
+        if layer_id not in layers and layer_id not in seen:
+            seen.add(layer_id)
+            report.add(
+                "PRG004",
+                f"layer_id {layer_id} has no entry in the layer-config table",
+                program=program.name,
+                index=index,
+                hint="the layer-config table and the instruction stream must come "
+                "from the same compile",
+            )

@@ -1,0 +1,144 @@
+"""Static worst-case interrupt response latency (WCL001-WCL002).
+
+With no interrupt in flight the accelerator executes the program straight-
+line, so per-instruction completion times are a prefix sum of the timing
+model (:func:`repro.hw.timing.instruction_cycles` plus the per-instruction
+fetch).  A request arriving at time ``t`` is served at the first switch
+opportunity at or after ``t``, paying that opportunity's backup DMA; the
+static WCIRL is therefore the maximum over opportunities of
+
+    (gap since the previous opportunity) + (backup cost of this one).
+
+This mirrors :func:`repro.analysis.latency.window_profile` over the whole
+program exactly — the differential tests assert bound-equality against it
+and bound-dominance against measured IAU preemptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
+
+from repro.hw.config import AcceleratorConfig
+from repro.hw.timing import fetch_cycles, instruction_cycles, transfer_cycles
+from repro.isa.opcodes import Opcode
+from repro.isa.program import Program
+from repro.verify.diagnostics import Report
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (compiler -> isa)
+    from repro.compiler.layer_config import LayerConfig
+
+
+@dataclass(frozen=True)
+class StaticWcirl:
+    """The static worst-case interrupt response latency of one program."""
+
+    program: str
+    #: Straight-line execution time of the whole program.
+    total_cycles: int
+    #: Switch opportunities inside the program (program end not counted).
+    switch_points: int
+    #: Largest cycle gap between consecutive opportunities (no backup cost).
+    worst_gap_cycles: int
+    #: The WCIRL bound: worst gap-plus-backup over all opportunities.
+    worst_response_cycles: int
+    #: Instruction index of the worst opportunity (None = the program end).
+    worst_index: int | None
+
+    def worst_us(self, config: AcceleratorConfig) -> float:
+        return config.clock.cycles_to_us(self.worst_response_cycles)
+
+
+def wcirl_bound(
+    program: Program,
+    config: AcceleratorConfig,
+    layers: Mapping[int, "LayerConfig"],
+) -> StaticWcirl:
+    """Compute the static WCIRL of ``program`` under ``config``'s timing."""
+    fetch = fetch_cycles(config)
+    time = 0
+    # (completion time, backup cycles, instruction index or None for the end)
+    events: list[tuple[int, int, int | None]] = []
+    for index, instruction in enumerate(program):
+        layer = layers.get(instruction.layer_id)
+        if instruction.is_virtual:
+            execute = 0
+        elif (
+            instruction.opcode in (Opcode.CALC_I, Opcode.CALC_F) and layer is None
+        ):
+            execute = 0  # unknown layer: PRG004 already reported; keep going
+        else:
+            execute = instruction_cycles(config, instruction, layer)  # type: ignore[arg-type]
+        time += fetch + execute
+        if instruction.is_virtual and instruction.is_switch_point:
+            backup = 0
+            if instruction.opcode == Opcode.VIR_SAVE:
+                backup = transfer_cycles(config, instruction.length)
+            events.append((time, backup, index))
+    total = time
+    switch_points = len(events)
+    # The end of the program is always a free opportunity (the task is done).
+    events.append((total, 0, None))
+
+    cursor = 0
+    worst_gap = 0
+    worst_response = 0
+    worst_index: int | None = None
+    for event_time, backup, index in events:
+        if event_time > cursor:
+            gap = event_time - cursor
+            response = gap + backup
+            worst_gap = max(worst_gap, gap)
+            if response > worst_response:
+                worst_response = response
+                worst_index = index
+        cursor = max(cursor, event_time)
+    return StaticWcirl(
+        program=program.name,
+        total_cycles=total,
+        switch_points=switch_points,
+        worst_gap_cycles=worst_gap,
+        worst_response_cycles=worst_response,
+        worst_index=worst_index,
+    )
+
+
+def wcirl_pass(
+    program: Program,
+    report: Report,
+    config: AcceleratorConfig,
+    layers: Mapping[int, "LayerConfig"],
+    *,
+    expect_interruptible: bool = False,
+    max_response_cycles: int | None = None,
+) -> StaticWcirl:
+    """Compute the bound and check the WCL expectations against it."""
+    bound = wcirl_bound(program, config, layers)
+    if expect_interruptible and bound.switch_points == 0:
+        report.add(
+            "WCL001",
+            f"program is expected to be interruptible but exposes no switch "
+            f"point; a pending request waits the full {bound.total_cycles} "
+            f"cycles",
+            program=program.name,
+            hint="run the VI pass (or the layer-by-layer fallback) so the IAU "
+            "has somewhere to preempt",
+        )
+    if max_response_cycles is not None and (
+        bound.worst_response_cycles > max_response_cycles
+    ):
+        where = (
+            "the program end"
+            if bound.worst_index is None
+            else f"instruction [{bound.worst_index}]"
+        )
+        report.add(
+            "WCL002",
+            f"static WCIRL is {bound.worst_response_cycles} cycles (worst at "
+            f"{where}) which exceeds the {max_response_cycles}-cycle budget",
+            program=program.name,
+            index=bound.worst_index,
+            hint="add switch points inside the longest gap (smaller CalcBlobs "
+            "or more VIR_SAVEs) or relax the response budget",
+        )
+    return bound

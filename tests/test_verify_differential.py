@@ -1,0 +1,91 @@
+"""Differential regression: static WCIRL vs measured interrupt latencies.
+
+The static bound is only useful if it is *sound*: every preemption the full
+IAU simulation actually performs must respond within the bound the verifier
+computed from the instruction stream alone.  These tests sweep interrupt
+requests across the low-priority task's run and assert dominance, and pin
+the bound to the analytical latency profile (exactness, not just soundness).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.latency import whole_program_profile
+from repro.interrupt.base import LAYER_BY_LAYER, VIRTUAL_INSTRUCTION
+from repro.interrupt.measure import measure_interrupt, run_alone, sample_positions
+from repro.verify import wcirl_bound
+from repro.verify.engine import layer_table
+
+METHODS = (VIRTUAL_INSTRUCTION, LAYER_BY_LAYER)
+
+
+@pytest.mark.parametrize("method", METHODS, ids=lambda m: m.name)
+class TestStaticBoundDominatesMeasurement:
+    def test_bound_covers_sampled_preemptions(self, method, tiny_pair):
+        low, high = tiny_pair
+        static = wcirl_bound(
+            low.program_for(method.vi_mode), low.config, layer_table(low)
+        )
+        low_alone = run_alone(low, method)
+        high_alone = run_alone(high, method)
+        for request_cycle in sample_positions(low_alone, count=10, seed=7):
+            measured = measure_interrupt(
+                low,
+                high,
+                method,
+                request_cycle,
+                low_alone_cycles=low_alone,
+                high_alone_cycles=high_alone,
+            )
+            assert measured.response_cycles <= static.worst_response_cycles, (
+                f"{method.name}: measured {measured.response_cycles} cycles at "
+                f"request {request_cycle} exceeds the static WCIRL "
+                f"{static.worst_response_cycles}"
+            )
+
+    def test_bound_covers_early_and_late_requests(self, method, tiny_pair):
+        low, high = tiny_pair
+        static = wcirl_bound(
+            low.program_for(method.vi_mode), low.config, layer_table(low)
+        )
+        low_alone = run_alone(low, method)
+        high_alone = run_alone(high, method)
+        for request_cycle in (0, 1, low_alone - 2):
+            measured = measure_interrupt(
+                low,
+                high,
+                method,
+                request_cycle,
+                low_alone_cycles=low_alone,
+                high_alone_cycles=high_alone,
+            )
+            assert measured.response_cycles <= static.worst_response_cycles
+
+    def test_bound_equals_latency_profile_worst(self, method, tiny_pair):
+        low, _ = tiny_pair
+        static = wcirl_bound(
+            low.program_for(method.vi_mode), low.config, layer_table(low)
+        )
+        profile = whole_program_profile(low, method)
+        assert static.worst_response_cycles == int(profile.worst_cycles)
+
+
+class TestBoundStructure:
+    def test_vi_bound_tighter_than_uninterruptible(self, tiny_pair):
+        low, _ = tiny_pair
+        layers = layer_table(low)
+        vi = wcirl_bound(low.program_for("vi"), low.config, layers)
+        none = wcirl_bound(low.program_for("none"), low.config, layers)
+        assert vi.switch_points > 0
+        assert none.switch_points == 0
+        assert vi.worst_response_cycles < none.worst_response_cycles
+        # an uninterruptible program's worst response is the whole inference
+        assert none.worst_response_cycles == none.total_cycles
+
+    def test_bound_scales_with_more_networks(self, tiny_cnn_compiled, tiny_residual_compiled):
+        for compiled in (tiny_cnn_compiled, tiny_residual_compiled):
+            layers = layer_table(compiled)
+            vi = wcirl_bound(compiled.program_for("vi"), compiled.config, layers)
+            profile = whole_program_profile(compiled, VIRTUAL_INSTRUCTION)
+            assert vi.worst_response_cycles == int(profile.worst_cycles)
