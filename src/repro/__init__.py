@@ -5,8 +5,10 @@ zoo, 8-bit quantization, the original and virtual-instruction ISAs, a
 cycle-approximate Angel-Eye-style accelerator simulator, the Instruction
 Arrangement Unit (IAU), three interrupt methods (CPU-like, layer-by-layer,
 virtual-instruction), a preemptive multi-task runtime, a ROS-like
-discrete-event middleware, a synthetic two-agent DSLAM application, and the
-paper's future-work multi-core extension.
+discrete-event middleware, a synthetic two-agent DSLAM application, the
+paper's future-work multi-core extension, and a multi-tenant accelerator
+farm (``repro.farm``: heterogeneous nodes, seeded tenant traffic, and a
+PREMA-style predictive scheduler vs FCFS/static-partition baselines).
 
 Quickstart::
 
@@ -49,6 +51,7 @@ from repro.interrupt import (
     measure_interrupt,
 )
 from repro.errors import InvariantViolation, QosError
+from repro.estimate import RemainingCycles, estimate_job_cycles
 from repro.nn import GraphBuilder, NetworkGraph, TensorShape
 from repro.obs import EventBus, Metrics, ObsConfig, summarize
 from repro.qos import (
@@ -72,7 +75,7 @@ from repro.verify import (
     wcirl_bound,
 )
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
     "AcceleratorConfig",
@@ -102,6 +105,7 @@ __all__ = [
     "QosConfig",
     "QosError",
     "QueuePolicy",
+    "RemainingCycles",
     "Report",
     "RunResult",
     "Severity",
@@ -112,6 +116,7 @@ __all__ = [
     "__version__",
     "compile_network",
     "compile_tasks",
+    "estimate_job_cycles",
     "golden_inference",
     "golden_output",
     "measure_interrupt",

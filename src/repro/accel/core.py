@@ -30,7 +30,7 @@ from repro.hw.timing import calc_cycles, transfer_cycles
 from repro.isa.instructions import Instruction
 from repro.isa.opcodes import Opcode
 from repro.obs.bus import EventBus
-from repro.obs.config import ObsConfig, resolve_obs_config
+from repro.obs.config import ObsConfig
 from repro.obs.events import EventKind
 
 
@@ -117,18 +117,15 @@ class AcceleratorCore:
         self,
         config: AcceleratorConfig,
         ddr: Ddr,
-        functional: bool | None = None,
         *,
         obs: ObsConfig | None = None,
         bus: EventBus | None = None,
     ):
         self.config = config
         self.ddr = ddr
-        # The bare ``functional`` boolean is deprecated in favour of the
-        # ObsConfig options object; its historic default here is True.
-        self.obs = resolve_obs_config(
-            obs, functional, None, owner="AcceleratorCore", default_functional=True
-        )
+        # A bare core defaults to functional execution (the bit-exact mode);
+        # harnesses pass an explicit ObsConfig to opt into timing-only.
+        self.obs = obs if obs is not None else ObsConfig(functional=True)
         self.functional = self.obs.functional
         self.bus = bus
         self.data_tiles: dict[int, DataTile] = {}

@@ -1,0 +1,209 @@
+"""The accelerator farm: heterogeneous nodes, one dispatcher, exact replay.
+
+A :class:`Farm` serves up to four *services* (model + SLO class — one IAU
+priority slot each) on N simulated accelerators with possibly different
+:class:`~repro.hw.config.AcceleratorConfig` designs (e.g. the
+design-space grid: small, big, high-bandwidth, 2x-parallel).  Serving one
+day of traffic is two phases:
+
+1. **Dispatch** — the pluggable :class:`~repro.farm.scheduler.Scheduler`
+   plans every job's (node, hand-over cycle) using only the stable cycle
+   estimator.  Sequential, fast, deterministic.
+2. **Measure** — every node replays its share of the plan on an exact
+   :class:`~repro.runtime.system.MultiTaskSystem`.  Nodes are independent
+   once the plan is fixed, so this phase shards across worker processes
+   (``max_workers``); the serial path is bit-identical and is the only
+   mode that supports per-node observability (events cannot cross the
+   process boundary).
+
+The same traffic + same scheduler always produces the same report, which
+is what makes scheduler comparisons meaningful.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import SchedulerError
+from repro.estimate import estimate_job_cycles
+from repro.farm.metrics import FarmReport, JobOutcome, build_report, join_outcomes
+from repro.farm.node import (
+    NodeAssignment,
+    NodeJobResult,
+    ServiceSpec,
+    build_graph,
+    build_node_system,
+    run_assignment,
+    simulate_node,
+)
+from repro.farm.scheduler import Dispatch, FarmView, Scheduler
+from repro.farm.traffic import Job
+from repro.hw.config import AcceleratorConfig
+from repro.iau.unit import MAX_TASKS
+from repro.obs.config import ObsConfig
+from repro.runtime.system import MultiTaskSystem, compile_tasks
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """One scheduler's day: the plan, the measurements, the report."""
+
+    report: FarmReport
+    outcomes: tuple[JobOutcome, ...]
+    dispatches: tuple[Dispatch, ...]
+
+
+class Farm:
+    """N heterogeneous accelerator nodes serving shared tenant traffic."""
+
+    def __init__(
+        self,
+        node_configs: Sequence[AcceleratorConfig],
+        services: Sequence[ServiceSpec],
+        scheduler: Scheduler,
+        *,
+        vi_mode: str = "vi",
+        obs: ObsConfig | None = None,
+    ):
+        if not node_configs:
+            raise SchedulerError("a farm needs at least one node")
+        if not services:
+            raise SchedulerError("a farm needs at least one service")
+        if len(services) > MAX_TASKS:
+            raise SchedulerError(
+                f"at most {MAX_TASKS} services (IAU priority slots), "
+                f"got {len(services)}"
+            )
+        self.node_configs = tuple(node_configs)
+        self.services = tuple(services)
+        self.scheduler = scheduler
+        self.vi_mode = vi_mode
+        self.obs = obs
+        #: Serial-mode node systems from the last serve() (obs inspection).
+        self.node_systems: list[MultiTaskSystem] | None = None
+        self._view = self._build_view()
+
+    def _build_view(self) -> FarmView:
+        """Estimate every (node, service) cost once, via the stable API."""
+        graphs = [build_graph(service.model) for service in self.services]
+        estimates = []
+        for config in self.node_configs:
+            compiled = compile_tasks(graphs, config)
+            row = []
+            for network in compiled:
+                program = network.program_for(self.vi_mode)
+                row.append(estimate_job_cycles(config, network, program))
+            estimates.append(row)
+        return FarmView(
+            num_nodes=len(self.node_configs),
+            slos=[service.slo for service in self.services],
+            estimates=estimates,
+        )
+
+    @property
+    def view(self) -> FarmView:
+        return self._view
+
+    def estimate(self, node: int, service: int) -> int:
+        """Static cycles of one job of ``service`` on ``node``."""
+        return self._view.estimate(node, service)
+
+    def plan(self, jobs: Sequence[Job]) -> list[Dispatch]:
+        """Phase 1 only: the scheduler's dispatch plan for a job stream."""
+        for job in jobs:
+            if not 0 <= job.service < len(self.services):
+                raise SchedulerError(
+                    f"job {job.job_id} wants service {job.service}, farm has "
+                    f"{len(self.services)}"
+                )
+        plan = self.scheduler.dispatch(list(jobs), self._view)
+        if len(plan) != len(jobs):
+            raise SchedulerError(
+                f"scheduler {self.scheduler.name!r} planned {len(plan)} "
+                f"dispatches for {len(jobs)} jobs"
+            )
+        for dispatch in plan:
+            if dispatch.dispatch_cycle < dispatch.job.arrival_cycle:
+                raise SchedulerError(
+                    f"scheduler {self.scheduler.name!r} dispatched job "
+                    f"{dispatch.job.job_id} before it arrived"
+                )
+            if not 0 <= dispatch.node < len(self.node_configs):
+                raise SchedulerError(
+                    f"scheduler {self.scheduler.name!r} used node "
+                    f"{dispatch.node}, farm has {len(self.node_configs)}"
+                )
+        return plan
+
+    def _assignments(self, plan: Sequence[Dispatch]) -> list[NodeAssignment]:
+        per_node: dict[int, list[tuple[int, int, int]]] = {}
+        for dispatch in sorted(plan, key=lambda d: (d.dispatch_cycle, d.job.job_id)):
+            per_node.setdefault(dispatch.node, []).append(
+                (dispatch.job.job_id, dispatch.job.service, dispatch.dispatch_cycle)
+            )
+        return [
+            NodeAssignment(
+                node=node,
+                config=self.node_configs[node],
+                services=self.services,
+                dispatches=tuple(dispatches),
+                vi_mode=self.vi_mode,
+            )
+            for node, dispatches in sorted(per_node.items())
+        ]
+
+    def serve(
+        self, jobs: Sequence[Job], *, max_workers: int | None = None
+    ) -> ServeResult:
+        """Both phases: plan, measure every node exactly, report.
+
+        ``max_workers`` > 1 shards the measurement phase one process per
+        node; the default (None → serial) is required when ``obs`` is set.
+        """
+        plan = self.plan(jobs)
+        assignments = self._assignments(plan)
+        if max_workers is not None and max_workers > 1:
+            if self.obs is not None:
+                raise SchedulerError(
+                    "per-node obs needs serial mode: events cannot cross "
+                    "the worker-process boundary"
+                )
+            self.node_systems = None
+            results = self._measure_parallel(assignments, max_workers)
+        else:
+            results = self._measure_serial(assignments)
+        outcomes = join_outcomes(list(jobs), results)
+        report = build_report(
+            self.scheduler.name, outcomes, [s.slo for s in self.services]
+        )
+        return ServeResult(
+            report=report, outcomes=tuple(outcomes), dispatches=tuple(plan)
+        )
+
+    def _measure_serial(
+        self, assignments: Sequence[NodeAssignment]
+    ) -> list[NodeJobResult]:
+        self.node_systems = []
+        results: list[NodeJobResult] = []
+        for assignment in assignments:
+            system = build_node_system(
+                assignment.config,
+                assignment.services,
+                assignment.vi_mode,
+                obs=self.obs,
+            )
+            self.node_systems.append(system)
+            results.extend(run_assignment(assignment, system))
+        return results
+
+    def _measure_parallel(
+        self, assignments: Sequence[NodeAssignment], max_workers: int
+    ) -> list[NodeJobResult]:
+        workers = min(max_workers, len(assignments)) or 1
+        results: list[NodeJobResult] = []
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for node_results in pool.map(simulate_node, assignments):
+                results.extend(node_results)
+        return results

@@ -1,0 +1,183 @@
+"""Farm-level serving metrics: latency percentiles and SLO attainment.
+
+Latency here is *end-to-end*: from the job's arrival at the farm (traffic
+time) to its measured completion on a node (simulated time), so queueing
+at the dispatcher, queueing at the node, pre-emption, and VI overhead all
+count.  Attainment checks that latency against the job's SLO class
+deadline.  Percentiles use the nearest-rank definition — exact on small
+counts, no interpolation surprises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.tables import format_table
+from repro.errors import SchedulerError
+from repro.farm.traffic import Job, SloClass
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """Arrival joined with its measured completion."""
+
+    job_id: int
+    tenant_id: int
+    service: int
+    node: int
+    arrival_cycle: int
+    dispatch_cycle: int
+    complete_cycle: int
+
+    @property
+    def latency_cycles(self) -> int:
+        return self.complete_cycle - self.arrival_cycle
+
+
+def percentile(values: Sequence[int], p: float) -> int:
+    """Nearest-rank percentile of a non-empty sequence."""
+    if not values:
+        raise SchedulerError("percentile of an empty sequence")
+    if not 0 < p <= 100:
+        raise SchedulerError(f"p must be in (0, 100], got {p}")
+    ordered = sorted(values)
+    rank = max(1, -(-len(ordered) * p // 100))  # ceil without float error
+    return ordered[int(rank) - 1]
+
+
+@dataclass(frozen=True)
+class ClassReport:
+    """One SLO class's share of the day."""
+
+    slo: SloClass
+    jobs: int
+    p50_cycles: int
+    p99_cycles: int
+    attained: int
+
+    @property
+    def attainment(self) -> float:
+        return self.attained / self.jobs if self.jobs else 1.0
+
+
+@dataclass(frozen=True)
+class FarmReport:
+    """Per-class and overall serving quality of one scheduler run."""
+
+    scheduler: str
+    classes: tuple[ClassReport, ...]
+    total_jobs: int
+    makespan_cycles: int
+
+    @property
+    def overall_attainment(self) -> float:
+        attained = sum(entry.attained for entry in self.classes)
+        return attained / self.total_jobs if self.total_jobs else 1.0
+
+    def by_class(self, name: str) -> ClassReport:
+        for entry in self.classes:
+            if entry.slo.name == name:
+                return entry
+        raise SchedulerError(f"no SLO class named {name!r}")
+
+    def format(self) -> str:
+        rows = [
+            [
+                entry.slo.name,
+                entry.jobs,
+                entry.p50_cycles,
+                entry.p99_cycles,
+                entry.slo.deadline_cycles,
+                f"{100 * entry.attainment:.2f}%",
+            ]
+            for entry in self.classes
+        ]
+        rows.append(
+            [
+                "overall",
+                self.total_jobs,
+                "",
+                "",
+                "",
+                f"{100 * self.overall_attainment:.2f}%",
+            ]
+        )
+        return format_table(
+            ["class", "jobs", "p50 cyc", "p99 cyc", "deadline", "SLO attained"],
+            rows,
+            title=f"farm serving report — scheduler={self.scheduler}",
+        )
+
+
+def build_report(
+    scheduler: str,
+    outcomes: Sequence[JobOutcome],
+    slos: Sequence[SloClass],
+) -> FarmReport:
+    """Aggregate measured outcomes into the per-class report.
+
+    ``slos`` is indexed by service (service ``k`` belongs to class
+    ``slos[k]``); distinct services sharing one class object aggregate
+    together.
+    """
+    by_class: dict[str, list[JobOutcome]] = {}
+    class_of: dict[str, SloClass] = {}
+    for outcome in outcomes:
+        slo = slos[outcome.service]
+        by_class.setdefault(slo.name, []).append(outcome)
+        class_of[slo.name] = slo
+    classes = []
+    for name in sorted(by_class, key=lambda n: class_of[n].rank):
+        slo = class_of[name]
+        latencies = [outcome.latency_cycles for outcome in by_class[name]]
+        attained = sum(1 for lat in latencies if lat <= slo.deadline_cycles)
+        classes.append(
+            ClassReport(
+                slo=slo,
+                jobs=len(latencies),
+                p50_cycles=percentile(latencies, 50),
+                p99_cycles=percentile(latencies, 99),
+                attained=attained,
+            )
+        )
+    makespan = max((o.complete_cycle for o in outcomes), default=0)
+    return FarmReport(
+        scheduler=scheduler,
+        classes=tuple(classes),
+        total_jobs=len(outcomes),
+        makespan_cycles=makespan,
+    )
+
+
+def join_outcomes(
+    jobs: Sequence[Job], results: Sequence
+) -> list[JobOutcome]:
+    """Join arrivals with node results by ``job_id`` (exactly once each)."""
+    arrivals = {job.job_id: job for job in jobs}
+    outcomes: list[JobOutcome] = []
+    seen: set[int] = set()
+    for result in results:
+        if result.job_id in seen:
+            raise SchedulerError(f"job {result.job_id} completed twice")
+        seen.add(result.job_id)
+        job = arrivals.get(result.job_id)
+        if job is None:
+            raise SchedulerError(f"completion for unknown job {result.job_id}")
+        outcomes.append(
+            JobOutcome(
+                job_id=job.job_id,
+                tenant_id=job.tenant_id,
+                service=job.service,
+                node=result.node,
+                arrival_cycle=job.arrival_cycle,
+                dispatch_cycle=result.dispatch_cycle,
+                complete_cycle=result.complete_cycle,
+            )
+        )
+    if len(outcomes) != len(jobs):
+        raise SchedulerError(
+            f"{len(jobs)} jobs arrived but {len(outcomes)} completed"
+        )
+    outcomes.sort(key=lambda outcome: outcome.job_id)
+    return outcomes

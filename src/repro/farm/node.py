@@ -1,0 +1,136 @@
+"""One farm node: exact simulation of a dispatch plan on one accelerator.
+
+The dispatch phase (:mod:`repro.farm.scheduler`) plans with estimates;
+this module measures.  Each node is an unchanged
+:class:`~repro.runtime.system.MultiTaskSystem`: the farm's services map
+onto IAU priority slots (slot = service index, priority = the service's
+SLO rank), the planned hand-overs become timed ``submit()`` calls, and the
+VI machinery provides pre-emption between SLO classes exactly as it does
+on a single robot.
+
+Everything here is picklable on purpose: :func:`simulate_node` is the
+``ProcessPoolExecutor`` worker, so a hundred-thousand-job day shards
+across one process per accelerator.  Workers receive model *names* (zoo
+builders) rather than compiled networks — each worker recompiles locally,
+which is cheaper than pickling layouts and keeps the payload tiny.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import repro.zoo as zoo
+from repro.errors import SchedulerError
+from repro.hw.config import AcceleratorConfig
+from repro.obs.config import ObsConfig
+from repro.runtime.system import MultiTaskSystem, compile_tasks
+from repro.farm.traffic import SloClass
+
+
+@dataclass(frozen=True)
+class ServiceSpec:
+    """One served model + its SLO class (picklable worker payload)."""
+
+    name: str
+    #: Zoo builder suffix: ``"tiny_cnn"`` → :func:`repro.zoo.build_tiny_cnn`.
+    model: str
+    slo: SloClass
+
+
+@dataclass(frozen=True)
+class NodeAssignment:
+    """Everything one worker needs: the accelerator, the services, the plan."""
+
+    node: int
+    config: AcceleratorConfig
+    services: tuple[ServiceSpec, ...]
+    #: ``(job_id, service, dispatch_cycle)`` in dispatch order.
+    dispatches: tuple[tuple[int, int, int], ...]
+    vi_mode: str = "vi"
+
+
+@dataclass(frozen=True)
+class NodeJobResult:
+    """Exact measured lifecycle of one job on one node."""
+
+    job_id: int
+    node: int
+    service: int
+    dispatch_cycle: int
+    start_cycle: int
+    complete_cycle: int
+
+
+def build_graph(model: str):
+    """Resolve a zoo model name (``"tiny_cnn"``) to its network graph."""
+    builder = getattr(zoo, f"build_{model}", None)
+    if builder is None:
+        raise SchedulerError(f"unknown zoo model {model!r}")
+    return builder()
+
+
+def build_node_system(
+    config: AcceleratorConfig,
+    services: tuple[ServiceSpec, ...],
+    vi_mode: str = "vi",
+    *,
+    obs: ObsConfig | None = None,
+) -> MultiTaskSystem:
+    """One accelerator with every service attached at its slot."""
+    if not services:
+        raise SchedulerError("a node needs at least one service")
+    graphs = [build_graph(service.model) for service in services]
+    compiled = compile_tasks(graphs, config)
+    system = MultiTaskSystem(config, obs=obs)
+    for slot, (service, network) in enumerate(zip(services, compiled)):
+        system.add_task(slot, network, vi_mode=vi_mode, priority=service.slo.rank)
+    return system
+
+
+def run_assignment(
+    assignment: NodeAssignment,
+    system: MultiTaskSystem,
+) -> list[NodeJobResult]:
+    """Submit the dispatch plan on a prepared system, run, join records.
+
+    Within one node each service slot serves FIFO and dispatch cycles are
+    monotone per slot, so completed records join with the plan by order.
+    """
+    per_slot: dict[int, list[tuple[int, int]]] = {}
+    for job_id, service, cycle in assignment.dispatches:
+        system.submit(service, cycle)
+        per_slot.setdefault(service, []).append((job_id, cycle))
+    system.run()
+    results: list[NodeJobResult] = []
+    for service, submitted in per_slot.items():
+        completed = system.jobs(service)
+        if len(completed) != len(submitted):
+            raise SchedulerError(
+                f"node {assignment.node} slot {service}: submitted "
+                f"{len(submitted)} jobs but completed {len(completed)}"
+            )
+        for (job_id, cycle), record in zip(submitted, completed):
+            if record.request_cycle != cycle:
+                raise SchedulerError(
+                    f"node {assignment.node} slot {service}: dispatch/record "
+                    f"order mismatch at job {job_id}"
+                )
+            results.append(
+                NodeJobResult(
+                    job_id=job_id,
+                    node=assignment.node,
+                    service=service,
+                    dispatch_cycle=cycle,
+                    start_cycle=record.start_cycle,
+                    complete_cycle=record.complete_cycle,
+                )
+            )
+    return results
+
+
+def simulate_node(assignment: NodeAssignment) -> list[NodeJobResult]:
+    """The process-pool worker: rebuild, simulate, measure (obs off)."""
+    system = build_node_system(
+        assignment.config, assignment.services, assignment.vi_mode
+    )
+    return run_assignment(assignment, system)

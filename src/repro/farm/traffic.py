@@ -1,0 +1,189 @@
+"""Deterministic synthetic multi-tenant traffic for the serving farm.
+
+A farm benchmark is only comparable across schedulers if every scheduler
+sees the *identical* job stream, so generation is strictly deterministic:
+each tenant owns a :class:`random.Random` seeded from ``(seed, tenant_id)``
+and draws its own arrival process independently of every other tenant.
+Adding, removing, or re-ordering tenants never perturbs another tenant's
+arrivals.
+
+Three arrival patterns cover the serving-traffic shapes that matter for
+scheduling:
+
+* ``poisson`` — memoryless arrivals at a constant mean rate (the M/G/N
+  baseline);
+* ``diurnal`` — a Poisson process whose rate follows a sinusoid (day/night
+  load swing), implemented by thinning against the peak rate;
+* ``bursty`` — an on/off modulated process (exponential on- and off-period
+  lengths) that concentrates the same mean load into bursts, the pattern
+  that exposes head-of-line blocking.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.errors import SchedulerError
+
+PATTERNS = ("poisson", "diurnal", "bursty")
+
+
+@dataclass(frozen=True)
+class SloClass:
+    """One service-level class: a priority rank, a token weight, a deadline.
+
+    ``rank`` maps onto the IAU priority slot ordering (0 pre-empts
+    everything else); ``weight`` is the PREMA-style token accrual rate the
+    predictive scheduler uses (a gold job earns queue position faster than
+    a bronze one); ``deadline_cycles`` is the end-to-end latency bound the
+    SLO-attainment metric checks arrivals against.
+    """
+
+    name: str
+    rank: int
+    weight: float
+    deadline_cycles: int
+
+    def __post_init__(self):
+        if self.rank < 0:
+            raise SchedulerError(f"rank must be >= 0, got {self.rank}")
+        if self.weight <= 0:
+            raise SchedulerError(f"weight must be positive, got {self.weight}")
+        if self.deadline_cycles <= 0:
+            raise SchedulerError(
+                f"deadline_cycles must be positive, got {self.deadline_cycles}"
+            )
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One traffic source: which service it calls and how often.
+
+    ``mean_interarrival_cycles`` is the long-run mean gap for every pattern
+    (the bursty/diurnal shapes redistribute the same mean load in time).
+    """
+
+    tenant_id: int
+    service: int
+    mean_interarrival_cycles: float
+    pattern: str = "poisson"
+    #: Diurnal swing depth in [0, 1): rate(t) = mean * (1 + depth*sin).
+    diurnal_depth: float = 0.8
+    #: Diurnal period (one synthetic "day") in cycles.
+    diurnal_period_cycles: int = 10_000_000
+    #: Mean lengths of the bursty on/off phases, in cycles.
+    burst_on_cycles: float = 500_000.0
+    burst_off_cycles: float = 1_500_000.0
+
+    def __post_init__(self):
+        if self.pattern not in PATTERNS:
+            raise SchedulerError(
+                f"pattern must be one of {PATTERNS}, got {self.pattern!r}"
+            )
+        if self.mean_interarrival_cycles <= 0:
+            raise SchedulerError("mean_interarrival_cycles must be positive")
+        if not 0 <= self.diurnal_depth < 1:
+            raise SchedulerError("diurnal_depth must be in [0, 1)")
+
+
+@dataclass(frozen=True, order=True)
+class Job:
+    """One inference request: who asked, for what, and when."""
+
+    arrival_cycle: int
+    job_id: int
+    tenant_id: int
+    service: int
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """A reproducible day of traffic: tenants + horizon + seed."""
+
+    tenants: tuple[TenantSpec, ...]
+    duration_cycles: int
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.duration_cycles <= 0:
+            raise SchedulerError("duration_cycles must be positive")
+        seen = set()
+        for tenant in self.tenants:
+            if tenant.tenant_id in seen:
+                raise SchedulerError(f"duplicate tenant_id {tenant.tenant_id}")
+            seen.add(tenant.tenant_id)
+
+
+def _tenant_rng(spec: TrafficSpec, tenant: TenantSpec) -> random.Random:
+    # Integer mix, not hash(): stable across processes and interpreter runs.
+    return random.Random(spec.seed * 1_000_003 + tenant.tenant_id)
+
+
+def _poisson_arrivals(rng: random.Random, tenant: TenantSpec, horizon: int):
+    t = rng.expovariate(1.0 / tenant.mean_interarrival_cycles)
+    while t < horizon:
+        yield int(t)
+        t += rng.expovariate(1.0 / tenant.mean_interarrival_cycles)
+
+
+def _diurnal_arrivals(rng: random.Random, tenant: TenantSpec, horizon: int):
+    # Thinning: draw candidates at the peak rate, accept with probability
+    # rate(t)/peak.  Exact for any bounded rate function.
+    base_rate = 1.0 / tenant.mean_interarrival_cycles
+    peak_rate = base_rate * (1.0 + tenant.diurnal_depth)
+    omega = 2.0 * math.pi / tenant.diurnal_period_cycles
+    t = rng.expovariate(peak_rate)
+    while t < horizon:
+        rate = base_rate * (1.0 + tenant.diurnal_depth * math.sin(omega * t))
+        if rng.random() < rate / peak_rate:
+            yield int(t)
+        t += rng.expovariate(peak_rate)
+
+
+def _bursty_arrivals(rng: random.Random, tenant: TenantSpec, horizon: int):
+    # On/off modulation preserving the long-run mean: all arrivals land in
+    # the "on" phases, at a rate scaled up by (on+off)/on.
+    duty = tenant.burst_on_cycles / (tenant.burst_on_cycles + tenant.burst_off_cycles)
+    on_rate = 1.0 / (tenant.mean_interarrival_cycles * duty)
+    t = 0.0
+    on = True
+    while t < horizon:
+        phase = rng.expovariate(
+            1.0 / (tenant.burst_on_cycles if on else tenant.burst_off_cycles)
+        )
+        end = t + phase
+        if on:
+            arrival = t + rng.expovariate(on_rate)
+            while arrival < min(end, horizon):
+                yield int(arrival)
+                arrival += rng.expovariate(on_rate)
+        t = end
+        on = not on
+
+
+_GENERATORS = {
+    "poisson": _poisson_arrivals,
+    "diurnal": _diurnal_arrivals,
+    "bursty": _bursty_arrivals,
+}
+
+
+def generate_jobs(spec: TrafficSpec) -> list[Job]:
+    """The full, deterministic job stream of one traffic spec.
+
+    Jobs are globally sorted by ``(arrival_cycle, tenant_id)`` and numbered
+    in that order, so ``job_id`` is also the farm-wide FCFS order.
+    """
+    raw: list[tuple[int, int, int]] = []
+    for tenant in spec.tenants:
+        rng = _tenant_rng(spec, tenant)
+        generator = _GENERATORS[tenant.pattern]
+        for arrival in generator(rng, tenant, spec.duration_cycles):
+            raw.append((arrival, tenant.tenant_id, tenant.service))
+    raw.sort()
+    return [
+        Job(arrival_cycle=arrival, job_id=index, tenant_id=tenant_id, service=service)
+        for index, (arrival, tenant_id, service) in enumerate(raw)
+    ]

@@ -20,7 +20,6 @@ configured bandwidth); the ablation benchmark documents this.
 from __future__ import annotations
 
 import heapq
-import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -35,8 +34,8 @@ from repro.hw.ddr import Ddr
 from repro.iau.context import JobRecord
 from repro.iau.unit import Iau
 from repro.obs.bus import EventBus
-from repro.obs.config import ObsConfig, resolve_obs_config
-from repro.runtime.system import ArrivalPolicy
+from repro.obs.config import ObsConfig
+from repro.runtime.system import ArrivalPolicy, SubmitSurface
 
 PLACEMENTS = ("static", "least-loaded")
 
@@ -55,7 +54,7 @@ class _TaskBinding:
     static_core: int | None
 
 
-class MultiCoreSystem:
+class MultiCoreSystem(SubmitSurface):
     """N independent (core, IAU) pairs behind one job dispatcher."""
 
     def __init__(
@@ -64,7 +63,6 @@ class MultiCoreSystem:
         num_cores: int,
         iau_mode: str = "virtual",
         placement: str = "static",
-        functional: bool | None = None,
         *,
         obs: ObsConfig | None = None,
         faults: "FaultPlan | None" = None,
@@ -75,9 +73,7 @@ class MultiCoreSystem:
             raise SchedulerError(f"placement must be one of {PLACEMENTS}")
         self.config = config
         self.placement = placement
-        self.obs = resolve_obs_config(
-            obs, functional, None, owner="MultiCoreSystem", default_functional=False
-        )
+        self.obs = obs if obs is not None else ObsConfig()
         # All cores share one bus; each IAU tags its events with a scope so
         # exporters can separate the per-core streams.
         self.bus: EventBus | None = (
@@ -101,6 +97,8 @@ class MultiCoreSystem:
         self._bindings: dict[int, _TaskBinding] = {}
         self._requests: list[_Request] = []
         self._sequence = 0
+        #: Undispatched requests per task (keeps NOW_IF_FREE O(cores)).
+        self._pending: dict[int, int] = {}
 
     @property
     def num_cores(self) -> int:
@@ -144,69 +142,42 @@ class MultiCoreSystem:
         self._bindings[task_id] = _TaskBinding(
             compiled=compiled, vi_mode=vi_mode, static_core=core
         )
+        self._pending[task_id] = 0
 
-    def submit(
-        self,
-        task_id: int,
-        at_cycle: int = 0,
-        *,
-        policy: ArrivalPolicy = ArrivalPolicy.AT,
-        period_cycles: int | None = None,
-        count: int | None = None,
-    ) -> bool:
-        """Schedule inference request(s); same surface as the single-core
-        :meth:`repro.runtime.system.MultiTaskSystem.submit`.
+    # -- request injection (submit() inherited from SubmitSurface) ------------
+    #
+    # Same ArrivalPolicy surface as the single-core MultiTaskSystem,
+    # NOW_IF_FREE included: the dispatcher's "now" is the slowest core's
+    # clock, and a task counts as busy while any core holds queued, active,
+    # or undispatched work for it.
 
-        ``NOW_IF_FREE`` is not meaningful before dispatch-time placement is
-        known, so it is rejected here.
-        """
-        if task_id not in self._bindings:
-            raise SchedulerError(f"no task attached at slot {task_id}")
-        if policy is ArrivalPolicy.AT:
-            if period_cycles is not None or count is not None:
-                raise SchedulerError("period_cycles/count require policy=PERIODIC")
-            self._schedule(task_id, at_cycle)
+    def _has_task(self, task_id: int) -> bool:
+        return task_id in self._bindings
+
+    def _submit_clock(self) -> int:
+        return min(core.clock for core in self.cores)
+
+    def _task_busy(self, task_id: int) -> bool:
+        if self._pending[task_id]:
             return True
-        if policy is ArrivalPolicy.PERIODIC:
-            if period_cycles is None or count is None:
-                raise SchedulerError("policy=PERIODIC requires period_cycles and count")
-            if period_cycles <= 0:
-                raise SchedulerError(f"period must be positive, got {period_cycles}")
-            if count <= 0:
-                raise SchedulerError(f"count must be positive, got {count}")
-            for index in range(count):
-                self._schedule(task_id, at_cycle + index * period_cycles)
-            return True
-        raise SchedulerError(f"arrival policy {policy!r} is not supported on MultiCoreSystem")
+        return any(
+            core.contexts[task_id] is not None and core.contexts[task_id].runnable
+            for core in self.cores
+            if task_id < len(core.contexts)
+        )
 
     def _schedule(self, task_id: int, at_cycle: int) -> None:
         # Same validation surface as the single-core MultiTaskSystem: the
         # dispatcher's "now" is the slowest core's clock — nothing can be
         # back-dated to before it.
-        now = min(core.clock for core in self.cores)
+        now = self._submit_clock()
         if at_cycle < now:
             raise SchedulerError(
                 f"cannot submit in the past (at {at_cycle}, clock {now})"
             )
         heapq.heappush(self._requests, _Request(at_cycle, self._sequence, task_id))
         self._sequence += 1
-
-    def submit_periodic(self, task_id: int, period_cycles: int, count: int, offset: int = 0) -> None:
-        """Deprecated: use ``submit(task_id, offset, policy=ArrivalPolicy.PERIODIC, ...)``."""
-        warnings.warn(
-            "submit_periodic() is deprecated; use "
-            "submit(task_id, offset, policy=ArrivalPolicy.PERIODIC, "
-            "period_cycles=..., count=...)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        self.submit(
-            task_id,
-            offset,
-            policy=ArrivalPolicy.PERIODIC,
-            period_cycles=period_cycles,
-            count=count,
-        )
+        self._pending[task_id] += 1
 
     # -- dispatch ---------------------------------------------------------------
 
@@ -245,6 +216,7 @@ class MultiCoreSystem:
         """Dispatch every request and drain every core; returns max clock."""
         while self._requests:
             request = heapq.heappop(self._requests)
+            self._pending[request.task_id] -= 1
             core = self._choose_core(request.task_id, request.cycle, max_steps)
             self._advance_core_to(core, request.cycle, max_steps)
             core.request(request.task_id, at_cycle=request.cycle)

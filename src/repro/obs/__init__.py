@@ -23,7 +23,7 @@ chrome://tracing JSON, as JSON lines, or as the summary table above.
 """
 
 from repro.obs.bus import CallbackSink, EventBus, ListSink, NullSink, Sink
-from repro.obs.config import ObsConfig, resolve_obs_config
+from repro.obs.config import ObsConfig
 from repro.obs.events import Event, EventKind
 from repro.obs.export import (
     events_to_chrome,
@@ -55,7 +55,6 @@ __all__ = [
     "events_to_jsonl",
     "job_spans",
     "read_jsonl",
-    "resolve_obs_config",
     "ros_spans",
     "summarize",
     "write_chrome_trace_events",

@@ -1,9 +1,9 @@
 """The options object configuring execution + observability.
 
-``ObsConfig`` replaces the bare ``functional: bool`` / ``trace: bool``
+``ObsConfig`` replaced the bare ``functional: bool`` / ``trace: bool``
 constructor flags that used to be threaded through :class:`AcceleratorCore`
-and :class:`MultiTaskSystem` (those booleans still work, with a
-``DeprecationWarning``).  One immutable object now answers every "what
+and :class:`MultiTaskSystem` (the booleans were removed in v2.0 — see the
+README's "Migrating to 2.0").  One immutable object answers every "what
 should this run record?" question:
 
 * ``functional`` — run real int8 arithmetic (vs timing-only);
@@ -17,7 +17,6 @@ should this run record?" question:
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 
 from repro.obs.bus import Sink
@@ -47,48 +46,3 @@ class ObsConfig:
     def full(cls, functional: bool = False) -> ObsConfig:
         """Everything on: events + legacy trace + metrics."""
         return cls(functional=functional, events=True, trace=True, metrics=True)
-
-
-def resolve_obs_config(
-    obs: ObsConfig | None,
-    functional: bool | None,
-    trace: bool | None,
-    *,
-    owner: str,
-    default_functional: bool = False,
-) -> ObsConfig:
-    """Merge the new options object with the deprecated boolean flags.
-
-    Explicitly passed booleans win over ``obs`` (so old call sites behave
-    identically) but raise a :class:`DeprecationWarning` naming the
-    replacement.  ``stacklevel=3`` points at the caller of the constructor
-    that called us.
-    """
-    if functional is None and trace is None:
-        if obs is None:
-            return ObsConfig(functional=default_functional)
-        return obs
-    deprecated = [
-        f"{name}={value}"
-        for name, value in (("functional", functional), ("trace", trace))
-        if value is not None
-    ]
-    warnings.warn(
-        f"{owner}({', '.join(deprecated)}) is deprecated; pass "
-        f"obs=ObsConfig(...) instead",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-    base = obs if obs is not None else ObsConfig(functional=default_functional)
-    replacements: dict[str, bool] = {}
-    if functional is not None:
-        replacements["functional"] = functional
-    if trace is not None:
-        replacements["trace"] = trace
-    return ObsConfig(
-        functional=replacements.get("functional", base.functional),
-        events=base.events,
-        trace=replacements.get("trace", base.trace),
-        metrics=base.metrics,
-        sinks=base.sinks,
-    )

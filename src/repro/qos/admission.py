@@ -22,9 +22,11 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 
-from repro.hw.timing import fetch_cycles, instruction_cycles
+from repro.estimate import estimate_job_cycles
 from repro.obs.events import EventKind
 from repro.qos.config import AdmissionPolicy, QosConfig
+
+__all__ = ["AdmissionController", "AdmissionDenied", "estimate_job_cycles"]
 
 
 @dataclass(frozen=True)
@@ -38,24 +40,6 @@ class AdmissionDenied:
     queue_depth: int
     #: Projected completion overrun in cycles (slack denials only).
     projected_overrun_cycles: int | None = None
-
-
-def estimate_job_cycles(config, compiled, program) -> int:
-    """Static cycle estimate of one uninterrupted job of ``program``.
-
-    Mirrors the simulator's timing model instruction by instruction (fetch
-    for everything, DMA transfer for LOAD/SAVE, MAC-array occupancy for
-    CALC) without touching DDR, so the admission gate can price a job it
-    has not run yet.  Virtual instructions cost their fetch only — exactly
-    what they cost on the uninterrupted path.
-    """
-    total = fetch_cycles(config) * len(program)
-    for instruction in program:
-        if not instruction.is_virtual:
-            total += instruction_cycles(
-                config, instruction, compiled.layer_config(instruction.layer_id)
-            )
-    return total
 
 
 class AdmissionController:

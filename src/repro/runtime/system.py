@@ -14,15 +14,15 @@ Observability is configured with one keyword-only options object::
     print(system.summary())              # per-task text table
 
 Request arrival disciplines are unified behind :meth:`submit` +
-:class:`ArrivalPolicy`; the old ``submit_if_free`` / ``submit_periodic``
-names remain as deprecated wrappers.
+:class:`ArrivalPolicy` (the pre-2.0 ``submit_if_free`` / ``submit_periodic``
+wrappers and the ``functional:`` / ``trace:`` constructor booleans were
+removed in v2.0 — see the README's "Migrating to 2.0").
 """
 
 from __future__ import annotations
 
 import enum
 import heapq
-import warnings
 from dataclasses import dataclass
 
 from repro.accel.core import AcceleratorCore
@@ -37,7 +37,7 @@ from repro.iau.unit import Iau
 from repro.obs.events import EventKind
 from repro.nn.graph import NetworkGraph
 from repro.obs.bus import EventBus
-from repro.obs.config import ObsConfig, resolve_obs_config
+from repro.obs.config import ObsConfig
 from repro.obs.export import summarize
 from repro.obs.metrics import Metrics, MetricsSink
 from repro.obs.spans import Span, job_spans
@@ -69,15 +69,84 @@ class TimedRequest:
     task_id: int
 
 
-class MultiTaskSystem:
+class SubmitSurface:
+    """The :class:`ArrivalPolicy` request-injection surface.
+
+    One implementation shared by :class:`MultiTaskSystem` and
+    :class:`~repro.multicore.system.MultiCoreSystem`: subclasses provide
+    the primitive hooks (attachment check, current clock, per-task
+    busy/pending state, and the actual scheduling of one request) and
+    inherit the full policy surface.
+    """
+
+    def _has_task(self, task_id: int) -> bool:
+        raise NotImplementedError
+
+    def _submit_clock(self) -> int:
+        """The clock a NOW_IF_FREE request is stamped with."""
+        raise NotImplementedError
+
+    def _task_busy(self, task_id: int) -> bool:
+        """Whether the task has work pending, queued, or running."""
+        raise NotImplementedError
+
+    def _schedule(self, task_id: int, at_cycle: int) -> None:
+        raise NotImplementedError
+
+    def submit(
+        self,
+        task_id: int,
+        at_cycle: int = 0,
+        *,
+        policy: ArrivalPolicy = ArrivalPolicy.AT,
+        period_cycles: int | None = None,
+        count: int | None = None,
+    ) -> bool:
+        """Schedule inference request(s) for ``task_id``.
+
+        * ``policy=AT`` (default) — one request at ``at_cycle``;
+        * ``policy=NOW_IF_FREE`` — submit at the current clock unless the
+          task already has work pending or running (returns whether the
+          request was accepted);
+        * ``policy=PERIODIC`` — ``count`` requests ``period_cycles`` apart,
+          the first at ``at_cycle``.
+
+        Returns True when at least one request was scheduled.
+        """
+        if not self._has_task(task_id):
+            raise SchedulerError(f"no task attached at slot {task_id}")
+        if policy is ArrivalPolicy.AT:
+            if period_cycles is not None or count is not None:
+                raise SchedulerError("period_cycles/count require policy=PERIODIC")
+            self._schedule(task_id, at_cycle)
+            return True
+        if policy is ArrivalPolicy.NOW_IF_FREE:
+            if period_cycles is not None or count is not None:
+                raise SchedulerError("period_cycles/count require policy=PERIODIC")
+            if self._task_busy(task_id):
+                return False
+            self._schedule(task_id, self._submit_clock())
+            return True
+        if policy is ArrivalPolicy.PERIODIC:
+            if period_cycles is None or count is None:
+                raise SchedulerError("policy=PERIODIC requires period_cycles and count")
+            if period_cycles <= 0:
+                raise SchedulerError(f"period must be positive, got {period_cycles}")
+            if count <= 0:
+                raise SchedulerError(f"count must be positive, got {count}")
+            for index in range(count):
+                self._schedule(task_id, at_cycle + index * period_cycles)
+            return True
+        raise SchedulerError(f"unknown arrival policy {policy!r}")  # pragma: no cover
+
+
+class MultiTaskSystem(SubmitSurface):
     """One accelerator, up to four prioritised tasks, timed job arrivals."""
 
     def __init__(
         self,
         config: AcceleratorConfig,
         iau_mode: str = "virtual",
-        functional: bool | None = None,
-        trace: bool | None = None,
         *,
         obs: ObsConfig | None = None,
         faults: FaultPlan | None = None,
@@ -85,9 +154,7 @@ class MultiTaskSystem:
         qos: QosConfig | None = None,
     ):
         self.config = config
-        self.obs = resolve_obs_config(
-            obs, functional, trace, owner="MultiTaskSystem", default_functional=False
-        )
+        self.obs = obs if obs is not None else ObsConfig()
         self.ddr = Ddr()
 
         self.bus: EventBus | None = None
@@ -176,53 +243,16 @@ class MultiTaskSystem:
         if self.monitor is not None:
             self.monitor.expect_deadline(task_id, cycles)
 
-    # -- request injection ----------------------------------------------------
+    # -- request injection (submit() inherited from SubmitSurface) -----------
 
-    def submit(
-        self,
-        task_id: int,
-        at_cycle: int = 0,
-        *,
-        policy: ArrivalPolicy = ArrivalPolicy.AT,
-        period_cycles: int | None = None,
-        count: int | None = None,
-    ) -> bool:
-        """Schedule inference request(s) for ``task_id``.
+    def _has_task(self, task_id: int) -> bool:
+        return task_id in self._task_ids
 
-        * ``policy=AT`` (default) — one request at ``at_cycle``;
-        * ``policy=NOW_IF_FREE`` — submit at the current clock unless the
-          task already has work pending or running (returns whether the
-          request was accepted);
-        * ``policy=PERIODIC`` — ``count`` requests ``period_cycles`` apart,
-          the first at ``at_cycle``.
+    def _submit_clock(self) -> int:
+        return self.iau.clock
 
-        Returns True when at least one request was scheduled.
-        """
-        if task_id not in self._task_ids:
-            raise SchedulerError(f"no task attached at slot {task_id}")
-        if policy is ArrivalPolicy.AT:
-            if period_cycles is not None or count is not None:
-                raise SchedulerError("period_cycles/count require policy=PERIODIC")
-            self._schedule(task_id, at_cycle)
-            return True
-        if policy is ArrivalPolicy.NOW_IF_FREE:
-            if period_cycles is not None or count is not None:
-                raise SchedulerError("period_cycles/count require policy=PERIODIC")
-            if self.iau.context(task_id).runnable or self._pending[task_id]:
-                return False
-            self._schedule(task_id, self.iau.clock)
-            return True
-        if policy is ArrivalPolicy.PERIODIC:
-            if period_cycles is None or count is None:
-                raise SchedulerError("policy=PERIODIC requires period_cycles and count")
-            if period_cycles <= 0:
-                raise SchedulerError(f"period must be positive, got {period_cycles}")
-            if count <= 0:
-                raise SchedulerError(f"count must be positive, got {count}")
-            for index in range(count):
-                self._schedule(task_id, at_cycle + index * period_cycles)
-            return True
-        raise SchedulerError(f"unknown arrival policy {policy!r}")  # pragma: no cover
+    def _task_busy(self, task_id: int) -> bool:
+        return bool(self.iau.context(task_id).runnable or self._pending[task_id])
 
     def _schedule(self, task_id: int, at_cycle: int) -> None:
         if at_cycle < self.iau.clock:
@@ -232,33 +262,6 @@ class MultiTaskSystem:
         heapq.heappush(self._requests, TimedRequest(at_cycle, self._sequence, task_id))
         self._sequence += 1
         self._pending[task_id] += 1
-
-    def submit_if_free(self, task_id: int) -> bool:
-        """Deprecated: use ``submit(task_id, policy=ArrivalPolicy.NOW_IF_FREE)``."""
-        warnings.warn(
-            "submit_if_free() is deprecated; use "
-            "submit(task_id, policy=ArrivalPolicy.NOW_IF_FREE)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.submit(task_id, policy=ArrivalPolicy.NOW_IF_FREE)
-
-    def submit_periodic(self, task_id: int, period_cycles: int, count: int, offset: int = 0) -> None:
-        """Deprecated: use ``submit(task_id, offset, policy=ArrivalPolicy.PERIODIC, ...)``."""
-        warnings.warn(
-            "submit_periodic() is deprecated; use "
-            "submit(task_id, offset, policy=ArrivalPolicy.PERIODIC, "
-            "period_cycles=..., count=...)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        self.submit(
-            task_id,
-            offset,
-            policy=ArrivalPolicy.PERIODIC,
-            period_cycles=period_cycles,
-            count=count,
-        )
 
     # -- simulation ---------------------------------------------------------------
 

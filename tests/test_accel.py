@@ -11,6 +11,7 @@ from repro.errors import ExecutionError
 from repro.isa.instructions import Instruction
 from repro.isa.opcodes import Opcode
 from repro.nn import GraphBuilder, TensorShape
+from repro.obs import ObsConfig
 
 from tests.conftest import random_input
 
@@ -123,7 +124,7 @@ class TestRunResult:
 class TestCorePolicing:
     def test_calc_without_load_rejected(self, tiny_conv_compiled):
         core = AcceleratorCore(
-            tiny_conv_compiled.config, tiny_conv_compiled.layout.ddr, functional=False
+            tiny_conv_compiled.config, tiny_conv_compiled.layout.ddr, obs=ObsConfig()
         )
         program = tiny_conv_compiled.programs["none"]
         calc = next(ins for ins in program if ins.is_calc)
@@ -133,7 +134,7 @@ class TestCorePolicing:
 
     def test_calc_without_weights_rejected(self, tiny_conv_compiled):
         core = AcceleratorCore(
-            tiny_conv_compiled.config, tiny_conv_compiled.layout.ddr, functional=False
+            tiny_conv_compiled.config, tiny_conv_compiled.layout.ddr, obs=ObsConfig()
         )
         program = tiny_conv_compiled.programs["none"]
         load_d = next(ins for ins in program if ins.opcode == Opcode.LOAD_D)
@@ -145,7 +146,7 @@ class TestCorePolicing:
 
     def test_virtual_opcode_rejected(self, tiny_conv_compiled):
         core = AcceleratorCore(
-            tiny_conv_compiled.config, tiny_conv_compiled.layout.ddr, functional=False
+            tiny_conv_compiled.config, tiny_conv_compiled.layout.ddr, obs=ObsConfig()
         )
         layer = tiny_conv_compiled.layer_configs[0]
         with pytest.raises(ExecutionError):
@@ -155,7 +156,7 @@ class TestCorePolicing:
 
     def test_oversized_load_rejected(self, tiny_conv_compiled):
         core = AcceleratorCore(
-            tiny_conv_compiled.config, tiny_conv_compiled.layout.ddr, functional=False
+            tiny_conv_compiled.config, tiny_conv_compiled.layout.ddr, obs=ObsConfig()
         )
         layer = tiny_conv_compiled.layer_configs[0]
         huge = Instruction(
@@ -170,7 +171,7 @@ class TestCorePolicing:
 
     def test_save_without_finalized_results_rejected(self, tiny_conv_compiled):
         core = AcceleratorCore(
-            tiny_conv_compiled.config, tiny_conv_compiled.layout.ddr, functional=False
+            tiny_conv_compiled.config, tiny_conv_compiled.layout.ddr, obs=ObsConfig()
         )
         program = tiny_conv_compiled.programs["none"]
         save = next(ins for ins in program if ins.opcode == Opcode.SAVE)
@@ -181,7 +182,7 @@ class TestCorePolicing:
     def test_invalidate_forces_reload(self, tiny_conv_compiled):
         """After an invalidate (= task switch), CALC must fail until LOAD_D."""
         core = AcceleratorCore(
-            tiny_conv_compiled.config, tiny_conv_compiled.layout.ddr, functional=False
+            tiny_conv_compiled.config, tiny_conv_compiled.layout.ddr, obs=ObsConfig()
         )
         program = tiny_conv_compiled.programs["none"]
         layer = tiny_conv_compiled.layer_configs[0]
@@ -198,7 +199,7 @@ class TestCorePolicing:
 
     def test_snapshot_restore_roundtrip(self, tiny_conv_compiled):
         core = AcceleratorCore(
-            tiny_conv_compiled.config, tiny_conv_compiled.layout.ddr, functional=False
+            tiny_conv_compiled.config, tiny_conv_compiled.layout.ddr, obs=ObsConfig()
         )
         program = tiny_conv_compiled.programs["none"]
         layer = tiny_conv_compiled.layer_configs[0]
@@ -218,7 +219,7 @@ class TestCorePolicing:
     def test_stats_accumulate(self, tiny_conv_compiled):
         trace = ExecutionTrace()
         core = AcceleratorCore(
-            tiny_conv_compiled.config, tiny_conv_compiled.layout.ddr, functional=False
+            tiny_conv_compiled.config, tiny_conv_compiled.layout.ddr, obs=ObsConfig()
         )
         program = tiny_conv_compiled.programs["none"]
         for instruction in program:

@@ -8,6 +8,7 @@ from hypothesis import strategies as st
 from repro.analysis.charts import bar_chart, grouped_bar_chart
 from repro.errors import IsaError, SchedulerError
 from repro.isa.encoding import INSTRUCTION_BYTES, decode_instruction
+from repro.runtime.system import ArrivalPolicy
 
 
 class TestBarChart:
@@ -58,14 +59,14 @@ class TestBarChart:
             grouped_bar_chart(["a", "b"], {"s": [1.0]})
 
 
-class TestSubmitIfFree:
+class TestNowIfFree:
     def test_accepts_when_idle(self, tiny_pair):
         from repro.runtime import MultiTaskSystem
 
         low, _ = tiny_pair
-        system = MultiTaskSystem(low.config, functional=False)
+        system = MultiTaskSystem(low.config)
         system.add_task(1, low)
-        assert system.submit_if_free(1) is True
+        assert system.submit(1, policy=ArrivalPolicy.NOW_IF_FREE) is True
         system.run()
         assert len(system.jobs(1)) == 1
 
@@ -73,11 +74,11 @@ class TestSubmitIfFree:
         from repro.runtime import MultiTaskSystem
 
         low, _ = tiny_pair
-        system = MultiTaskSystem(low.config, functional=False)
+        system = MultiTaskSystem(low.config)
         system.add_task(1, low)
-        assert system.submit_if_free(1) is True
+        assert system.submit(1, policy=ArrivalPolicy.NOW_IF_FREE) is True
         # The first request hasn't been delivered/started: the second drops.
-        assert system.submit_if_free(1) is False
+        assert system.submit(1, policy=ArrivalPolicy.NOW_IF_FREE) is False
         system.run()
         assert len(system.jobs(1)) == 1
 
@@ -87,17 +88,17 @@ class TestSubmitIfFree:
         low, _ = tiny_pair
         system = MultiTaskSystem(low.config)
         with pytest.raises(SchedulerError):
-            system.submit_if_free(3)
+            system.submit(3, policy=ArrivalPolicy.NOW_IF_FREE)
 
     def test_free_again_after_completion(self, tiny_pair):
         from repro.runtime import MultiTaskSystem
 
         low, _ = tiny_pair
-        system = MultiTaskSystem(low.config, functional=False)
+        system = MultiTaskSystem(low.config)
         system.add_task(1, low)
-        system.submit_if_free(1)
+        system.submit(1, policy=ArrivalPolicy.NOW_IF_FREE)
         system.run()
-        assert system.submit_if_free(1) is True
+        assert system.submit(1, policy=ArrivalPolicy.NOW_IF_FREE) is True
         system.run()
         assert len(system.jobs(1)) == 2
 

@@ -5,6 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.nn import TensorShape
+from repro.obs import ObsConfig
 from repro.nn.stats import conv_layer_stats, is_depthwise, is_pointwise
 from repro.zoo import build_mobilenet_v1
 
@@ -74,7 +75,7 @@ class TestVirLoadWPath:
             ddr.adopt(region)
         for region in high.layout.ddr.regions():
             ddr.adopt(region)
-        core = AcceleratorCore(example_config, ddr, functional=False)
+        core = AcceleratorCore(example_config, ddr, obs=ObsConfig())
         iau = Iau(core)
         context = iau.attach_task(1, low, vi_mode="vi")
         context.program = program  # swap in the hand-built stream
@@ -99,7 +100,7 @@ class TestMulticoreEquivalenceProperty:
 
         low, high = tiny_pair
 
-        single = MultiTaskSystem(low.config, functional=False)
+        single = MultiTaskSystem(low.config)
         single.add_task(0, high)
         single.add_task(1, low)
         single.submit(1, 0)
@@ -135,7 +136,7 @@ class TestProgramEdgeCases:
         from repro.runtime import MultiTaskSystem
 
         low, high = tiny_pair
-        system = MultiTaskSystem(low.config, functional=False, trace=True)
+        system = MultiTaskSystem(low.config, obs=ObsConfig(trace=True))
         system.add_task(0, high)
         system.add_task(1, low)
         system.submit(1, 0)
@@ -150,7 +151,7 @@ class TestProgramEdgeCases:
         from repro.runtime import MultiTaskSystem
 
         low, _ = tiny_pair
-        system = MultiTaskSystem(low.config, functional=False, trace=True)
+        system = MultiTaskSystem(low.config, obs=ObsConfig(trace=True))
         system.add_task(1, low)
         system.submit(1, 0)
         system.run()

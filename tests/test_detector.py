@@ -78,7 +78,7 @@ class TestThreeTenantScheduling:
             example_config,
             weights="zeros",
         )
-        system = MultiTaskSystem(example_config, functional=False)
+        system = MultiTaskSystem(example_config)
         system.add_task(FE_TASK, fe)
         system.add_task(PR_TASK, pr)
         system.add_task(DETECTOR_TASK, det)
@@ -118,7 +118,7 @@ class TestThreeTenantScheduling:
         fe, det = compile_tasks(
             [build_tiny_conv(), build_tiny_cnn()], example_config, weights="zeros"
         )
-        system = MultiTaskSystem(example_config, functional=False)
+        system = MultiTaskSystem(example_config)
         system.add_task(0, fe)
         system.add_task(DETECTOR_TASK, det)
         system.submit(DETECTOR_TASK, 0)

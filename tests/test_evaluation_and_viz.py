@@ -95,7 +95,7 @@ class TestPostprocessingTiming:
         from repro.zoo import build_tiny_conv
 
         (fe,) = compile_tasks([build_tiny_conv()], example_config, weights="zeros")
-        system = MultiTaskSystem(example_config, functional=False)
+        system = MultiTaskSystem(example_config)
         system.add_task(FE_TASK, fe)
         executor = Executor(system)
         world = World.generate(WorldConfig())

@@ -1,0 +1,330 @@
+"""The accelerator farm: traffic determinism, scheduler conformance,
+dispatch/measure agreement, process-sharded equivalence, per-node obs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import RemainingCycles, estimate_job_cycles
+from repro.analysis.design_space import default_design_grid
+from repro.errors import SchedulerError
+from repro.farm import (
+    Farm,
+    FarmView,
+    FcfsScheduler,
+    PredictiveScheduler,
+    Scheduler,
+    ServiceSpec,
+    SloClass,
+    StaticPartitionScheduler,
+    TenantSpec,
+    TrafficSpec,
+    generate_jobs,
+    percentile,
+)
+from repro.obs import EventKind, ObsConfig
+
+GOLD = SloClass("gold", rank=0, weight=8.0, deadline_cycles=100_000)
+SILVER = SloClass("silver", rank=1, weight=3.0, deadline_cycles=400_000)
+BRONZE = SloClass("bronze", rank=2, weight=1.0, deadline_cycles=2_000_000)
+
+SERVICES = (
+    ServiceSpec("detect", "tiny_conv", GOLD),
+    ServiceSpec("track", "tiny_residual", SILVER),
+    ServiceSpec("embed", "tiny_cnn", BRONZE),
+)
+
+SCHEDULERS = [FcfsScheduler, StaticPartitionScheduler, PredictiveScheduler]
+
+
+def small_spec(seed=42, duration=1_000_000, patterns=("poisson", "bursty", "diurnal")):
+    tenants = tuple(
+        TenantSpec(
+            i,
+            service=i % len(SERVICES),
+            mean_interarrival_cycles=30_000,
+            pattern=patterns[i % len(patterns)],
+        )
+        for i in range(6)
+    )
+    return TrafficSpec(tenants=tenants, duration_cycles=duration, seed=seed)
+
+
+@pytest.fixture(scope="module")
+def small_jobs():
+    return generate_jobs(small_spec())
+
+
+class TestTraffic:
+    def test_same_seed_same_stream(self):
+        assert generate_jobs(small_spec(seed=7)) == generate_jobs(small_spec(seed=7))
+
+    def test_different_seed_different_stream(self):
+        assert generate_jobs(small_spec(seed=7)) != generate_jobs(small_spec(seed=8))
+
+    def test_jobs_sorted_and_numbered(self, small_jobs):
+        arrivals = [job.arrival_cycle for job in small_jobs]
+        assert arrivals == sorted(arrivals)
+        assert [job.job_id for job in small_jobs] == list(range(len(small_jobs)))
+        assert all(0 <= job.arrival_cycle < 1_000_000 for job in small_jobs)
+
+    def test_tenant_streams_are_independent(self):
+        """Removing one tenant never perturbs another tenant's arrivals."""
+        full = generate_jobs(small_spec())
+        spec = small_spec()
+        reduced = generate_jobs(
+            TrafficSpec(
+                tenants=spec.tenants[:-1],
+                duration_cycles=spec.duration_cycles,
+                seed=spec.seed,
+            )
+        )
+        survivor_ids = {tenant.tenant_id for tenant in spec.tenants[:-1]}
+        kept = [
+            (job.arrival_cycle, job.tenant_id)
+            for job in full
+            if job.tenant_id in survivor_ids
+        ]
+        assert kept == [(job.arrival_cycle, job.tenant_id) for job in reduced]
+
+    def test_poisson_mean_rate(self):
+        """Long-run arrival count tracks duration/mean within a loose CI."""
+        spec = TrafficSpec(
+            tenants=(TenantSpec(0, service=0, mean_interarrival_cycles=10_000),),
+            duration_cycles=50_000_000,
+            seed=11,
+        )
+        count = len(generate_jobs(spec))
+        expected = 5_000
+        assert 0.9 * expected < count < 1.1 * expected
+
+    def test_bursty_preserves_mean_but_clusters(self):
+        base = dict(service=0, mean_interarrival_cycles=10_000)
+        duration = 50_000_000
+        poisson = generate_jobs(
+            TrafficSpec((TenantSpec(0, **base),), duration, seed=5)
+        )
+        bursty = generate_jobs(
+            TrafficSpec(
+                (TenantSpec(0, pattern="bursty", **base),), duration, seed=5
+            )
+        )
+        # Same long-run mean (within tolerance)...
+        assert 0.75 * len(poisson) < len(bursty) < 1.25 * len(poisson)
+        # ...but burstier: higher variance of arrivals per window.
+        def window_variance(jobs, window=1_000_000):
+            counts = {}
+            for job in jobs:
+                counts[job.arrival_cycle // window] = (
+                    counts.get(job.arrival_cycle // window, 0) + 1
+                )
+            values = [counts.get(i, 0) for i in range(duration // window)]
+            mean = sum(values) / len(values)
+            return sum((v - mean) ** 2 for v in values) / len(values)
+
+        assert window_variance(bursty) > 2 * window_variance(poisson)
+
+    def test_diurnal_rate_swings(self):
+        tenant = TenantSpec(
+            0,
+            service=0,
+            mean_interarrival_cycles=10_000,
+            pattern="diurnal",
+            diurnal_depth=0.9,
+            diurnal_period_cycles=10_000_000,
+        )
+        jobs = generate_jobs(TrafficSpec((tenant,), 10_000_000, seed=13))
+        # First half-period rides the sinusoid's positive lobe.
+        first = sum(1 for job in jobs if job.arrival_cycle < 5_000_000)
+        second = len(jobs) - first
+        assert first > 1.5 * second
+
+    def test_validation(self):
+        with pytest.raises(SchedulerError):
+            TenantSpec(0, service=0, mean_interarrival_cycles=0)
+        with pytest.raises(SchedulerError):
+            TenantSpec(0, service=0, mean_interarrival_cycles=1.0, pattern="chaotic")
+        with pytest.raises(SchedulerError):
+            SloClass("bad", rank=0, weight=0.0, deadline_cycles=1)
+        with pytest.raises(SchedulerError):
+            TrafficSpec(
+                tenants=(
+                    TenantSpec(0, service=0, mean_interarrival_cycles=1.0),
+                    TenantSpec(0, service=1, mean_interarrival_cycles=1.0),
+                ),
+                duration_cycles=10,
+            )
+
+
+class TestSchedulerConformance:
+    @pytest.fixture(scope="class")
+    def farm_view(self):
+        farm = Farm(default_design_grid(), SERVICES, FcfsScheduler())
+        return farm.view
+
+    @pytest.mark.parametrize("scheduler_cls", SCHEDULERS)
+    def test_protocol(self, scheduler_cls):
+        assert isinstance(scheduler_cls(), Scheduler)
+
+    @pytest.mark.parametrize("scheduler_cls", SCHEDULERS)
+    def test_every_job_dispatched_once(self, scheduler_cls, small_jobs, farm_view):
+        plan = scheduler_cls().dispatch(small_jobs, farm_view)
+        assert sorted(d.job.job_id for d in plan) == [j.job_id for j in small_jobs]
+
+    @pytest.mark.parametrize("scheduler_cls", SCHEDULERS)
+    def test_no_time_travel(self, scheduler_cls, small_jobs, farm_view):
+        for dispatch in scheduler_cls().dispatch(small_jobs, farm_view):
+            assert dispatch.dispatch_cycle >= dispatch.job.arrival_cycle
+            assert 0 <= dispatch.node < farm_view.num_nodes
+
+    @pytest.mark.parametrize("scheduler_cls", SCHEDULERS)
+    def test_plan_is_deterministic(self, scheduler_cls, small_jobs, farm_view):
+        first = scheduler_cls().dispatch(small_jobs, farm_view)
+        second = scheduler_cls().dispatch(small_jobs, farm_view)
+        assert first == second
+
+    def test_static_partition_pins_services(self, small_jobs, farm_view):
+        for dispatch in StaticPartitionScheduler().dispatch(small_jobs, farm_view):
+            assert dispatch.node == dispatch.job.service % farm_view.num_nodes
+
+    def test_fcfs_never_reorders(self, small_jobs, farm_view):
+        plan = FcfsScheduler().dispatch(small_jobs, farm_view)
+        assert [d.job.job_id for d in plan] == [j.job_id for j in small_jobs]
+
+
+class TestFarmServing:
+    @pytest.mark.parametrize("scheduler_cls", SCHEDULERS)
+    def test_every_job_completes(self, scheduler_cls, small_jobs):
+        farm = Farm(default_design_grid(), SERVICES, scheduler_cls())
+        result = farm.serve(small_jobs)
+        assert result.report.total_jobs == len(small_jobs)
+        for outcome in result.outcomes:
+            assert outcome.complete_cycle > outcome.arrival_cycle
+            assert outcome.dispatch_cycle >= outcome.arrival_cycle
+
+    def test_serial_equals_parallel(self, small_jobs):
+        farm = Farm(default_design_grid(), SERVICES, PredictiveScheduler())
+        serial = farm.serve(small_jobs)
+        parallel = farm.serve(small_jobs, max_workers=4)
+        assert serial.outcomes == parallel.outcomes
+
+    def test_single_uncontended_job_matches_estimate(self):
+        """With no contention, measured latency == the static estimate."""
+        farm = Farm(default_design_grid()[:1], SERVICES, FcfsScheduler())
+        jobs = generate_jobs(
+            TrafficSpec(
+                tenants=(TenantSpec(0, service=0, mean_interarrival_cycles=10.0),),
+                duration_cycles=30,
+                seed=1,
+            )
+        )[:1]
+        result = farm.serve(jobs)
+        outcome = result.outcomes[0]
+        expected = farm.estimate(0, 0)
+        assert outcome.complete_cycle - outcome.dispatch_cycle == expected
+
+    def test_obs_per_node(self, small_jobs):
+        farm = Farm(
+            default_design_grid()[:2],
+            SERVICES,
+            FcfsScheduler(),
+            obs=ObsConfig(events=True),
+        )
+        result = farm.serve(small_jobs[:40])
+        assert farm.node_systems is not None
+        completions = sum(
+            len(system.bus.of_kind(EventKind.JOB_COMPLETE))
+            for system in farm.node_systems
+        )
+        assert completions == len(result.outcomes)
+
+    def test_obs_requires_serial(self, small_jobs):
+        farm = Farm(
+            default_design_grid()[:2],
+            SERVICES,
+            FcfsScheduler(),
+            obs=ObsConfig(events=True),
+        )
+        with pytest.raises(SchedulerError, match="serial"):
+            farm.serve(small_jobs[:10], max_workers=2)
+
+    def test_rejects_too_many_services(self):
+        too_many = tuple(
+            ServiceSpec(f"s{i}", "tiny_conv", BRONZE) for i in range(5)
+        )
+        with pytest.raises(SchedulerError, match="at most"):
+            Farm(default_design_grid(), too_many, FcfsScheduler())
+
+    def test_report_lookup_and_format(self, small_jobs):
+        farm = Farm(default_design_grid(), SERVICES, PredictiveScheduler())
+        report = farm.serve(small_jobs).report
+        assert report.by_class("gold").slo is GOLD
+        text = report.format()
+        assert "gold" in text and "overall" in text
+        with pytest.raises(SchedulerError):
+            report.by_class("platinum")
+
+
+class TestEstimatorApi:
+    def test_remaining_cycles_matches_estimate(self, tiny_cnn_compiled):
+        program = tiny_cnn_compiled.program_for("vi")
+        estimate = estimate_job_cycles(
+            tiny_cnn_compiled.config, tiny_cnn_compiled, program
+        )
+        predictor = RemainingCycles(tiny_cnn_compiled, program)
+        assert predictor.total_cycles == estimate
+        assert predictor.remaining(0) == estimate
+        assert predictor.remaining(len(program)) == 0
+        assert predictor.elapsed(0) == 0
+        assert predictor.completed_fraction(len(program)) == 1.0
+        mid = len(program) // 2
+        assert predictor.elapsed(mid) + predictor.remaining(mid) == estimate
+
+    def test_remaining_cycles_bounds_checked(self, tiny_cnn_compiled):
+        predictor = RemainingCycles(tiny_cnn_compiled)
+        with pytest.raises(SchedulerError):
+            predictor.elapsed(len(predictor) + 1)
+        with pytest.raises(SchedulerError):
+            predictor.elapsed(-1)
+
+    def test_top_level_exports(self):
+        import repro
+
+        assert "estimate_job_cycles" in repro.__all__
+        assert "RemainingCycles" in repro.__all__
+
+    def test_farm_view_uses_the_estimator(self):
+        farm = Farm(default_design_grid(), SERVICES, FcfsScheduler())
+        grid = default_design_grid()
+        # Faster/wider designs never estimate slower than the small one.
+        for service in range(len(SERVICES)):
+            small_est = farm.estimate(0, service)
+            big_est = farm.estimate(1, service)
+            assert big_est <= small_est
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = list(range(1, 101))
+        assert percentile(values, 50) == 50
+        assert percentile(values, 99) == 99
+        assert percentile(values, 100) == 100
+        assert percentile([7], 99) == 7
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(SchedulerError):
+            percentile([], 50)
+        with pytest.raises(SchedulerError):
+            percentile([1], 0)
+
+
+class TestFarmViewValidation:
+    def test_ragged_estimates_rejected(self):
+        with pytest.raises(SchedulerError):
+            FarmView(num_nodes=2, slos=(GOLD,), estimates=[[100]])
+
+    def test_plan_validates_service_range(self, small_jobs):
+        farm = Farm(default_design_grid(), SERVICES[:1], FcfsScheduler())
+        bad = [job for job in small_jobs if job.service > 0][:1]
+        with pytest.raises(SchedulerError, match="service"):
+            farm.plan(bad)

@@ -77,13 +77,13 @@ class TestCorruptedBinaries:
 class TestRuntimeFaults:
     def test_unmapped_ddr_address_caught(self, tiny_conv_compiled):
         core = AcceleratorCore(
-            tiny_conv_compiled.config, tiny_conv_compiled.layout.ddr, functional=True
+            tiny_conv_compiled.config, tiny_conv_compiled.layout.ddr
         )
         layer = tiny_conv_compiled.layer_configs[0]
         from repro.hw.ddr import Ddr
 
         empty = Ddr()
-        rogue_core = AcceleratorCore(tiny_conv_compiled.config, empty, functional=True)
+        rogue_core = AcceleratorCore(tiny_conv_compiled.config, empty)
         load = next(
             ins for ins in tiny_conv_compiled.programs["none"] if ins.opcode == Opcode.LOAD_D
         )
@@ -95,7 +95,7 @@ class TestRuntimeFaults:
         refuses to compute on stale data."""
         program = tiny_cnn_compiled.programs["none"]
         core = AcceleratorCore(
-            tiny_cnn_compiled.config, tiny_cnn_compiled.layout.ddr, functional=False
+            tiny_cnn_compiled.config, tiny_cnn_compiled.layout.ddr, obs=ObsConfig()
         )
         dropped_one = False
         with pytest.raises(ExecutionError):
@@ -112,7 +112,7 @@ class TestRuntimeFaults:
         SAVE coverage check or the buffer bound trips."""
         program = tiny_conv_compiled.programs["none"]
         core = AcceleratorCore(
-            tiny_conv_compiled.config, tiny_conv_compiled.layout.ddr, functional=False
+            tiny_conv_compiled.config, tiny_conv_compiled.layout.ddr, obs=ObsConfig()
         )
         with pytest.raises(ExecutionError):
             for instruction in program:
@@ -127,7 +127,7 @@ class TestRuntimeFaults:
     def test_save_with_wrong_rows_detected(self, tiny_conv_compiled):
         program = tiny_conv_compiled.programs["none"]
         core = AcceleratorCore(
-            tiny_conv_compiled.config, tiny_conv_compiled.layout.ddr, functional=False
+            tiny_conv_compiled.config, tiny_conv_compiled.layout.ddr, obs=ObsConfig()
         )
         from dataclasses import replace
 
@@ -167,7 +167,7 @@ class TestIauFaults:
         ddr = Ddr()
         for region in low.layout.ddr.regions():
             ddr.adopt(region)
-        iau = Iau(AcceleratorCore(low.config, ddr, functional=False))
+        iau = Iau(AcceleratorCore(low.config, ddr, obs=ObsConfig()))
         iau.attach_task(0, low)
         iau.request(0)
         with pytest.raises(IauError):

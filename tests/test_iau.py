@@ -8,6 +8,7 @@ from repro.accel.reference import golden_output
 from repro.errors import IauError
 from repro.hw.ddr import Ddr
 from repro.iau import Iau, MAX_TASKS
+from repro.obs import ObsConfig
 from repro.runtime.system import MultiTaskSystem
 
 from tests.conftest import random_input
@@ -15,7 +16,9 @@ from tests.conftest import random_input
 
 def make_system(pair, iau_mode="virtual", functional=False, vi_mode="vi"):
     low, high = pair
-    system = MultiTaskSystem(low.config, iau_mode=iau_mode, functional=functional)
+    system = MultiTaskSystem(
+        low.config, iau_mode=iau_mode, obs=ObsConfig(functional=functional)
+    )
     system.add_task(0, high, vi_mode=vi_mode)
     system.add_task(1, low, vi_mode=vi_mode)
     return system
@@ -25,28 +28,28 @@ class TestTaskManagement:
     def test_attach_rejects_bad_slot(self, tiny_pair):
         low, _ = tiny_pair
         ddr = Ddr()
-        iau = Iau(AcceleratorCore(low.config, ddr, functional=False))
+        iau = Iau(AcceleratorCore(low.config, ddr, obs=ObsConfig()))
         with pytest.raises(IauError):
             iau.attach_task(MAX_TASKS, low)
 
     def test_attach_rejects_duplicate_slot(self, tiny_pair):
         low, high = tiny_pair
         ddr = Ddr()
-        iau = Iau(AcceleratorCore(low.config, ddr, functional=False))
+        iau = Iau(AcceleratorCore(low.config, ddr, obs=ObsConfig()))
         iau.attach_task(0, low)
         with pytest.raises(IauError):
             iau.attach_task(0, high)
 
     def test_request_unattached_slot_rejected(self, tiny_pair):
         low, _ = tiny_pair
-        iau = Iau(AcceleratorCore(low.config, Ddr(), functional=False))
+        iau = Iau(AcceleratorCore(low.config, Ddr(), obs=ObsConfig()))
         with pytest.raises(IauError):
             iau.request(2)
 
     def test_bad_mode_rejected(self, tiny_pair):
         low, _ = tiny_pair
         with pytest.raises(IauError):
-            Iau(AcceleratorCore(low.config, Ddr(), functional=False), mode="psychic")
+            Iau(AcceleratorCore(low.config, Ddr(), obs=ObsConfig()), mode="psychic")
 
 
 class TestSingleTask:
@@ -162,7 +165,7 @@ class TestPreemption:
             example_config,
             weights="zeros",
         )
-        system = MultiTaskSystem(example_config, functional=False)
+        system = MultiTaskSystem(example_config)
         system.add_task(0, top)
         system.add_task(1, mid)
         system.add_task(2, low)

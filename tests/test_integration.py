@@ -9,6 +9,7 @@ from repro.compiler import compile_network
 from repro.hw.config import AcceleratorConfig
 from repro.isa import Program, validate_program
 from repro.nn import GraphBuilder, TensorShape
+from repro.obs import ObsConfig
 from repro.runtime import MultiTaskSystem
 from repro.zoo import build_superpoint, build_tiny_cnn
 
@@ -47,7 +48,7 @@ class TestDeterminism:
         low, high = tiny_pair
 
         def run_once():
-            system = MultiTaskSystem(low.config, functional=False)
+            system = MultiTaskSystem(low.config)
             system.add_task(0, high)
             system.add_task(1, low)
             system.submit(1, 0)
@@ -82,7 +83,7 @@ class TestMediumNetworkBitExact:
         data = random_input(small_superpoint, seed=100)
         expected = golden_output(small_superpoint, data)
 
-        system = MultiTaskSystem(AcceleratorConfig.big(), functional=True)
+        system = MultiTaskSystem(AcceleratorConfig.big(), obs=ObsConfig(functional=True))
         system.add_task(0, interruptor)
         system.add_task(1, small_superpoint)
         small_superpoint.set_input(data)

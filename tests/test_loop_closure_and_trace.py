@@ -14,6 +14,7 @@ from repro.dslam import (
     perimeter_trajectory,
 )
 from repro.dslam.loop_closure import LoopCloser
+from repro.obs import ObsConfig
 from repro.tools.chrome_trace import trace_to_chrome_events, write_chrome_trace
 from repro.units import Frequency
 
@@ -107,7 +108,7 @@ class TestChromeTrace:
         from repro.runtime import MultiTaskSystem
 
         low, high = tiny_pair
-        system = MultiTaskSystem(low.config, functional=False, trace=True)
+        system = MultiTaskSystem(low.config, obs=ObsConfig(trace=True))
         system.add_task(0, high)
         system.add_task(1, low)
         system.submit(1, 0)

@@ -52,7 +52,7 @@ class TestSingleCoreEquivalence:
         from repro.runtime import MultiTaskSystem
 
         high, low = pair
-        single = MultiTaskSystem(example_config, functional=False)
+        single = MultiTaskSystem(example_config)
         single.add_task(0, high)
         single.add_task(1, low)
         single.submit(1, 0)

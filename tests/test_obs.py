@@ -1,5 +1,5 @@
 """Observability layer: event bus, ObsConfig, spans, metrics, exporters,
-and the deprecated boolean/submit compatibility surface."""
+and the v2.0 removal surface (no deprecated booleans or submit wrappers)."""
 
 from __future__ import annotations
 
@@ -115,34 +115,37 @@ class TestObsConfig:
             warnings.simplefilter("error")
             MultiTaskSystem(low.config, obs=ObsConfig(events=True))
 
-    def test_deprecated_functional_warns_and_behaves(self, tiny_pair):
+    def test_functional_via_obsconfig(self, tiny_pair):
         low, _ = tiny_pair
-        with pytest.warns(DeprecationWarning, match="MultiTaskSystem"):
-            system = MultiTaskSystem(low.config, functional=True)
+        system = MultiTaskSystem(low.config, obs=ObsConfig(functional=True))
         assert system.obs.functional is True
         assert system.bus is None
 
-    def test_deprecated_trace_warns_and_builds_trace(self, tiny_pair):
+    def test_trace_via_obsconfig(self, tiny_pair):
         low, _ = tiny_pair
-        with pytest.warns(DeprecationWarning):
-            system = MultiTaskSystem(low.config, trace=True)
+        system = MultiTaskSystem(low.config, obs=ObsConfig(trace=True))
         assert isinstance(system.trace, ExecutionTrace)
 
-    def test_explicit_boolean_overrides_obs(self, tiny_pair):
+    def test_boolean_flags_removed_in_v2(self, tiny_pair):
+        # The pre-2.0 functional=/trace= constructor booleans are gone, not
+        # silently accepted.
         low, _ = tiny_pair
-        with pytest.warns(DeprecationWarning):
-            system = MultiTaskSystem(
-                low.config, functional=True, obs=ObsConfig(events=True)
-            )
-        assert system.obs.functional is True and system.obs.events is True
+        with pytest.raises(TypeError):
+            MultiTaskSystem(low.config, functional=True)
+        with pytest.raises(TypeError):
+            MultiTaskSystem(low.config, trace=True)
+        with pytest.raises(TypeError):
+            MultiCoreSystem(low.config, num_cores=1, functional=True)
 
-    def test_core_deprecated_functional_warns(self, tiny_pair):
+    def test_core_obsconfig_controls_functional(self, tiny_pair):
         from repro.accel.core import AcceleratorCore
 
         low, _ = tiny_pair
-        with pytest.warns(DeprecationWarning, match="AcceleratorCore"):
-            core = AcceleratorCore(low.config, low.layout.ddr, functional=False)
+        core = AcceleratorCore(low.config, low.layout.ddr, obs=ObsConfig())
         assert core.functional is False
+        # A bare core keeps its historic functional default.
+        bare = AcceleratorCore(low.config, low.layout.ddr)
+        assert bare.functional is True
 
     def test_full_and_off(self):
         assert ObsConfig.full().enabled
@@ -204,8 +207,7 @@ class TestInstrumentedPreemption:
 
     def test_trace_adapter_equals_legacy_trace(self, system, tiny_pair):
         low, high = tiny_pair
-        with pytest.warns(DeprecationWarning):
-            legacy = MultiTaskSystem(low.config, functional=False, trace=True)
+        legacy = MultiTaskSystem(low.config, obs=ObsConfig(trace=True))
         legacy.add_task(0, high)
         legacy.add_task(1, low)
         legacy.submit(1, at_cycle=0)
@@ -315,36 +317,35 @@ class TestSubmitApi:
         with pytest.raises(SchedulerError, match="PERIODIC"):
             system.submit(0, period_cycles=100, count=2)
 
-    def test_deprecated_submit_if_free(self, tiny_pair):
+    def test_submit_wrappers_removed_in_v2(self, tiny_pair):
         system = self.make_system(tiny_pair)
-        with pytest.warns(DeprecationWarning, match="submit_if_free"):
-            assert system.submit_if_free(0) is True
-        with pytest.warns(DeprecationWarning):
-            assert system.submit_if_free(0) is False
+        assert not hasattr(system, "submit_if_free")
+        assert not hasattr(system, "submit_periodic")
+        low, _ = tiny_pair
+        multicore = MultiCoreSystem(low.config, num_cores=1)
+        assert not hasattr(multicore, "submit_periodic")
 
-    def test_deprecated_submit_periodic(self, tiny_pair):
-        system = self.make_system(tiny_pair)
-        with pytest.warns(DeprecationWarning, match="submit_periodic"):
-            system.submit_periodic(0, period_cycles=60_000, count=2)
-        system.run()
-        assert len(system.jobs(0)) == 2
-
-    def test_multicore_periodic_and_deprecated_wrapper(self, tiny_pair):
+    def test_multicore_periodic(self, tiny_pair):
         low, _ = tiny_pair
         system = MultiCoreSystem(low.config, num_cores=1)
         system.add_task(0, low, core=0)
         system.submit(0, policy=ArrivalPolicy.PERIODIC, period_cycles=60_000, count=2)
-        with pytest.warns(DeprecationWarning, match="submit_periodic"):
-            system.submit_periodic(0, period_cycles=60_000, count=1, offset=30_000)
+        system.submit(0, 30_000, policy=ArrivalPolicy.PERIODIC, period_cycles=60_000, count=1)
         system.run()
         assert len(system.jobs(0)) == 3
 
-    def test_multicore_rejects_now_if_free(self, tiny_pair):
+    def test_multicore_now_if_free_parity(self, tiny_pair):
+        # v2.0 parity: the multi-core dispatcher supports the same
+        # NOW_IF_FREE discipline as the single-core system.
         low, _ = tiny_pair
         system = MultiCoreSystem(low.config, num_cores=1)
         system.add_task(0, low, core=0)
-        with pytest.raises(SchedulerError, match="not supported"):
-            system.submit(0, policy=ArrivalPolicy.NOW_IF_FREE)
+        assert system.submit(0, policy=ArrivalPolicy.NOW_IF_FREE) is True
+        assert system.submit(0, policy=ArrivalPolicy.NOW_IF_FREE) is False
+        system.run()
+        assert len(system.jobs(0)) == 1
+        # Drained again: the task is free once more.
+        assert system.submit(0, policy=ArrivalPolicy.NOW_IF_FREE) is True
 
 
 class TestRosEvents:
@@ -389,10 +390,9 @@ class TestMulticoreObservability:
         assert scopes == {"core0", "core1"}
         assert "task" in system.summary()
 
-    def test_multicore_deprecated_functional_warns(self, tiny_pair):
+    def test_multicore_functional_via_obsconfig(self, tiny_pair):
         low, _ = tiny_pair
-        with pytest.warns(DeprecationWarning, match="MultiCoreSystem"):
-            system = MultiCoreSystem(low.config, num_cores=1, functional=True)
+        system = MultiCoreSystem(low.config, num_cores=1, obs=ObsConfig(functional=True))
         assert system.obs.functional is True
 
 

@@ -5,7 +5,7 @@ import pytest
 
 from repro.errors import SchedulerError
 from repro.interrupt import VIRTUAL_INSTRUCTION, run_alone
-from repro.runtime import MultiTaskSystem, compile_tasks, summarize_jobs
+from repro.runtime import ArrivalPolicy, MultiTaskSystem, compile_tasks, summarize_jobs
 from repro.runtime.policies import (
     PeriodicTask,
     is_schedulable,
@@ -81,12 +81,17 @@ class TestAnalysisVsSimulation:
     def run_simulation(self, tasks, hyper_repeats=3):
         """Simulate the periodic set; returns worst measured turnaround."""
         config = tasks[0].compiled.config
-        system = MultiTaskSystem(config, functional=False)
+        system = MultiTaskSystem(config)
         worst = {}
         for slot, task in enumerate(tasks):
             system.add_task(slot, task.compiled, vi_mode="vi")
             count = max(2, hyper_repeats * max(t.period_cycles for t in tasks) // task.period_cycles)
-            system.submit_periodic(slot, task.period_cycles, count=count)
+            system.submit(
+                slot,
+                policy=ArrivalPolicy.PERIODIC,
+                period_cycles=task.period_cycles,
+                count=count,
+            )
         system.run()
         for slot, task in enumerate(tasks):
             stats = summarize_jobs(slot, system.jobs(slot), deadline_cycles=task.period_cycles)

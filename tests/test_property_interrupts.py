@@ -18,6 +18,7 @@ from hypothesis import strategies as st
 
 from repro.accel.reference import golden_output
 from repro.interrupt import CPU_LIKE, LAYER_BY_LAYER, VIRTUAL_INSTRUCTION
+from repro.obs import ObsConfig
 from repro.runtime.system import MultiTaskSystem
 
 from tests.conftest import random_input
@@ -30,7 +31,7 @@ def _run_with_schedule(pair, method, requests, low_seed, high_seed):
     expected_low = golden_output(low, low_input)
     expected_high = golden_output(high, high_input)
 
-    system = MultiTaskSystem(low.config, iau_mode=method.iau_mode, functional=True)
+    system = MultiTaskSystem(low.config, iau_mode=method.iau_mode, obs=ObsConfig(functional=True))
     system.add_task(0, high, vi_mode=method.vi_mode)
     system.add_task(1, low, vi_mode=method.vi_mode)
     low.set_input(low_input)
@@ -85,7 +86,7 @@ def test_completion_order_respects_priority(tiny_pair, request):
     while the low-priority one is still pending (unless it arrived after
     the low task already completed)."""
     low, high = tiny_pair
-    system = MultiTaskSystem(low.config, iau_mode="virtual", functional=False)
+    system = MultiTaskSystem(low.config, iau_mode="virtual")
     system.add_task(0, high, vi_mode="vi")
     system.add_task(1, low, vi_mode="vi")
     system.submit(1, 0)
@@ -106,17 +107,17 @@ def test_extra_cost_is_bounded(tiny_pair, request):
     def total(system):
         return system.run()
 
-    alone_low = MultiTaskSystem(low.config, functional=False)
+    alone_low = MultiTaskSystem(low.config)
     alone_low.add_task(1, low, vi_mode="vi")
     alone_low.submit(1, 0)
     low_cycles = total(alone_low)
 
-    alone_high = MultiTaskSystem(low.config, functional=False)
+    alone_high = MultiTaskSystem(low.config)
     alone_high.add_task(0, high, vi_mode="vi")
     alone_high.submit(0, 0)
     high_cycles = total(alone_high)
 
-    both = MultiTaskSystem(low.config, functional=False)
+    both = MultiTaskSystem(low.config)
     both.add_task(0, high, vi_mode="vi")
     both.add_task(1, low, vi_mode="vi")
     both.submit(1, 0)

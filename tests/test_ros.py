@@ -118,7 +118,7 @@ class TestExecutorEvents:
 class TestExecutorWithAccelerator:
     def test_job_completion_callback(self, tiny_pair):
         low, high = tiny_pair
-        system = MultiTaskSystem(low.config, functional=False)
+        system = MultiTaskSystem(low.config)
         system.add_task(0, high, vi_mode="vi")
         executor = Executor(system)
         done = []
@@ -130,7 +130,7 @@ class TestExecutorWithAccelerator:
 
     def test_completion_handlers_fifo(self, tiny_pair):
         low, high = tiny_pair
-        system = MultiTaskSystem(low.config, functional=False)
+        system = MultiTaskSystem(low.config)
         system.add_task(0, high, vi_mode="vi")
         executor = Executor(system)
         order = []
@@ -141,7 +141,7 @@ class TestExecutorWithAccelerator:
 
     def test_priority_respected_through_executor(self, tiny_pair):
         low, high = tiny_pair
-        system = MultiTaskSystem(low.config, functional=False)
+        system = MultiTaskSystem(low.config)
         system.add_task(0, high, vi_mode="vi")
         system.add_task(1, low, vi_mode="vi")
         executor = Executor(system)
@@ -152,7 +152,7 @@ class TestExecutorWithAccelerator:
 
     def test_request_backdated_to_event_time(self, tiny_pair):
         low, high = tiny_pair
-        system = MultiTaskSystem(low.config, functional=False)
+        system = MultiTaskSystem(low.config)
         system.add_task(0, high, vi_mode="vi")
         system.add_task(1, low, vi_mode="vi")
         executor = Executor(system)

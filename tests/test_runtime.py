@@ -5,7 +5,9 @@ import pytest
 from repro.errors import SchedulerError
 from repro.hw.config import AcceleratorConfig
 from repro.iau.context import JobRecord
+from repro.obs import ObsConfig
 from repro.runtime import (
+    ArrivalPolicy,
     MultiTaskSystem,
     compile_tasks,
     degradation_percent,
@@ -42,7 +44,7 @@ class TestMultiTaskSystem:
 
     def test_submit_in_past_rejected(self, tiny_pair):
         low, high = tiny_pair
-        system = MultiTaskSystem(low.config, functional=False)
+        system = MultiTaskSystem(low.config)
         system.add_task(0, high)
         system.submit(0, 0)
         system.run()
@@ -51,9 +53,9 @@ class TestMultiTaskSystem:
 
     def test_periodic_submission(self, tiny_pair):
         low, high = tiny_pair
-        system = MultiTaskSystem(low.config, functional=False)
+        system = MultiTaskSystem(low.config)
         system.add_task(0, high)
-        system.submit_periodic(0, period_cycles=500_000, count=3)
+        system.submit(0, policy=ArrivalPolicy.PERIODIC, period_cycles=500_000, count=3)
         system.run()
         jobs = system.jobs(0)
         assert len(jobs) == 3
@@ -61,7 +63,7 @@ class TestMultiTaskSystem:
 
     def test_job_index_out_of_range(self, tiny_pair):
         low, high = tiny_pair
-        system = MultiTaskSystem(low.config, functional=False)
+        system = MultiTaskSystem(low.config)
         system.add_task(0, high)
         system.submit(0, 0)
         system.run()
@@ -75,7 +77,7 @@ class TestMultiTaskSystem:
 
     def test_trace_capture(self, tiny_pair):
         low, high = tiny_pair
-        system = MultiTaskSystem(low.config, functional=False, trace=True)
+        system = MultiTaskSystem(low.config, obs=ObsConfig(trace=True))
         system.add_task(0, high)
         system.submit(0, 0)
         system.run()

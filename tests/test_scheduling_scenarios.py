@@ -5,6 +5,7 @@ import pytest
 
 from repro.accel.reference import golden_output
 from repro.multicore import MultiCoreSystem
+from repro.obs import ObsConfig
 from repro.runtime import MultiTaskSystem
 
 from tests.conftest import random_input
@@ -20,7 +21,7 @@ class TestBurstArrivals:
         expected_low = golden_output(low, low_input)
         expected_high = golden_output(high, high_input)
 
-        system = MultiTaskSystem(low.config, functional=True)
+        system = MultiTaskSystem(low.config, obs=ObsConfig(functional=True))
         system.add_task(0, high)
         system.add_task(1, low)
         low.set_input(low_input)
@@ -42,7 +43,7 @@ class TestBurstArrivals:
     def test_request_during_high_task_waits(self, tiny_pair):
         """A high request arriving while another high job runs queues FIFO."""
         low, high = tiny_pair
-        system = MultiTaskSystem(low.config, functional=False)
+        system = MultiTaskSystem(low.config)
         system.add_task(0, high)
         system.add_task(1, low)
         system.submit(0, 0)
@@ -54,7 +55,7 @@ class TestBurstArrivals:
     def test_saturating_low_priority_queue(self, tiny_pair):
         """Many queued low jobs all drain, in order, with high preemptions."""
         low, high = tiny_pair
-        system = MultiTaskSystem(low.config, functional=False)
+        system = MultiTaskSystem(low.config)
         system.add_task(0, high)
         system.add_task(1, low)
         for _ in range(5):

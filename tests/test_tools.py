@@ -6,6 +6,7 @@ import sys
 
 from repro.accel.trace import ExecutionTrace, TraceEvent
 from repro.isa.opcodes import Opcode
+from repro.obs import ObsConfig
 from repro.runtime import MultiTaskSystem
 from repro.tools import (
     disassemble,
@@ -68,7 +69,7 @@ class TestDisassembler:
 class TestTimeline:
     def make_trace(self, tiny_pair):
         low, high = tiny_pair
-        system = MultiTaskSystem(low.config, functional=False, trace=True)
+        system = MultiTaskSystem(low.config, obs=ObsConfig(trace=True))
         system.add_task(0, high)
         system.add_task(1, low)
         system.submit(1, 0)

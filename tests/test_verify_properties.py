@@ -101,7 +101,9 @@ class TestMutationsAreCaught:
     def test_shrunk_data_buffer_fires_buf003(self, data, compiled, context):
         program = compiled.program_for("vi")
         longest = max(ins.length for ins in program if ins.opcode == Opcode.LOAD_D)
-        deficit = data.draw(st.integers(min_value=1, max_value=longest))
+        # A zero-byte buffer is rejected by AcceleratorConfig itself, so the
+        # shrunk-but-valid range stops one byte short of the largest load.
+        deficit = data.draw(st.integers(min_value=1, max_value=longest - 1))
         shrunk = replace(compiled.config, data_buffer_bytes=longest - deficit)
         report = verify_program(
             program,

@@ -5,6 +5,7 @@ import pytest
 from repro.compiler import ViPolicy, compile_network
 from repro.errors import CompileError
 from repro.isa import Opcode, validate_program
+from repro.obs import ObsConfig
 from repro.zoo import build_tiny_cnn
 
 from repro.accel.runner import run_program
@@ -104,7 +105,7 @@ class TestTradeoff:
         )
         low_input = random_input(low, seed=70)
         expected = golden_output(low, low_input)
-        system = MultiTaskSystem(example_config, functional=True)
+        system = MultiTaskSystem(example_config, obs=ObsConfig(functional=True))
         system.add_task(0, high)
         system.add_task(1, low)
         low.set_input(low_input)
