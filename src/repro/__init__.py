@@ -8,7 +8,9 @@ virtual-instruction), a preemptive multi-task runtime, a ROS-like
 discrete-event middleware, a synthetic two-agent DSLAM application, the
 paper's future-work multi-core extension, and a multi-tenant accelerator
 farm (``repro.farm``: heterogeneous nodes, seeded tenant traffic, and a
-PREMA-style predictive scheduler vs FCFS/static-partition baselines).
+PREMA-style predictive scheduler vs FCFS/static-partition baselines), and
+a durable serving gateway (``repro.serve``: journaled jobs, full-system
+snapshot/restore, and kill-9 crash recovery).
 
 Quickstart::
 
@@ -35,7 +37,7 @@ the metrics registry independently.
 from repro.accel.reference import golden_inference, golden_output
 from repro.accel.runner import RunResult, run_program
 from repro.compiler import CompiledNetwork, ViPolicy, compile_network
-from repro.errors import CheckpointError, EccError, FaultError
+from repro.errors import CheckpointError, EccError, FaultError, ServeError, SnapshotError
 from repro.faults import (
     DeadlineMissed,
     DegradationPolicy,
@@ -75,7 +77,7 @@ from repro.verify import (
     wcirl_bound,
 )
 
-__version__ = "2.0.0"
+__version__ = "2.1.0"
 
 __all__ = [
     "AcceleratorConfig",
@@ -108,7 +110,9 @@ __all__ = [
     "RemainingCycles",
     "Report",
     "RunResult",
+    "ServeError",
     "Severity",
+    "SnapshotError",
     "StaticWcirl",
     "TensorShape",
     "VIRTUAL_INSTRUCTION",

@@ -17,7 +17,8 @@ about tasks or interrupts; it executes whatever the IAU hands it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import copy
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -178,6 +179,30 @@ class AcceleratorCore:
         if self.out is not None:
             total += self.out.nbytes
         return total
+
+    # -- snapshot/restore ------------------------------------------------------
+
+    def capture_state(self) -> dict:
+        """Picklable mid-run state: every on-chip buffer + the counters.
+
+        Unlike the CPU-like :meth:`snapshot` (which aliases live tiles to
+        model a hardware spill), this is a *deep* copy that stays valid
+        after the core keeps running — the system-snapshot contract.
+        """
+        return {
+            "buffers": copy.deepcopy(
+                (self.data_tiles, self.weight_tile, self.acc, self.out)
+            ),
+            "stats": replace(self.stats),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore buffers and counters from a captured state (copied, so
+        the same snapshot can be restored more than once)."""
+        self.data_tiles, self.weight_tile, self.acc, self.out = copy.deepcopy(
+            state["buffers"]
+        )
+        self.stats = replace(state["stats"])
 
     # -- execution ---------------------------------------------------------------
 

@@ -75,7 +75,15 @@ class FaultError(IncaError):
 
 
 class CheckpointError(FaultError):
-    """A Vir_SAVE checkpoint failed CRC verification beyond the retry budget."""
+    """A Vir_SAVE checkpoint failed CRC verification beyond the retry budget.
+
+    :attr:`attempts` carries how many verifications were tried before giving
+    up (the budget plus the final failing one).
+    """
+
+    def __init__(self, message: str, *, attempts: int = 0) -> None:
+        super().__init__(message)
+        self.attempts = attempts
 
 
 class EccError(FaultError):
@@ -101,3 +109,11 @@ class InvariantViolation(IncaError):
 
 class DslamError(IncaError):
     """A DSLAM component failed (no landmarks in view, bad trajectory...)."""
+
+
+class ServeError(IncaError):
+    """The durable serving gateway was misused or a job failed terminally."""
+
+
+class SnapshotError(ServeError):
+    """A system snapshot could not be written, read, or restored."""

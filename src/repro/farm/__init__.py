@@ -48,6 +48,7 @@ from repro.farm.node import (
     NodeJobResult,
     ServiceSpec,
     build_node_system,
+    run_assignment,
     simulate_node,
 )
 from repro.farm.scheduler import (
@@ -90,5 +91,6 @@ __all__ = [
     "generate_jobs",
     "join_outcomes",
     "percentile",
+    "run_assignment",
     "simulate_node",
 ]

@@ -164,6 +164,7 @@ class Farm:
         """
         plan = self.plan(jobs)
         assignments = self._assignments(plan)
+        retries = 0
         if max_workers is not None and max_workers > 1:
             if self.obs is not None:
                 raise SchedulerError(
@@ -171,12 +172,70 @@ class Farm:
                     "the worker-process boundary"
                 )
             self.node_systems = None
-            results = self._measure_parallel(assignments, max_workers)
+            results, retries = self._measure_parallel(assignments, max_workers)
         else:
             results = self._measure_serial(assignments)
         outcomes = join_outcomes(list(jobs), results)
         report = build_report(
-            self.scheduler.name, outcomes, [s.slo for s in self.services]
+            self.scheduler.name,
+            outcomes,
+            [s.slo for s in self.services],
+            worker_retries=retries,
+        )
+        return ServeResult(
+            report=report, outcomes=tuple(outcomes), dispatches=tuple(plan)
+        )
+
+    def serve_durable(
+        self,
+        jobs: Sequence[Job],
+        gateway,
+        *,
+        snapshot_every_cycles: int = 50_000,
+        deadline_s: float | None = None,
+        timeout_s: float = 600.0,
+    ) -> ServeResult:
+        """Serve a day through a :class:`~repro.serve.gateway.ServeGateway`.
+
+        Each node assignment becomes one journaled gateway job; workers
+        checkpoint every ``snapshot_every_cycles`` simulated cycles, so a
+        SIGKILLed worker resumes mid-replay instead of starting over.
+        Gateway retries (crash recoveries) surface as ``worker_retries``
+        on the report.  Results are bit-identical to :meth:`serve` — the
+        replay is exact either way.
+        """
+        from repro.serve.worker import JobSpec
+
+        plan = self.plan(jobs)
+        assignments = self._assignments(plan)
+        if self.obs is not None:
+            raise SchedulerError(
+                "durable serving shards across processes: per-node obs "
+                "needs serial serve()"
+            )
+        self.node_systems = None
+        job_ids = [
+            gateway.submit(
+                JobSpec(
+                    assignment=assignment,
+                    snapshot_every_cycles=snapshot_every_cycles,
+                ),
+                deadline_s=deadline_s,
+            )
+            for assignment in assignments
+        ]
+        results: list[NodeJobResult] = []
+        retries = 0
+        for job_id in job_ids:
+            job_result = gateway.result(job_id, timeout=timeout_s)
+            results.extend(job_result.records)
+            retries += max(0, gateway.status(job_id).attempts - 1)
+        outcomes = join_outcomes(list(jobs), results)
+        report = build_report(
+            self.scheduler.name,
+            outcomes,
+            [s.slo for s in self.services],
+            worker_retries=retries,
         )
         return ServeResult(
             report=report, outcomes=tuple(outcomes), dispatches=tuple(plan)
@@ -200,10 +259,47 @@ class Farm:
 
     def _measure_parallel(
         self, assignments: Sequence[NodeAssignment], max_workers: int
-    ) -> list[NodeJobResult]:
+    ) -> tuple[list[NodeJobResult], int]:
+        """Shard the measure phase; retry crashed workers once.
+
+        A worker process that dies (OOM kill, segfaulting extension, bad
+        luck) breaks its whole executor — every pending future poisons.
+        The replay is deterministic and side-effect free, so the failed
+        assignments are re-run once on a *fresh* executor before giving
+        up; the count of retried assignments is surfaced on the report.
+        """
         workers = min(max_workers, len(assignments)) or 1
+        results, failed = self._measure_attempt(assignments, workers)
+        retries = len(failed)
+        if failed:
+            retried, still_failed = self._measure_attempt(
+                [assignment for assignment, _ in failed], workers
+            )
+            if still_failed:
+                nodes = sorted(a.node for a, _ in still_failed)
+                first_error = still_failed[0][1]
+                raise SchedulerError(
+                    f"{len(still_failed)} node worker(s) failed twice "
+                    f"(nodes {nodes}): {first_error!r}"
+                )
+            results.extend(retried)
+        return results, retries
+
+    @staticmethod
+    def _measure_attempt(
+        assignments: Sequence[NodeAssignment], workers: int
+    ) -> tuple[list[NodeJobResult], list[tuple[NodeAssignment, BaseException]]]:
+        """One executor pass: completed node results + failed assignments."""
         results: list[NodeJobResult] = []
+        failed: list[tuple[NodeAssignment, BaseException]] = []
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            for node_results in pool.map(simulate_node, assignments):
-                results.extend(node_results)
-        return results
+            futures = [
+                (assignment, pool.submit(simulate_node, assignment))
+                for assignment in assignments
+            ]
+            for assignment, future in futures:
+                try:
+                    results.extend(future.result())
+                except Exception as exc:  # incl. BrokenExecutor (crashed worker)
+                    failed.append((assignment, exc))
+        return results, failed

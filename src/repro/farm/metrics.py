@@ -69,6 +69,9 @@ class FarmReport:
     classes: tuple[ClassReport, ...]
     total_jobs: int
     makespan_cycles: int
+    #: Worker processes that crashed during the measure phase and were
+    #: retried on a fresh executor (0 on a clean day).
+    worker_retries: int = 0
 
     @property
     def overall_attainment(self) -> float:
@@ -103,17 +106,22 @@ class FarmReport:
                 f"{100 * self.overall_attainment:.2f}%",
             ]
         )
-        return format_table(
+        table = format_table(
             ["class", "jobs", "p50 cyc", "p99 cyc", "deadline", "SLO attained"],
             rows,
             title=f"farm serving report — scheduler={self.scheduler}",
         )
+        if self.worker_retries:
+            table += f"\nworker retries: {self.worker_retries}"
+        return table
 
 
 def build_report(
     scheduler: str,
     outcomes: Sequence[JobOutcome],
     slos: Sequence[SloClass],
+    *,
+    worker_retries: int = 0,
 ) -> FarmReport:
     """Aggregate measured outcomes into the per-class report.
 
@@ -147,6 +155,7 @@ def build_report(
         classes=tuple(classes),
         total_jobs=len(outcomes),
         makespan_cycles=makespan,
+        worker_retries=worker_retries,
     )
 
 

@@ -87,20 +87,46 @@ def build_node_system(
     return system
 
 
-def run_assignment(
+def submit_assignment(
     assignment: NodeAssignment,
     system: MultiTaskSystem,
-) -> list[NodeJobResult]:
-    """Submit the dispatch plan on a prepared system, run, join records.
+) -> dict[int, list[tuple[int, int]]]:
+    """Phase 1 of a replay: schedule every dispatch on a *fresh* system.
 
-    Within one node each service slot serves FIFO and dispatch cycles are
-    monotone per slot, so completed records join with the plan by order.
+    Returns the per-slot ``(job_id, dispatch_cycle)`` expectations that
+    :func:`collect_assignment` joins against.  Kept separate from the run
+    so the serving layer can submit, then run in snapshot-bounded chunks
+    (and a restored system — whose request heap rides in the snapshot —
+    skips this phase entirely).
     """
     per_slot: dict[int, list[tuple[int, int]]] = {}
     for job_id, service, cycle in assignment.dispatches:
         system.submit(service, cycle)
         per_slot.setdefault(service, []).append((job_id, cycle))
-    system.run()
+    return per_slot
+
+
+def expected_per_slot(
+    assignment: NodeAssignment,
+) -> dict[int, list[tuple[int, int]]]:
+    """The join expectations alone (for a system restored from snapshot,
+    whose pending requests were captured and must not be re-submitted)."""
+    per_slot: dict[int, list[tuple[int, int]]] = {}
+    for job_id, service, cycle in assignment.dispatches:
+        per_slot.setdefault(service, []).append((job_id, cycle))
+    return per_slot
+
+
+def collect_assignment(
+    assignment: NodeAssignment,
+    system: MultiTaskSystem,
+    per_slot: dict[int, list[tuple[int, int]]],
+) -> list[NodeJobResult]:
+    """Phase 2 of a replay: join completed records with the plan.
+
+    Within one node each service slot serves FIFO and dispatch cycles are
+    monotone per slot, so completed records join with the plan by order.
+    """
     results: list[NodeJobResult] = []
     for service, submitted in per_slot.items():
         completed = system.jobs(service)
@@ -128,9 +154,40 @@ def run_assignment(
     return results
 
 
+def run_assignment(
+    assignment: NodeAssignment,
+    system: MultiTaskSystem,
+) -> list[NodeJobResult]:
+    """Submit the dispatch plan on a prepared system, run, join records."""
+    per_slot = submit_assignment(assignment, system)
+    system.run()
+    return collect_assignment(assignment, system, per_slot)
+
+
 def simulate_node(assignment: NodeAssignment) -> list[NodeJobResult]:
     """The process-pool worker: rebuild, simulate, measure (obs off)."""
+    _maybe_crash_for_test(assignment)
     system = build_node_system(
         assignment.config, assignment.services, assignment.vi_mode
     )
     return run_assignment(assignment, system)
+
+
+def _maybe_crash_for_test(assignment: NodeAssignment) -> None:
+    """Deterministic worker-crash hook for the farm's retry machinery.
+
+    When ``REPRO_FARM_CRASH_FILE`` names an existing file, the first worker
+    to claim it (atomic unlink) dies abruptly — once.  The retried run finds
+    no file and succeeds.  Test-only: the variable is never set in
+    production paths.
+    """
+    import os
+
+    sentinel = os.environ.get("REPRO_FARM_CRASH_FILE")
+    if not sentinel:
+        return
+    try:
+        os.unlink(sentinel)
+    except FileNotFoundError:
+        return
+    os._exit(113)  # simulated hard crash: no cleanup, no exception

@@ -194,6 +194,27 @@ class FaultPlan:
             return False
         return self._rngs[FaultSite.DDR_BIT_FLIP].random() < self.uncorrectable_share
 
+    # -- snapshot/restore ----------------------------------------------------
+
+    def capture_state(self) -> dict:
+        """Picklable mid-run state: per-site RNG positions + fired faults.
+
+        Restoring the RNG states is what makes a resumed run draw the
+        *identical* fault sequence an uninterrupted run would — the
+        bit-exactness oracle for armed snapshots.
+        """
+        return {
+            "rng_states": {
+                site.value: rng.getstate() for site, rng in self._rngs.items()
+            },
+            "injected": list(self.injected),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        for value, rng_state in state["rng_states"].items():
+            self._rngs[FaultSite(value)].setstate(rng_state)
+        self.injected = list(state["injected"])
+
     # -- bookkeeping ---------------------------------------------------------
 
     def record(self, site: FaultSite, cycle: int, **detail: Any) -> InjectedFault:

@@ -9,6 +9,7 @@ functional simulation reads and writes real data.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -136,6 +137,49 @@ class Ddr:
 
     def regions(self) -> list[DdrRegion]:
         return sorted(self._regions.values(), key=lambda region: region.base)
+
+    # -- snapshot/restore ------------------------------------------------------
+
+    def capture_state(self) -> dict:
+        """Picklable mid-run state: region contents + pending ECC flips.
+
+        The region *layout* (names, bases, sizes) is structural — it is
+        rebuilt by re-adopting the compiled networks and checked by the
+        system-level snapshot fingerprint — so only the mutable payload is
+        captured here.
+        """
+        return {
+            "cursor": self._cursor,
+            "regions": {
+                name: region.array.copy() for name, region in self._regions.items()
+            },
+            "pending_flips": copy.deepcopy(self._pending_flips),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite region contents *in place* from a captured state.
+
+        In-place writes matter: compiled networks keep references to the
+        same backing arrays (``compiled.layout.ddr``), so both views of the
+        address space observe the restore.
+        """
+        regions = state["regions"]
+        if set(regions) != set(self._regions):
+            raise MemoryMapError(
+                f"snapshot regions {sorted(regions)} do not match this DDR's "
+                f"{sorted(self._regions)}"
+            )
+        for name, array in regions.items():
+            region = self._regions[name]
+            if region.array.shape != array.shape or region.array.dtype != array.dtype:
+                raise MemoryMapError(
+                    f"snapshot region {name!r} has shape {array.shape} "
+                    f"{array.dtype}, expected {region.array.shape} "
+                    f"{region.array.dtype}"
+                )
+            region.array[...] = array
+        self._cursor = state["cursor"]
+        self._pending_flips = copy.deepcopy(state["pending_flips"])
 
     # -- fault injection (ECC model) -----------------------------------------
 

@@ -9,6 +9,7 @@ interrupted.
 
 from __future__ import annotations
 
+import copy
 from collections import deque
 from dataclasses import dataclass, field
 
@@ -33,6 +34,9 @@ class JobRecord:
     #: Typed completion outcome beyond plain success (e.g.
     #: :class:`~repro.faults.plan.DeadlineMissed`); ``None`` when nominal.
     outcome: object | None = None
+    #: Checkpoint CRC verifications that failed (and were retried) while
+    #: this job ran — campaigns assert the retry budget from here.
+    checkpoint_retries: int = 0
 
     @property
     def deadline_missed(self) -> bool:
@@ -202,3 +206,85 @@ class TaskContext:
     def clear_save_state(self) -> None:
         self.save_id = NO_SAVE_ID
         self.saved_chs = 0
+
+    # -- snapshot/restore ---------------------------------------------------
+
+    def variant_key(self, program: Program) -> str:
+        """The vi-mode key of ``program`` within this task's compiled network.
+
+        Programs are captured *by reference key*, not by value: the restore
+        side resolves the key against its own (identical) compiled network,
+        which keeps snapshots small and guarantees the restored context runs
+        the exact Program object its ``execution_meta`` cache is keyed on.
+        """
+        for key, candidate in self.compiled.programs.items():
+            if candidate is program:
+                return key
+        raise IauError(
+            f"task {self.task_id}: program is not a variant of its compiled "
+            "network (cannot snapshot a hand-built program)"
+        )
+
+    def capture_state(self) -> dict:
+        """Picklable mid-run state of this slot (registers, queue, jobs)."""
+        # One deepcopy call preserves identity links between the queue, the
+        # in-flight record and the completed list (memoised copy).
+        jobs = copy.deepcopy(
+            {
+                "queue": list(self.queue),
+                "current_job": self.current_job,
+                "completed": self.completed,
+            }
+        )
+        return {
+            "program": self.variant_key(self.program),
+            "base_program": self.variant_key(self.base_program),
+            "degraded_program": (
+                None
+                if self.degraded_program is None
+                else self.variant_key(self.degraded_program)
+            ),
+            "priority": self.priority,
+            "instr_index": self.instr_index,
+            "input_offset": self.input_offset,
+            "output_offset": self.output_offset,
+            "save_id": self.save_id,
+            "saved_chs": self.saved_chs,
+            "in_recovery": self.in_recovery,
+            "active": self.active,
+            "snapshot": copy.deepcopy(self.snapshot),
+            "jobs": jobs,
+            "busy_cycles": self.busy_cycles,
+            "deadline_cycles": self.deadline_cycles,
+            "checkpoints": copy.deepcopy((self.checkpoint, self.good_checkpoint)),
+            "checkpoint_retries": self.checkpoint_retries,
+            "want_degraded": self.want_degraded,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore this slot from a captured state (copied, reusable)."""
+        self.program = self.compiled.program_for(state["program"])
+        self.base_program = self.compiled.program_for(state["base_program"])
+        self.degraded_program = (
+            None
+            if state["degraded_program"] is None
+            else self.compiled.program_for(state["degraded_program"])
+        )
+        self.priority = state["priority"]
+        self.instr_index = state["instr_index"]
+        self.input_offset = state["input_offset"]
+        self.output_offset = state["output_offset"]
+        self.save_id = state["save_id"]
+        self.saved_chs = state["saved_chs"]
+        self.in_recovery = state["in_recovery"]
+        self.active = state["active"]
+        self.snapshot = copy.deepcopy(state["snapshot"])
+        jobs = copy.deepcopy(state["jobs"])
+        self.queue = deque(jobs["queue"])
+        self.current_job = jobs["current_job"]
+        self.completed = jobs["completed"]
+        self.busy_cycles = state["busy_cycles"]
+        self.deadline_cycles = state["deadline_cycles"]
+        self.checkpoint, self.good_checkpoint = copy.deepcopy(state["checkpoints"])
+        self.checkpoint_retries = state["checkpoint_retries"]
+        self.want_degraded = state["want_degraded"]

@@ -404,6 +404,51 @@ class Iau:
                 **scope,
             )
 
+    # -- snapshot/restore ------------------------------------------------------
+
+    def capture_state(self) -> dict:
+        """Picklable mid-run state: clock, counters, and every task slot."""
+        return {
+            "clock": self.clock,
+            "current": self.current,
+            "backup_cycles": self.backup_cycles,
+            "restore_cycles": self.restore_cycles,
+            "num_switches": self.num_switches,
+            "num_rollbacks": self.num_rollbacks,
+            "num_deadline_misses": self.num_deadline_misses,
+            "num_inversions": self.num_inversions,
+            "inversions_seen": set(self._inversions_seen),
+            "contexts": {
+                task_id: context.capture_state()
+                for task_id, context in enumerate(self.contexts)
+                if context is not None
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore from a captured state; the same tasks must be attached."""
+        attached = {
+            task_id
+            for task_id, context in enumerate(self.contexts)
+            if context is not None
+        }
+        if attached != set(state["contexts"]):
+            raise IauError(
+                f"snapshot task slots {sorted(state['contexts'])} do not "
+                f"match the attached slots {sorted(attached)}"
+            )
+        self.clock = state["clock"]
+        self.current = state["current"]
+        self.backup_cycles = state["backup_cycles"]
+        self.restore_cycles = state["restore_cycles"]
+        self.num_switches = state["num_switches"]
+        self.num_rollbacks = state["num_rollbacks"]
+        self.num_deadline_misses = state["num_deadline_misses"]
+        self.num_inversions = state["num_inversions"]
+        self._inversions_seen = set(state["inversions_seen"])
+        for task_id, context_state in state["contexts"].items():
+            self.contexts[task_id].restore_state(context_state)
+
     # -- switching ------------------------------------------------------------
 
     def _switch_in(self, context: TaskContext) -> None:
@@ -755,12 +800,26 @@ class Iau:
                 program_index=checkpoint.instr_index,
             )
         context.checkpoint_retries += 1
+        if context.current_job is not None:
+            # The retry count survives on the record even if the job later
+            # completes (or the run dies): campaigns and the serving layer
+            # read it from there, not from the transient context.
+            context.current_job.checkpoint_retries = context.checkpoint_retries
         limit = self.faults.max_checkpoint_retries if self.faults is not None else 1
+        if self.bus is not None:
+            self._emit(
+                EventKind.CHECKPOINT_RETRY,
+                task_id=context.task_id,
+                attempt=context.checkpoint_retries,
+                budget=limit,
+                program_index=checkpoint.instr_index,
+            )
         if context.checkpoint_retries > limit:
             raise CheckpointError(
                 f"task {context.task_id}: checkpoint at instruction "
                 f"{checkpoint.instr_index} failed CRC verification "
-                f"{context.checkpoint_retries} times (budget {limit})"
+                f"{context.checkpoint_retries} times (budget {limit})",
+                attempts=context.checkpoint_retries,
             )
         self._rollback(context, checkpoint)
 

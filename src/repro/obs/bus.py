@@ -117,6 +117,22 @@ class EventBus:
             sink.handle(event)
         return event
 
+    # -- snapshot/restore --------------------------------------------------
+
+    def capture_state(self) -> dict:
+        """Picklable mid-run state: the clock and the recorded stream.
+
+        Events are immutable, so the list is copied shallowly.  Sinks are
+        wiring, not state — they are reattached by whoever rebuilds the
+        system, and are *not* replayed on restore (their own state is
+        captured by their owners, e.g. :class:`~repro.obs.metrics.Metrics`).
+        """
+        return {"cycle": self.cycle, "events": list(self.events)}
+
+    def restore_state(self, state: dict) -> None:
+        self.cycle = state["cycle"]
+        self.events = list(state["events"])
+
     # -- queries -----------------------------------------------------------
 
     def __len__(self) -> int:

@@ -23,6 +23,10 @@ kind                    emitted by / meaning
                         checkpoint CRC, watchdog)
 ``FAULT_RECOVER``       tolerance layer — the fault was repaired (ECC
                         correction, rollback to the last good checkpoint)
+``CHECKPOINT_RETRY``    IAU — a Vir_SAVE checkpoint failed CRC verification
+                        on resume and a bounded retry was consumed
+                        (``attempt``/``budget`` count against the plan's
+                        ``max_checkpoint_retries``)
 ``JOB_DEGRADED``        runtime — the degradation policy shed or down-tiered
                         a low-priority job under overload
 ``DEADLINE_MISS``       IAU watchdog — a job overran its deadline (the job's
@@ -71,6 +75,7 @@ class EventKind(enum.Enum):
     FAULT_INJECT = "fault_inject"
     FAULT_DETECT = "fault_detect"
     FAULT_RECOVER = "fault_recover"
+    CHECKPOINT_RETRY = "checkpoint_retry"
     JOB_DEGRADED = "job_degraded"
     DEADLINE_MISS = "deadline_miss"
     ADMISSION_DENY = "admission_deny"

@@ -9,6 +9,7 @@ update instruments directly for domain-specific signals.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 
 from repro.obs.events import Event, EventKind
@@ -116,6 +117,26 @@ class Metrics:
             self._histograms[key] = Histogram()
         return self._histograms[key]
 
+    # -- snapshot/restore --------------------------------------------------
+
+    def capture_state(self) -> dict:
+        """Picklable deep copy of every instrument (system snapshots)."""
+        return copy.deepcopy(
+            {
+                "counters": self._counters,
+                "gauges": self._gauges,
+                "histograms": self._histograms,
+            }
+        )
+
+    def restore_state(self, state: dict) -> None:
+        """Replace all instruments with a captured state (copied, so the
+        same snapshot can be restored more than once)."""
+        state = copy.deepcopy(state)
+        self._counters = state["counters"]
+        self._gauges = state["gauges"]
+        self._histograms = state["histograms"]
+
     # -- aggregation -------------------------------------------------------
 
     def counter_total(self, name: str, **labels: object) -> int:
@@ -206,6 +227,8 @@ class MetricsSink:
             metrics.counter("faults_detected", site=event.data.get("site", "?")).inc()
         elif kind is EventKind.FAULT_RECOVER:
             metrics.counter("faults_recovered", site=event.data.get("site", "?")).inc()
+        elif kind is EventKind.CHECKPOINT_RETRY:
+            metrics.counter("checkpoint_retries", task=event.task_id).inc()
         elif kind is EventKind.JOB_DEGRADED:
             metrics.counter(
                 "jobs_degraded",

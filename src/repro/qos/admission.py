@@ -19,6 +19,7 @@ event — overload never manifests as a silently growing queue.
 
 from __future__ import annotations
 
+import copy
 from collections import deque
 from dataclasses import dataclass
 
@@ -123,6 +124,28 @@ class AdmissionController:
 
     def parked_count(self, task_id: int) -> int:
         return len(self._parked.get(task_id, ()))
+
+    # -- snapshot/restore --------------------------------------------------
+
+    def capture_state(self) -> dict:
+        """Picklable mid-run state: denials, estimates, parked requests."""
+        return {
+            "denied": dict(self.denied),
+            "outcomes": list(self.outcomes),
+            "estimates": dict(self._estimates),
+            "parked": copy.deepcopy(
+                {task_id: list(queue) for task_id, queue in self._parked.items()}
+            ),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.denied = dict(state["denied"])
+        self.outcomes = list(state["outcomes"])
+        self._estimates = dict(state["estimates"])
+        self._parked = {
+            task_id: deque(records)
+            for task_id, records in copy.deepcopy(state["parked"]).items()
+        }
 
     # -- internals ---------------------------------------------------------
 

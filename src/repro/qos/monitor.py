@@ -93,6 +93,29 @@ class InvariantMonitor:
     def ok(self) -> bool:
         return not self.violations
 
+    # -- snapshot/restore --------------------------------------------------
+
+    def capture_state(self) -> dict:
+        """Picklable *runtime* state (the expectation maps — bounds,
+        deadlines, region owners — are wiring, re-registered by whoever
+        rebuilds the system's task set)."""
+        return {
+            "violations": list(self.violations),
+            "floor": self._floor,
+            "preempted": set(self._preempted),
+            "queued": dict(self._queued),
+            "missed": dict(self._missed),
+            "burst_regions": list(self._burst_regions),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.violations = list(state["violations"])
+        self._floor = state["floor"]
+        self._preempted = set(state["preempted"])
+        self._queued = dict(state["queued"])
+        self._missed = dict(state["missed"])
+        self._burst_regions = list(state["burst_regions"])
+
     # -- sink protocol -----------------------------------------------------
 
     def handle(self, event: Event) -> None:

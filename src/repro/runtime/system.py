@@ -317,7 +317,22 @@ class MultiTaskSystem(SubmitSurface):
             context.want_degraded = want
         return False
 
-    def run(self, max_steps: int = 500_000_000, *, batched: bool = True) -> int:
+    @property
+    def done(self) -> bool:
+        """True when every request has been delivered and every job drained."""
+        return self.iau.idle and not self._requests
+
+    @property
+    def clock(self) -> int:
+        return self.iau.clock
+
+    def run(
+        self,
+        max_steps: int = 500_000_000,
+        *,
+        batched: bool = True,
+        until_cycle: int | None = None,
+    ) -> int:
         """Run until every request is delivered and every job drained.
 
         ``batched=True`` (the default) lets the IAU retire provably
@@ -327,10 +342,18 @@ class MultiTaskSystem(SubmitSurface):
         ``batched=False``, which forces the per-instruction ``step()`` loop
         (the differential-testing reference).
 
+        ``until_cycle`` pauses the run at the first step boundary at or past
+        that clock instead of draining — the serving layer's snapshot
+        points.  A chunked run (repeated ``until_cycle`` calls) is cycle-
+        and event-exact against one uninterrupted ``run()``; check
+        :attr:`done` to distinguish a pause from completion.
+
         Returns the final clock (cycles).
         """
         steps = 0
         while True:
+            if until_cycle is not None and self.iau.clock >= until_cycle:
+                break
             self._deliver_due()
             if self.iau.idle:
                 if not self._requests:
@@ -342,17 +365,133 @@ class MultiTaskSystem(SubmitSurface):
                 # The horizon is re-read every iteration: completions may
                 # schedule new work (ROS callbacks) between batches.
                 horizon = self._requests[0].cycle if self._requests else None
+                if until_cycle is not None:
+                    horizon = (
+                        until_cycle if horizon is None else min(horizon, until_cycle)
+                    )
                 self.iau.run_batched(horizon)
             else:
                 self.iau.step()
             steps += 1
             if steps > max_steps:
                 raise SchedulerError(f"simulation did not finish in {max_steps} steps")
-        if self.faults is not None:
+        if self.faults is not None and self.done:
             # End-of-run ECC scrub: latent DDR corruption must be corrected
             # (or escalate to EccError) before anyone reads results back.
+            # A paused run keeps its pending flips — they are part of the
+            # snapshot, and the final chunk scrubs exactly like one run.
             self.ddr.scrub()
         return self.iau.clock
+
+    # -- snapshot/restore ------------------------------------------------------
+
+    def _fingerprint(self) -> dict:
+        """Structural identity a snapshot must match to be restorable here:
+        the accelerator design, the attached task set (slot → program
+        variant + length + regions), and which optional subsystems are
+        armed.  All derived from construction arguments, never mutated by a
+        run."""
+        tasks = {}
+        for task_id in self._task_ids:
+            context = self.iau.context(task_id)
+            tasks[task_id] = {
+                "variant": context.variant_key(context.base_program),
+                "instructions": len(context.base_program),
+                "regions": sorted(
+                    region.name for region in context.compiled.layout.ddr.regions()
+                ),
+            }
+        return {
+            "config": repr(self.config),
+            "iau_mode": self.iau.mode,
+            "tasks": tasks,
+            "armed": {
+                "bus": self.bus is not None,
+                "metrics": self.metrics is not None,
+                "trace": self.trace is not None,
+                "monitor": self.monitor is not None,
+                "admission": self.admission is not None,
+                "faults": self.faults is not None,
+                "degradation": self.degradation is not None,
+                "functional": self.core.functional,
+            },
+        }
+
+    def capture_state(self) -> dict:
+        """Serialize the full mid-run state to one picklable dict.
+
+        Covers the DDR contents, every on-chip buffer, the IAU task table,
+        the scheduler bookkeeping (undelivered requests, sequence numbers,
+        shed counts) and — when armed — the event stream, metrics,
+        invariant monitor, admission controller and fault-plan RNGs, so
+        :meth:`restore_state` on an identically-built system continues
+        bit-exactly.  See :mod:`repro.serve.snapshot` for the on-disk
+        format.
+        """
+        if self.iau.on_complete is not None:
+            raise SchedulerError(
+                "cannot snapshot a system with an on_complete hook: "
+                "callback closures (e.g. ROS executors) are not serializable"
+            )
+        state: dict = {
+            "fingerprint": self._fingerprint(),
+            "ddr": self.ddr.capture_state(),
+            "core": self.core.capture_state(),
+            "iau": self.iau.capture_state(),
+            "requests": list(self._requests),
+            "sequence": self._sequence,
+            "pending": dict(self._pending),
+            "shed": dict(self.shed),
+        }
+        if self.bus is not None:
+            state["bus"] = self.bus.capture_state()
+        if self.metrics is not None:
+            state["metrics"] = self.metrics.capture_state()
+        if self.trace is not None:
+            state["trace"] = list(self.trace.events)
+        if self.monitor is not None:
+            state["monitor"] = self.monitor.capture_state()
+        if self.admission is not None:
+            state["admission"] = self.admission.capture_state()
+        if self.faults is not None:
+            state["faults"] = self.faults.capture_state()
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a captured state into this (identically-built) system.
+
+        The snapshot's structural fingerprint must match exactly — same
+        accelerator config, same task set and program variants, same armed
+        subsystems — otherwise :class:`~repro.errors.SchedulerError` is
+        raised before anything is touched.  The state dict itself is never
+        mutated, so one snapshot can seed many restores.
+        """
+        fingerprint = self._fingerprint()
+        if state.get("fingerprint") != fingerprint:
+            raise SchedulerError(
+                "snapshot does not fit this system: the accelerator config, "
+                "attached task set, or armed subsystems differ from the "
+                "capturing system"
+            )
+        self.ddr.restore_state(state["ddr"])
+        self.core.restore_state(state["core"])
+        self.iau.restore_state(state["iau"])
+        self._requests = list(state["requests"])  # heap order is preserved
+        self._sequence = state["sequence"]
+        self._pending = dict(state["pending"])
+        self.shed = dict(state["shed"])
+        if self.bus is not None:
+            self.bus.restore_state(state["bus"])
+        if self.metrics is not None:
+            self.metrics.restore_state(state["metrics"])
+        if self.trace is not None:
+            self.trace.events = list(state["trace"])
+        if self.monitor is not None:
+            self.monitor.restore_state(state["monitor"])
+        if self.admission is not None:
+            self.admission.restore_state(state["admission"])
+        if self.faults is not None:
+            self.faults.restore_state(state["faults"])
 
     # -- results -------------------------------------------------------------------
 

@@ -1,0 +1,39 @@
+"""repro.serve: durable job gateway with journaled crash recovery.
+
+The serving layer that survives ``kill -9``.  Jobs are journaled in SQLite
+(WAL), executed in worker processes that checkpoint the *full simulator
+state* — DDR, on-chip buffers, IAU task table, request heap, event stream,
+fault-plan RNGs — to versioned CRC-checked snapshot files, and resumed
+bit-exactly from the last snapshot when a worker (or the gateway itself)
+dies.  See ``docs/serving-gateway.md``.
+"""
+
+from repro.serve.gateway import ServeGateway
+from repro.serve.journal import JobJournal, JobState, JournalEvent, JournalRecord
+from repro.serve.snapshot import (
+    SnapshotInfo,
+    probe_snapshot,
+    read_snapshot,
+    restore_system,
+    snapshot_system,
+    write_snapshot,
+)
+from repro.serve.worker import JobResult, JobSpec, execute_job, load_result
+
+__all__ = [
+    "JobJournal",
+    "JobResult",
+    "JobSpec",
+    "JobState",
+    "JournalEvent",
+    "JournalRecord",
+    "ServeGateway",
+    "SnapshotInfo",
+    "execute_job",
+    "load_result",
+    "probe_snapshot",
+    "read_snapshot",
+    "restore_system",
+    "snapshot_system",
+    "write_snapshot",
+]
