@@ -77,7 +77,7 @@ from repro.verify import (
     wcirl_bound,
 )
 
-__version__ = "2.1.0"
+__version__ = "2.2.0"
 
 __all__ = [
     "AcceleratorConfig",

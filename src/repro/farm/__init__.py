@@ -35,6 +35,21 @@ Quickstart::
 """
 
 from repro.farm.farm import Farm, ServeResult
+from repro.farm.resilience import (
+    ChaosAction,
+    ChaosCampaignReport,
+    ChaosPlan,
+    ChaosTrial,
+    FeedbackScheduler,
+    HealthState,
+    NodeHealth,
+    ResilienceConfig,
+    ResilienceReport,
+    ResilientServeResult,
+    poison_snapshot_file,
+    run_chaos_campaign,
+    serve_resilient,
+)
 from repro.farm.metrics import (
     ClassReport,
     FarmReport,
@@ -68,17 +83,27 @@ from repro.farm.traffic import (
 )
 
 __all__ = [
+    "ChaosAction",
+    "ChaosCampaignReport",
+    "ChaosPlan",
+    "ChaosTrial",
     "ClassReport",
     "Dispatch",
     "Farm",
     "FarmReport",
     "FarmView",
     "FcfsScheduler",
+    "FeedbackScheduler",
+    "HealthState",
     "Job",
     "JobOutcome",
     "NodeAssignment",
+    "NodeHealth",
     "NodeJobResult",
     "PredictiveScheduler",
+    "ResilienceConfig",
+    "ResilienceReport",
+    "ResilientServeResult",
     "Scheduler",
     "ServeResult",
     "ServiceSpec",
@@ -91,6 +116,8 @@ __all__ = [
     "generate_jobs",
     "join_outcomes",
     "percentile",
-    "run_assignment",
+    "poison_snapshot_file",
+    "run_chaos_campaign",
+    "serve_resilient",
     "simulate_node",
 ]

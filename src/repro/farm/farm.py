@@ -22,9 +22,10 @@ is what makes scheduler comparisons meaningful.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.errors import SchedulerError
 from repro.estimate import estimate_job_cycles
@@ -42,8 +43,17 @@ from repro.farm.scheduler import Dispatch, FarmView, Scheduler
 from repro.farm.traffic import Job
 from repro.hw.config import AcceleratorConfig
 from repro.iau.unit import MAX_TASKS
+from repro.obs.bus import EventBus
 from repro.obs.config import ObsConfig
+from repro.obs.events import EventKind
 from repro.runtime.system import MultiTaskSystem, compile_tasks
+
+if TYPE_CHECKING:  # pragma: no cover - resilience imports this module
+    from repro.farm.resilience import (
+        ChaosPlan,
+        ResilienceConfig,
+        ResilientServeResult,
+    )
 
 
 @dataclass(frozen=True)
@@ -66,6 +76,8 @@ class Farm:
         *,
         vi_mode: str = "vi",
         obs: ObsConfig | None = None,
+        measure_retries: int = 1,
+        retry_backoff_s: float = 0.0,
     ):
         if not node_configs:
             raise SchedulerError("a farm needs at least one node")
@@ -76,11 +88,27 @@ class Farm:
                 f"at most {MAX_TASKS} services (IAU priority slots), "
                 f"got {len(services)}"
             )
+        if measure_retries < 0:
+            raise SchedulerError(
+                f"measure_retries must be >= 0, got {measure_retries}"
+            )
+        if retry_backoff_s < 0:
+            raise SchedulerError(
+                f"retry_backoff_s must be >= 0, got {retry_backoff_s}"
+            )
         self.node_configs = tuple(node_configs)
         self.services = tuple(services)
         self.scheduler = scheduler
         self.vi_mode = vi_mode
         self.obs = obs
+        #: Retry budget for crashed measure workers (attempts = 1 + retries).
+        self.measure_retries = measure_retries
+        #: Base of the exponential backoff between retry attempts (seconds).
+        self.retry_backoff_s = retry_backoff_s
+        #: Farm-level event bus (dispatcher's-eye view: retries, health,
+        #: migrations, hedges, mode switches).  Distinct from per-node obs —
+        #: node simulations never see it, and it is always on (cheap).
+        self.bus = EventBus()
         #: Serial-mode node systems from the last serve() (obs inspection).
         self.node_systems: list[MultiTaskSystem] | None = None
         self._view = self._build_view()
@@ -181,10 +209,30 @@ class Farm:
             outcomes,
             [s.slo for s in self.services],
             worker_retries=retries,
+            estimates=self._view.estimates,
         )
         return ServeResult(
             report=report, outcomes=tuple(outcomes), dispatches=tuple(plan)
         )
+
+    def serve_resilient(
+        self,
+        jobs: Sequence[Job],
+        *,
+        resilience: "ResilienceConfig | None" = None,
+        chaos: "ChaosPlan | None" = None,
+    ) -> "ResilientServeResult":
+        """Serve a day through the incremental plan→measure→re-plan loop.
+
+        Unlike :meth:`serve`, the plan is not fixed up front: jobs are
+        planned epoch by epoch on the nodes currently believed healthy,
+        measured completions feed the scheduler's estimate corrections,
+        dead nodes' work is migrated, and overdue work on suspect nodes is
+        hedged.  See :mod:`repro.farm.resilience`.
+        """
+        from repro.farm.resilience import serve_resilient
+
+        return serve_resilient(self, jobs, resilience=resilience, chaos=chaos)
 
     def serve_durable(
         self,
@@ -236,6 +284,7 @@ class Farm:
             outcomes,
             [s.slo for s in self.services],
             worker_retries=retries,
+            estimates=self._view.estimates,
         )
         return ServeResult(
             report=report, outcomes=tuple(outcomes), dispatches=tuple(plan)
@@ -260,29 +309,45 @@ class Farm:
     def _measure_parallel(
         self, assignments: Sequence[NodeAssignment], max_workers: int
     ) -> tuple[list[NodeJobResult], int]:
-        """Shard the measure phase; retry crashed workers once.
+        """Shard the measure phase; retry crashed workers up to the budget.
 
         A worker process that dies (OOM kill, segfaulting extension, bad
         luck) breaks its whole executor — every pending future poisons.
-        The replay is deterministic and side-effect free, so the failed
-        assignments are re-run once on a *fresh* executor before giving
-        up; the count of retried assignments is surfaced on the report.
+        The replay is deterministic and side-effect free, so failed
+        assignments are re-run on a *fresh* executor up to
+        ``measure_retries`` more times, sleeping
+        ``retry_backoff_s * 2**attempt`` between attempts; each retried
+        assignment emits a ``MEASURE_RETRY`` event on the farm bus and the
+        total count is surfaced on the report.
         """
         workers = min(max_workers, len(assignments)) or 1
         results, failed = self._measure_attempt(assignments, workers)
-        retries = len(failed)
-        if failed:
-            retried, still_failed = self._measure_attempt(
+        retries = 0
+        for attempt in range(self.measure_retries):
+            if not failed:
+                break
+            retries += len(failed)
+            for assignment, error in failed:
+                self.bus.emit(
+                    EventKind.MEASURE_RETRY,
+                    node=assignment.node,
+                    attempt=attempt + 1,
+                    error=repr(error),
+                )
+            if self.retry_backoff_s:
+                time.sleep(self.retry_backoff_s * 2**attempt)
+            retried, failed = self._measure_attempt(
                 [assignment for assignment, _ in failed], workers
             )
-            if still_failed:
-                nodes = sorted(a.node for a, _ in still_failed)
-                first_error = still_failed[0][1]
-                raise SchedulerError(
-                    f"{len(still_failed)} node worker(s) failed twice "
-                    f"(nodes {nodes}): {first_error!r}"
-                )
             results.extend(retried)
+        if failed:
+            nodes = sorted(a.node for a, _ in failed)
+            first_error = failed[0][1]
+            raise SchedulerError(
+                f"{len(failed)} node worker(s) failed after "
+                f"{1 + self.measure_retries} attempt(s) (nodes {nodes}): "
+                f"{first_error!r}"
+            )
         return results, retries
 
     @staticmethod

@@ -6,6 +6,16 @@ at the dispatcher, queueing at the node, pre-emption, and VI overhead all
 count.  Attainment checks that latency against the job's SLO class
 deadline.  Percentiles use the nearest-rank definition — exact on small
 counts, no interpolation surprises.
+
+Two accounting extensions feed the resilience layer:
+
+* **estimate error** — when the caller supplies the planning estimates,
+  each class reports its plan-vs-measured residency delta
+  (``measured service cycles - planned estimate``, signed; mean and p99),
+  which is exactly the error the feedback scheduler corrects for;
+* **shedding** — jobs a criticality mode switch dropped are counted per
+  class and against attainment (a shed job is accounted, never lost, but
+  it did not meet its SLO).
 """
 
 from __future__ import annotations
@@ -48,17 +58,28 @@ def percentile(values: Sequence[int], p: float) -> int:
 
 @dataclass(frozen=True)
 class ClassReport:
-    """One SLO class's share of the day."""
+    """One SLO class's share of the day.
+
+    ``jobs`` counts measured completions; ``shed`` counts jobs a mode
+    switch dropped before dispatch.  Both count against attainment.  The
+    error fields are plan-vs-measured service-time deltas (signed cycles,
+    ``measured - estimate``) and are ``None`` when the caller did not
+    supply planning estimates.
+    """
 
     slo: SloClass
     jobs: int
     p50_cycles: int
     p99_cycles: int
     attained: int
+    shed: int = 0
+    err_mean_cycles: float | None = None
+    err_p99_cycles: int | None = None
 
     @property
     def attainment(self) -> float:
-        return self.attained / self.jobs if self.jobs else 1.0
+        total = self.jobs + self.shed
+        return self.attained / total if total else 1.0
 
 
 @dataclass(frozen=True)
@@ -72,11 +93,14 @@ class FarmReport:
     #: Worker processes that crashed during the measure phase and were
     #: retried on a fresh executor (0 on a clean day).
     worker_retries: int = 0
+    #: Jobs shed by a criticality mode switch (accounted, not lost).
+    total_shed: int = 0
 
     @property
     def overall_attainment(self) -> float:
         attained = sum(entry.attained for entry in self.classes)
-        return attained / self.total_jobs if self.total_jobs else 1.0
+        total = self.total_jobs + self.total_shed
+        return attained / total if total else 1.0
 
     def by_class(self, name: str) -> ClassReport:
         for entry in self.classes:
@@ -85,29 +109,43 @@ class FarmReport:
         raise SchedulerError(f"no SLO class named {name!r}")
 
     def format(self) -> str:
-        rows = [
-            [
+        with_errors = any(
+            entry.err_mean_cycles is not None for entry in self.classes
+        )
+        header = ["class", "jobs", "p50 cyc", "p99 cyc", "deadline"]
+        if with_errors:
+            header += ["mean err", "p99 err"]
+        if self.total_shed:
+            header.append("shed")
+        header.append("SLO attained")
+        rows = []
+        for entry in self.classes:
+            row = [
                 entry.slo.name,
                 entry.jobs,
-                entry.p50_cycles,
-                entry.p99_cycles,
+                entry.p50_cycles if entry.jobs else "-",
+                entry.p99_cycles if entry.jobs else "-",
                 entry.slo.deadline_cycles,
-                f"{100 * entry.attainment:.2f}%",
             ]
-            for entry in self.classes
-        ]
-        rows.append(
-            [
-                "overall",
-                self.total_jobs,
-                "",
-                "",
-                "",
-                f"{100 * self.overall_attainment:.2f}%",
-            ]
-        )
+            if with_errors:
+                row += (
+                    [f"{entry.err_mean_cycles:+.0f}", f"{entry.err_p99_cycles:+d}"]
+                    if entry.err_mean_cycles is not None
+                    else ["-", "-"]
+                )
+            if self.total_shed:
+                row.append(entry.shed)
+            row.append(f"{100 * entry.attainment:.2f}%")
+            rows.append(row)
+        overall = ["overall", self.total_jobs, "", "", ""]
+        if with_errors:
+            overall += ["", ""]
+        if self.total_shed:
+            overall.append(self.total_shed)
+        overall.append(f"{100 * self.overall_attainment:.2f}%")
+        rows.append(overall)
         table = format_table(
-            ["class", "jobs", "p50 cyc", "p99 cyc", "deadline", "SLO attained"],
+            header,
             rows,
             title=f"farm serving report — scheduler={self.scheduler}",
         )
@@ -122,31 +160,55 @@ def build_report(
     slos: Sequence[SloClass],
     *,
     worker_retries: int = 0,
+    estimates: Sequence[Sequence[int]] | None = None,
+    shed: Sequence[Job] = (),
 ) -> FarmReport:
     """Aggregate measured outcomes into the per-class report.
 
     ``slos`` is indexed by service (service ``k`` belongs to class
     ``slos[k]``); distinct services sharing one class object aggregate
-    together.
+    together.  ``estimates[node][service]`` (the scheduler's planning
+    view) enables the plan-vs-measured error columns; ``shed`` lists jobs
+    a mode switch dropped, counted per class against attainment.
     """
     by_class: dict[str, list[JobOutcome]] = {}
     class_of: dict[str, SloClass] = {}
+    shed_by_class: dict[str, int] = {}
     for outcome in outcomes:
         slo = slos[outcome.service]
         by_class.setdefault(slo.name, []).append(outcome)
         class_of[slo.name] = slo
+    for job in shed:
+        slo = slos[job.service]
+        class_of[slo.name] = slo
+        by_class.setdefault(slo.name, [])
+        shed_by_class[slo.name] = shed_by_class.get(slo.name, 0) + 1
     classes = []
     for name in sorted(by_class, key=lambda n: class_of[n].rank):
         slo = class_of[name]
-        latencies = [outcome.latency_cycles for outcome in by_class[name]]
+        members = by_class[name]
+        latencies = [outcome.latency_cycles for outcome in members]
         attained = sum(1 for lat in latencies if lat <= slo.deadline_cycles)
+        err_mean: float | None = None
+        err_p99: int | None = None
+        if estimates is not None and members:
+            errors = [
+                (o.complete_cycle - o.dispatch_cycle)
+                - estimates[o.node][o.service]
+                for o in members
+            ]
+            err_mean = sum(errors) / len(errors)
+            err_p99 = percentile(errors, 99)
         classes.append(
             ClassReport(
                 slo=slo,
                 jobs=len(latencies),
-                p50_cycles=percentile(latencies, 50),
-                p99_cycles=percentile(latencies, 99),
+                p50_cycles=percentile(latencies, 50) if latencies else 0,
+                p99_cycles=percentile(latencies, 99) if latencies else 0,
                 attained=attained,
+                shed=shed_by_class.get(name, 0),
+                err_mean_cycles=err_mean,
+                err_p99_cycles=err_p99,
             )
         )
     makespan = max((o.complete_cycle for o in outcomes), default=0)
@@ -156,19 +218,37 @@ def build_report(
         total_jobs=len(outcomes),
         makespan_cycles=makespan,
         worker_retries=worker_retries,
+        total_shed=len(shed),
     )
 
 
 def join_outcomes(
-    jobs: Sequence[Job], results: Sequence
+    jobs: Sequence[Job], results: Sequence, *, shed: Sequence[Job] = ()
 ) -> list[JobOutcome]:
-    """Join arrivals with node results by ``job_id`` (exactly once each)."""
+    """Join arrivals with node results by ``job_id`` (exactly once each).
+
+    Every arrival must be accounted for exactly once — as a measured
+    completion in ``results`` or as a mode-switch victim in ``shed``.
+    Duplicate completions (e.g. both copies of a hedged dispatch reaching
+    the join without first-result-wins dedup) raise ``SchedulerError``.
+    """
     arrivals = {job.job_id: job for job in jobs}
+    shed_ids = set()
+    for job in shed:
+        if job.job_id in shed_ids:
+            raise SchedulerError(f"job {job.job_id} shed twice")
+        if job.job_id not in arrivals:
+            raise SchedulerError(f"shed record for unknown job {job.job_id}")
+        shed_ids.add(job.job_id)
     outcomes: list[JobOutcome] = []
     seen: set[int] = set()
     for result in results:
         if result.job_id in seen:
             raise SchedulerError(f"job {result.job_id} completed twice")
+        if result.job_id in shed_ids:
+            raise SchedulerError(
+                f"job {result.job_id} both shed and completed"
+            )
         seen.add(result.job_id)
         job = arrivals.get(result.job_id)
         if job is None:
@@ -184,9 +264,10 @@ def join_outcomes(
                 complete_cycle=result.complete_cycle,
             )
         )
-    if len(outcomes) != len(jobs):
+    if len(outcomes) + len(shed_ids) != len(jobs):
         raise SchedulerError(
-            f"{len(jobs)} jobs arrived but {len(outcomes)} completed"
+            f"{len(jobs)} jobs arrived but {len(outcomes)} completed and "
+            f"{len(shed_ids)} were shed"
         )
     outcomes.sort(key=lambda outcome: outcome.job_id)
     return outcomes

@@ -174,20 +174,53 @@ def simulate_node(assignment: NodeAssignment) -> list[NodeJobResult]:
 
 
 def _maybe_crash_for_test(assignment: NodeAssignment) -> None:
-    """Deterministic worker-crash hook for the farm's retry machinery.
+    """Deterministic worker-crash hooks for the farm's retry machinery.
 
-    When ``REPRO_FARM_CRASH_FILE`` names an existing file, the first worker
-    to claim it (atomic unlink) dies abruptly — once.  The retried run finds
-    no file and succeeds.  Test-only: the variable is never set in
-    production paths.
+    Two chaos channels, both inert unless their environment variable is
+    set (never in production paths):
+
+    * ``REPRO_FARM_CRASH_FILE`` — the first worker to claim the named file
+      (atomic unlink) dies abruptly, once.  Node-agnostic.
+    * ``REPRO_FARM_CHAOS_DIR`` — a directory of per-node kill budgets
+      written by :meth:`~repro.farm.resilience.ChaosPlan.arm_worker_kills`:
+      a worker whose assignment matches an armed ``kill-node-<n>`` file
+      decrements the budget (unlinking at zero) and dies by real SIGKILL,
+      exercising the exact signal path an OOM killer takes.
     """
     import os
+    import signal
 
     sentinel = os.environ.get("REPRO_FARM_CRASH_FILE")
-    if not sentinel:
+    if sentinel:
+        try:
+            os.unlink(sentinel)
+        except FileNotFoundError:
+            pass
+        else:
+            os._exit(113)  # simulated hard crash: no cleanup, no exception
+
+    chaos_dir = os.environ.get("REPRO_FARM_CHAOS_DIR")
+    if not chaos_dir:
         return
+    budget = os.path.join(chaos_dir, f"kill-node-{assignment.node}")
     try:
-        os.unlink(sentinel)
-    except FileNotFoundError:
+        remaining = int(open(budget).read().strip() or "0")
+    except (FileNotFoundError, ValueError):
         return
-    os._exit(113)  # simulated hard crash: no cleanup, no exception
+    if remaining <= 0:
+        return
+    # Claim one kill before dying so retries eventually get through.  The
+    # claim is rename-based (atomic): concurrent duplicate workers for one
+    # node cannot both decrement the same budget.
+    claim = budget + ".claim"
+    try:
+        os.rename(budget, claim)
+    except FileNotFoundError:
+        return  # another worker claimed the budget first
+    if remaining > 1:
+        with open(claim, "w") as handle:
+            handle.write(str(remaining - 1))
+        os.rename(claim, budget)
+    else:
+        os.unlink(claim)
+    os.kill(os.getpid(), signal.SIGKILL)

@@ -44,23 +44,35 @@ class Dispatch:
 
 
 class FarmView:
-    """What a scheduler may know about the farm: sizes and estimates."""
+    """What a scheduler may know about the farm: sizes and estimates.
+
+    ``available`` is the cycle each node frees up (all zeros for a fresh
+    day); the incremental feedback loop re-plans mid-day by handing the
+    scheduler a view whose nodes are already busy.
+    """
 
     def __init__(
         self,
         num_nodes: int,
         slos: Sequence[SloClass],
         estimates: Sequence[Sequence[int]],
+        available: Sequence[int] | None = None,
     ):
         if num_nodes < 1:
             raise SchedulerError(f"num_nodes must be >= 1, got {num_nodes}")
         if len(estimates) != num_nodes:
             raise SchedulerError("estimates must have one row per node")
+        if available is not None and len(available) != num_nodes:
+            raise SchedulerError("available must have one entry per node")
         self.num_nodes = num_nodes
         #: SLO class per service index.
         self.slos = tuple(slos)
         #: ``estimates[node][service]`` — static cycles of one job.
         self.estimates = tuple(tuple(row) for row in estimates)
+        #: Cycle each node becomes free (0 = free from the start).
+        self.available = (
+            tuple(available) if available is not None else (0,) * num_nodes
+        )
 
     def estimate(self, node: int, service: int) -> int:
         return self.estimates[node][service]
@@ -83,7 +95,7 @@ class FcfsScheduler:
     name = "fcfs"
 
     def dispatch(self, jobs: Sequence[Job], view: FarmView) -> list[Dispatch]:
-        busy_until = [0] * view.num_nodes
+        busy_until = list(view.available)
         plan: list[Dispatch] = []
         for job in jobs:
             node = min(range(view.num_nodes), key=lambda n: (busy_until[n], n))
@@ -99,7 +111,7 @@ class StaticPartitionScheduler:
     name = "static-partition"
 
     def dispatch(self, jobs: Sequence[Job], view: FarmView) -> list[Dispatch]:
-        busy_until = [0] * view.num_nodes
+        busy_until = list(view.available)
         plan: list[Dispatch] = []
         for job in jobs:
             node = job.service % view.num_nodes
@@ -115,7 +127,7 @@ class PredictiveScheduler:
     name = "predictive"
 
     def dispatch(self, jobs: Sequence[Job], view: FarmView) -> list[Dispatch]:
-        busy_until = [0] * view.num_nodes
+        busy_until = list(view.available)
         plan: list[Dispatch] = []
         # Token accrual is linear with one slope per service, so within a
         # service the oldest queued job always holds the most tokens: only

@@ -44,6 +44,23 @@ kind                    emitted by / meaning
                         (``latency`` is publish-to-deliver cycles)
 ``INVARIANT_VIOLATION`` online monitor (report mode) — a runtime invariant
                         did not hold (``check`` names it)
+``NODE_SUSPECT``        farm health — a node missed its heartbeat window
+                        while holding work (``stalled_cycles`` says how long)
+``NODE_DOWN``           farm health — a node was declared dead (missed the
+                        dead-after window, or a classified worker death)
+``JOB_MIGRATED``        farm resilience — a job stranded on a dead node was
+                        re-planned onto a surviving node
+``HEDGE_DISPATCH``      farm resilience — an overdue job on a suspect node
+                        was speculatively duplicated on a healthy node
+``HEDGE_WIN``           farm resilience — a hedged job's first result landed
+                        (``source`` says which copy won)
+``HEDGE_WASTED``        farm resilience — the losing copy of a hedged job
+                        completed after the winner and was discarded
+``MODE_SWITCH``         farm resilience — MESC-style criticality mode change
+                        (``mode`` is ``degraded``/``normal``; capacity drop
+                        sheds low-criticality classes)
+``MEASURE_RETRY``       farm measure phase — a crashed worker set was re-run
+                        (``attempt``/``budget`` count the retry budget)
 ======================  =====================================================
 
 ``cycle`` is the accelerator clock at emission and is non-decreasing within
@@ -84,6 +101,14 @@ class EventKind(enum.Enum):
     ROS_RETRY = "ros_retry"
     ROS_ACK = "ros_ack"
     INVARIANT_VIOLATION = "invariant_violation"
+    NODE_SUSPECT = "node_suspect"
+    NODE_DOWN = "node_down"
+    JOB_MIGRATED = "job_migrated"
+    HEDGE_DISPATCH = "hedge_dispatch"
+    HEDGE_WIN = "hedge_win"
+    HEDGE_WASTED = "hedge_wasted"
+    MODE_SWITCH = "mode_switch"
+    MEASURE_RETRY = "measure_retry"
 
 
 @dataclass(frozen=True)

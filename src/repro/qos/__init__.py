@@ -36,6 +36,7 @@ from repro.qos.admission import (
 from repro.qos.config import (
     AdmissionPolicy,
     BackpressureProfile,
+    ModeSwitchPolicy,
     QosConfig,
     QueuePolicy,
 )
@@ -47,6 +48,7 @@ __all__ = [
     "AdmissionPolicy",
     "BackpressureProfile",
     "InvariantMonitor",
+    "ModeSwitchPolicy",
     "QosConfig",
     "QueuePolicy",
     "Violation",

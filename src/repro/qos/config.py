@@ -72,6 +72,37 @@ class BackpressureProfile:
 
 
 @dataclass(frozen=True)
+class ModeSwitchPolicy:
+    """MESC-style criticality mode switch for a degraded farm.
+
+    Criticality here is distinct from priority: a job's SLO *rank* orders
+    pre-emption on a node, while this policy decides which classes the
+    cluster keeps serving at all when capacity drops.  When the surviving
+    nodes' aggregate throughput falls below ``capacity_threshold`` of the
+    healthy farm's, the runtime switches to degraded mode and sheds every
+    not-yet-dispatched job whose class rank is ``>= shed_min_rank`` (shed
+    jobs stay accounted — they are reported, never lost).  With
+    ``restore=True`` the switch is reversible: capacity recovering above
+    the threshold (a hung node healing) returns the farm to normal mode.
+    """
+
+    capacity_threshold: float = 0.75
+    shed_min_rank: int = 2
+    restore: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.capacity_threshold <= 1.0:
+            raise QosError(
+                f"capacity_threshold must be in (0, 1], got "
+                f"{self.capacity_threshold}"
+            )
+        if self.shed_min_rank < 0:
+            raise QosError(
+                f"shed_min_rank must be >= 0, got {self.shed_min_rank}"
+            )
+
+
+@dataclass(frozen=True)
 class QosConfig:
     """One options object arming the runtime's overload defences.
 

@@ -8,7 +8,7 @@ bit-exactly from the last snapshot when a worker (or the gateway itself)
 dies.  See ``docs/serving-gateway.md``.
 """
 
-from repro.serve.gateway import ServeGateway
+from repro.serve.gateway import ServeGateway, classify_exit
 from repro.serve.journal import JobJournal, JobState, JournalEvent, JournalRecord
 from repro.serve.snapshot import (
     SnapshotInfo,
@@ -29,6 +29,7 @@ __all__ = [
     "JournalRecord",
     "ServeGateway",
     "SnapshotInfo",
+    "classify_exit",
     "execute_job",
     "load_result",
     "probe_snapshot",

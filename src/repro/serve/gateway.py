@@ -51,6 +51,20 @@ from repro.serve.journal import (
 from repro.serve.worker import JobResult, JobSpec, execute_job, load_result, worker_main
 
 
+def classify_exit(exitcode: int | None) -> str:
+    """One taxonomy for worker deaths: ``signal N`` / ``exit code N``.
+
+    Negative exit codes are deaths by signal (``kill -9`` → ``signal 9``);
+    anything else is the raw exit status.  The gateway journals this string
+    in ``worker_death`` events, and the farm's resilience layer
+    (:meth:`repro.farm.resilience.NodeHealth.note_worker_death`) consumes
+    the same strings — one vocabulary end to end.
+    """
+    if exitcode is not None and exitcode < 0:
+        return f"signal {-exitcode}"
+    return f"exit code {exitcode}"
+
+
 class ServeGateway:
     """Durable async job gateway over one journal directory."""
 
@@ -317,10 +331,7 @@ class ServeGateway:
                 continue
             # The worker died without journaling an outcome: a crash.
             exitcode = process.exitcode
-            reason = (
-                f"signal {-exitcode}" if exitcode is not None and exitcode < 0
-                else f"exit code {exitcode}"
-            )
+            reason = classify_exit(exitcode)
             self.journal.record_event(
                 job_id,
                 WORKER_DEATH,
@@ -420,4 +431,4 @@ class ServeGateway:
         self._deadlines[record.job_id] = time.monotonic() + max(0.0, remaining)
 
 
-__all__ = ["ServeGateway"]
+__all__ = ["ServeGateway", "classify_exit"]

@@ -79,6 +79,8 @@ SUBMITTED = "submitted"
 STARTED = "started"
 SNAPSHOT = "snapshot"
 WORKER_DEATH = "worker_death"
+SNAPSHOT_CORRUPT = "snapshot_corrupt"
+SNAPSHOT_DISCARDED = "snapshot_discarded"
 RESUMED = "resumed"
 RETRY = "retry"
 COMPLETED = "completed"
@@ -210,6 +212,20 @@ class JobJournal:
             if updated.rowcount == 0:
                 raise ServeError(f"unknown job {job_id!r}")
             self._event(conn, job_id, SNAPSHOT, {"path": path, "cycle": cycle})
+
+    def clear_snapshot(self, job_id: str) -> None:
+        """Forget a job's snapshot (it is corrupt or stale) — the next
+        attempt starts from scratch instead of resuming."""
+        now = time.time()
+        with self._connect() as conn:
+            updated = conn.execute(
+                "UPDATE jobs SET snapshot_path = NULL, snapshot_cycle = NULL,"
+                " updated_at = ? WHERE job_id = ?",
+                (now, job_id),
+            )
+            if updated.rowcount == 0:
+                raise ServeError(f"unknown job {job_id!r}")
+            self._event(conn, job_id, SNAPSHOT_DISCARDED, {})
 
     def complete(self, job_id: str, result: Any) -> None:
         now = time.time()

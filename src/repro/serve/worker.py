@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
-from repro.errors import ServeError
+from repro.errors import ServeError, SnapshotError
 from repro.farm.node import (
     NodeAssignment,
     NodeJobResult,
@@ -36,7 +36,7 @@ from repro.farm.node import (
     submit_assignment,
 )
 from repro.obs.config import ObsConfig
-from repro.serve.journal import FAILED, JobJournal, JobState
+from repro.serve.journal import FAILED, SNAPSHOT_CORRUPT, JobJournal, JobState
 from repro.serve.snapshot import restore_system, snapshot_system
 
 #: Exit code of a worker that simulated a hard crash (test hook).
@@ -115,20 +115,40 @@ def execute_job(
     Fresh start: build the node system, submit the dispatch plan, run.
     Resume: build the *same* system, restore the journal's last snapshot
     (which carries the pending request heap — the plan is NOT re-submitted),
-    continue from the captured cycle.  Either way the run proceeds in
-    ``snapshot_every_cycles`` chunks with a journaled snapshot at each
-    boundary.
+    continue from the captured cycle.  A snapshot that fails to restore —
+    truncated write, bit rot, poisoned by a chaos plan — is not fatal: the
+    corruption is journaled (``snapshot_corrupt``), the snapshot is
+    discarded from the journal, and the attempt falls back to a fresh
+    start (exactness is preserved; only the resume shortcut is lost).
+    Either way the run proceeds in ``snapshot_every_cycles`` chunks with a
+    journaled snapshot at each boundary.
     """
     assignment = spec.assignment
     record = journal.get(job_id)
     system = _build_system(spec)
 
     resumed_from = 0
+    resumed = False
     if record.snapshot_path and os.path.exists(record.snapshot_path):
-        restore_system(system, record.snapshot_path)
-        per_slot = expected_per_slot(assignment)
-        resumed_from = system.clock
-    else:
+        try:
+            restore_system(system, record.snapshot_path)
+        except SnapshotError as exc:
+            journal.record_event(
+                job_id,
+                SNAPSHOT_CORRUPT,
+                {
+                    "attempt": attempt,
+                    "path": record.snapshot_path,
+                    "error": str(exc),
+                },
+            )
+            journal.clear_snapshot(job_id)
+            system = _build_system(spec)
+        else:
+            per_slot = expected_per_slot(assignment)
+            resumed_from = system.clock
+            resumed = True
+    if not resumed:
         if spec.functional:
             _apply_inputs(system, spec)
         per_slot = submit_assignment(assignment, system)

@@ -405,6 +405,54 @@ class TestFarmWorkerRetry:
         assert durable.report.makespan_cycles == baseline.report.makespan_cycles
 
 
+class TestCorruptSnapshotFallback:
+    def test_poisoned_snapshot_falls_back_to_fresh_start(
+        self, tmp_path, assignment, golden
+    ):
+        """A resume whose snapshot fails its CRC journals the corruption,
+        discards the snapshot, and replays from scratch — same records."""
+        from repro.farm import poison_snapshot_file
+        from repro.farm.node import submit_assignment
+        from repro.serve import execute_job
+
+        golden_records, golden_clock = golden
+        journal = JobJournal(tmp_path / "journal.db")
+        spec = JobSpec(assignment=assignment, snapshot_every_cycles=4_000)
+        journal.submit("j1", spec)
+        journal.start_attempt("j1")
+        # Simulate a first attempt that snapshotted mid-replay, then died.
+        system = build_node_system(assignment.config, assignment.services)
+        submit_assignment(assignment, system)
+        system.run(until_cycle=8_000)
+        snap = tmp_path / "j1.snap"
+        snapshot_system(system, snap, meta={"job_id": "j1"})
+        journal.record_snapshot("j1", str(snap), system.clock)
+
+        poison_snapshot_file(snap, seed=3)
+        with pytest.raises(SnapshotError):
+            read_snapshot(snap)  # the poison helper defeats the CRC
+
+        attempt = journal.start_attempt("j1", resumed=True)
+        result = execute_job("j1", spec, journal, tmp_path, attempt=attempt)
+        assert record_tuples(result.records) == record_tuples(golden_records)
+        assert result.final_cycle == golden_clock
+        assert result.resumed_from_cycle == 0  # fresh start, not a resume
+        kinds = [event.kind for event in journal.events("j1")]
+        assert "snapshot_corrupt" in kinds
+        assert "snapshot_discarded" in kinds
+
+    def test_clear_snapshot(self, tmp_path):
+        journal = JobJournal(tmp_path / "journal.db")
+        journal.submit("j1", {"spec": 1})
+        journal.record_snapshot("j1", "/tmp/x.snap", cycle=500)
+        journal.clear_snapshot("j1")
+        record = journal.get("j1")
+        assert record.snapshot_path is None
+        assert record.snapshot_cycle is None
+        with pytest.raises(ServeError):
+            journal.clear_snapshot("missing")
+
+
 def test_header_layout_is_stable():
     """The on-disk header is part of the format contract."""
     assert _HEADER.size == 24
