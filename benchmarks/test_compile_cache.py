@@ -1,0 +1,177 @@
+"""Cross-process warm start: a multi-process farm day, cold vs warm cache.
+
+The compiled VI-ISA program is a static deployment artefact, so a farm
+binary that starts fresh (new process, nothing in memory) should pay the
+compile cost at most once per artefact *ever*, not once per process.  This
+benchmark runs the same heavy farm day repeatedly, each run in its own
+fresh Python process (so no in-process memo can leak warmth between runs):
+
+* **uncached** — no cache directory configured: every config compiles.
+* **cold**     — ``REPRO_COMPILE_CACHE`` points at an emptied directory:
+  every compile misses, stores, and pays the write cost too.
+* **warm**     — same directory, now populated: every compile is an
+  artefact load.
+
+Cold and warm each run twice (the directory is re-emptied before every
+cold attempt) and the timing comparison takes the fastest attempt per
+mode; every attempt, fast or slow, must still be bit-identical.
+
+Headline claims:
+
+* warm is at least :data:`SPEEDUP_FLOOR` x faster than cold end-to-end;
+* the warm run is bit-identical to the uncached run — same
+  :class:`~repro.farm.metrics.FarmReport`, same outcome multiset — so the
+  cache is a pure wall-clock optimization.
+
+The day itself is compile-heavy on purpose (six distinct accelerator
+designs, two large networks each): it models the farm's real morning —
+many heterogeneous nodes coming up at once to serve a few early jobs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from benchmarks.conftest import write_result
+
+SPEEDUP_FLOOR = 3.0
+
+#: Runs inside a fresh interpreter; prints one JSON line. Timing starts
+#: after imports (interpreter/numpy start-up is identical across runs and
+#: is not what the cache changes).
+DAY_SCRIPT = r"""
+import json, time
+from dataclasses import replace
+
+from repro.analysis.design_space import default_design_grid
+from repro.farm import (
+    Farm, PredictiveScheduler, ServiceSpec, SloClass, TenantSpec,
+    TrafficSpec, generate_jobs,
+)
+from repro.compiler.cache import default_cache
+
+GOLD = SloClass("gold", rank=0, weight=8.0, deadline_cycles=8_000_000)
+SILVER = SloClass("silver", rank=1, weight=3.0, deadline_cycles=30_000_000)
+SERVICES = (
+    ServiceSpec("classify", "mobilenet_v1", GOLD),
+    ServiceSpec("detect", "darknet19", SILVER),
+)
+
+small, big, wide_bw, double = default_design_grid()
+GRID = [
+    big,
+    wide_bw,
+    double,
+    replace(big, name="angel-eye-s4", max_stripes_per_tile=4),
+    replace(big, name="angel-eye-f2", instruction_fetch_cycles=2),
+    replace(double, name="angel-eye-2x-hbw", ddr=replace(double.ddr, bytes_per_cycle=16.0)),
+]
+
+SPEC = TrafficSpec(
+    tenants=tuple(
+        TenantSpec(
+            i,
+            service=i % len(SERVICES),
+            mean_interarrival_cycles=1_500_000,
+            pattern="poisson",
+        )
+        for i in range(4)
+    ),
+    duration_cycles=6_000_000,
+    seed=20,
+)
+
+jobs = generate_jobs(SPEC)
+start = time.perf_counter()
+farm = Farm(GRID, SERVICES, PredictiveScheduler())
+result = farm.serve(jobs, max_workers=len(GRID))
+elapsed = time.perf_counter() - start
+
+cache = default_cache()
+print(json.dumps({
+    "seconds": elapsed,
+    "jobs": len(jobs),
+    "report": result.report.format(),
+    "outcomes": sorted(
+        [o.job_id, o.tenant_id, o.service, o.node, o.arrival_cycle,
+         o.dispatch_cycle, o.complete_cycle]
+        for o in result.outcomes
+    ),
+    "cache": cache.stats.format() if cache is not None else "disabled",
+}))
+"""
+
+
+def run_day(cache_dir: str | None) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parent.parent / "src")
+    env.pop("REPRO_COMPILE_CACHE", None)
+    if cache_dir is not None:
+        env["REPRO_COMPILE_CACHE"] = cache_dir
+    proc = subprocess.run(
+        [sys.executable, "-c", DAY_SCRIPT],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=1200,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def best_of(runs: list[dict]) -> dict:
+    """The fastest attempt — every run is checked for identity anyway, so
+    the timing comparison uses the least-noise sample per mode (shared CI
+    boxes spike; the minimum is the standard stable estimator)."""
+    return min(runs, key=lambda run: run["seconds"])
+
+
+def test_warm_cache_speedup_and_bit_identity(tmp_path):
+    cache_dir = tmp_path / "compile-cache"
+
+    uncached = run_day(None)
+    cold_runs = []
+    warm_runs = []
+    for _ in range(2):
+        for entry in cache_dir.glob("*"):  # re-cold: drop every entry
+            entry.unlink()
+        cold_runs.append(run_day(str(cache_dir)))
+        warm_runs.append(run_day(str(cache_dir)))
+    cold = best_of(cold_runs)
+    warm = best_of(warm_runs)
+
+    for run in cold_runs + warm_runs:
+        assert run["report"] == uncached["report"]
+        assert run["outcomes"] == uncached["outcomes"]
+
+    speedup = cold["seconds"] / warm["seconds"]
+    speedup_vs_uncached = uncached["seconds"] / warm["seconds"]
+
+    lines = [
+        "compile cache: multi-process farm day, cold vs warm start",
+        f"  grid: 6 distinct accelerator designs x 2 networks "
+        f"(mobilenet_v1 + darknet19), {uncached['jobs']} jobs",
+        "",
+        f"  {'run':<10} {'wall':>9} {'vs warm':>9}  cache",
+        f"  {'uncached':<10} {uncached['seconds']:>8.2f}s "
+        f"{speedup_vs_uncached:>8.2f}x  {uncached['cache']}",
+        f"  {'cold':<10} {cold['seconds']:>8.2f}s "
+        f"{cold['seconds'] / warm['seconds']:>8.2f}x  {cold['cache']}",
+        f"  {'warm':<10} {warm['seconds']:>8.2f}s {1.0:>8.2f}x  {warm['cache']}",
+        "",
+        f"  warm-vs-cold speedup: {speedup:.2f}x (floor {SPEEDUP_FLOOR:.1f}x)",
+        "  bit-identity: cold == warm == uncached "
+        "(FarmReport and outcome multiset)",
+        "",
+        uncached["report"],
+    ]
+    write_result("compile_cache", "\n".join(lines))
+
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"warm-cache farm day only {speedup:.2f}x faster than cold "
+        f"(cold {cold['seconds']:.2f}s, warm {warm['seconds']:.2f}s)"
+    )

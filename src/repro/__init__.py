@@ -36,7 +36,13 @@ the metrics registry independently.
 
 from repro.accel.reference import golden_inference, golden_output
 from repro.accel.runner import RunResult, run_program
-from repro.compiler import CompiledNetwork, ViPolicy, compile_network
+from repro.compiler import (
+    CACHE_ENV_VAR,
+    CompileCache,
+    CompiledNetwork,
+    ViPolicy,
+    compile_network,
+)
 from repro.errors import CheckpointError, EccError, FaultError, ServeError, SnapshotError
 from repro.faults import (
     DeadlineMissed,
@@ -53,7 +59,11 @@ from repro.interrupt import (
     measure_interrupt,
 )
 from repro.errors import InvariantViolation, QosError
-from repro.estimate import RemainingCycles, estimate_job_cycles
+from repro.estimate import (
+    RemainingCycles,
+    estimate_job_cycles,
+    estimate_service_cycles,
+)
 from repro.nn import GraphBuilder, NetworkGraph, TensorShape
 from repro.obs import EventBus, Metrics, ObsConfig, summarize
 from repro.qos import (
@@ -85,8 +95,10 @@ __all__ = [
     "AdmissionPolicy",
     "ArrivalPolicy",
     "BackpressureProfile",
+    "CACHE_ENV_VAR",
     "CPU_LIKE",
     "CheckpointError",
+    "CompileCache",
     "CompiledNetwork",
     "DeadlineMissed",
     "DegradationPolicy",
@@ -121,6 +133,7 @@ __all__ = [
     "compile_network",
     "compile_tasks",
     "estimate_job_cycles",
+    "estimate_service_cycles",
     "golden_inference",
     "golden_output",
     "measure_interrupt",

@@ -1,6 +1,15 @@
 """Compiler: graph -> DDR layout -> original ISA -> VI-ISA."""
 
 from repro.compiler.allocator import NetworkLayout, allocate_network
+from repro.compiler.cache import (
+    CACHE_ENV_VAR,
+    CacheEntry,
+    CacheStats,
+    CompileCache,
+    cache_key,
+    compiler_fingerprint,
+    default_cache,
+)
 from repro.compiler.compile import VI_MODES, CompiledNetwork, compile_network
 from repro.compiler.layer_config import LAYER_KINDS, LayerConfig
 from repro.compiler.lowering import build_layer_configs, lower_network
@@ -28,7 +37,14 @@ from repro.compiler.weights import (
 
 __all__ = [
     "ACTIVATION_FRAC_BITS",
+    "CACHE_ENV_VAR",
+    "CacheEntry",
+    "CacheStats",
+    "CompileCache",
     "CompiledNetwork",
+    "cache_key",
+    "compiler_fingerprint",
+    "default_cache",
     "DEFAULT_SHIFT",
     "DEFAULT_VI_POLICY",
     "ViPolicy",

@@ -1,0 +1,795 @@
+"""Persistent on-disk compile cache for cross-process warm start.
+
+The compiled VI-ISA program is a *static deployment artefact* (the paper's
+Fig. 1(c)): for a fixed network graph, accelerator config and compiler
+version the compile is a pure function, so its result can be built once and
+reused by every process that ever serves that workload.  This module is the
+content-addressed store that makes the reuse cross-process:
+
+* **key** — a SHA-256 over a canonical description of the network graph,
+  the :class:`~repro.hw.config.AcceleratorConfig`, every compile parameter
+  that shapes the artefact (base address, weight mode/seed, VI policy,
+  quantization percentile, verify gate) and the compiler fingerprint
+  (package version + cache format).  Any delta in any input produces a new
+  key — invalidation is automatic, stale entries are simply never read.
+* **value** — the pickled :class:`~repro.compiler.compile.CompiledNetwork`
+  (layout, layer configs, plans, quantization, all vi-mode programs) plus
+  the precomputed :class:`~repro.iau.fastpath.ProgramMeta` prefix sums, so
+  ``execution_meta`` is warm from the very first job of a fresh process.
+* **format** — the snapshot idiom proven by :mod:`repro.serve.snapshot`:
+  a magic + CRC32 header over the payload, written atomically
+  (tmp + fsync + ``os.replace``), so concurrent farm/gateway workers can
+  share one cache directory; a reader never sees a torn entry, and racing
+  writers simply last-write-win an identical artefact.
+* **failure policy** — a missing, truncated, bit-flipped or
+  version-mismatched entry is a *miss*, never an error: the caller falls
+  back to a fresh compile and overwrites the bad entry.
+
+Wiring: pass ``cache=CompileCache(dir)`` to
+:func:`~repro.compiler.compile.compile_network` /
+:func:`~repro.runtime.system.compile_tasks`, or set the
+``REPRO_COMPILE_CACHE`` environment variable to a directory so farm and
+gateway worker subprocesses pick the cache up without any plumbing.
+``python -m repro.compiler.cache`` warms, lists, garbage-collects and
+clears a cache directory (see ``--help``).
+
+Layout (big-endian)::
+
+    offset  size  field
+    ------  ----  --------------------------------------------------
+    0       8     magic  b"INCACCHE"
+    8       2     format version (this module's VERSION)
+    10      2     flags (reserved, 0)
+    12      4     CRC32 of the payload bytes
+    16      8     payload length in bytes
+    24      n     payload: pickle of {"meta", "body", "programs", "plans"}
+
+``meta`` is a small mapping (key, graph/config names, instruction count,
+creation time, compiler fingerprint) readable without decompressing the
+artefact — what ``entries()``/the CLI ``ls`` report.  ``body`` is a
+zlib-compressed pickle of the network shell (layout, layer configs,
+quantization) plus its precomputed metas; ``programs`` maps each vi-mode
+to its own zlib-compressed pickled :class:`~repro.isa.program.Program`
+and ``plans`` holds the tiling plans the same way.  Both hydrate lazily:
+a serving worker runs one program variant and never reads the plans, so
+most of the artefact stays compressed on the warm path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import copy
+import hashlib
+import io
+import os
+import pickle
+import struct
+import time
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Iterator, Mapping
+
+import numpy as np
+
+from repro.compiler.vi_pass import DEFAULT_VI_POLICY
+from repro.obs.events import EventKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.compiler.compile import CompiledNetwork
+    from repro.hw.config import AcceleratorConfig
+    from repro.iau.fastpath import ProgramMeta
+    from repro.nn.graph import NetworkGraph
+    from repro.obs.bus import EventBus
+
+MAGIC = b"INCACCHE"
+#: Bumped whenever the entry format *or* the pickled artefact layout
+#: changes incompatibly; part of the key, so old entries become unreachable
+#: rather than unreadable.
+VERSION = 1
+
+#: Environment variable naming the default cache directory.  When set,
+#: every :func:`~repro.compiler.compile.compile_network` call without an
+#: explicit ``cache=`` goes through it — including farm measure workers and
+#: gateway worker subprocesses, which inherit the parent's environment.
+CACHE_ENV_VAR = "REPRO_COMPILE_CACHE"
+
+_HEADER = struct.Struct(">8sHHIQ")
+_SUFFIX = ".inca"
+
+#: Program variants whose :class:`ProgramMeta` is precomputed at store time
+#: (the deployment artefact's fast path is warm from the first job; the
+#: other variants rebuild lazily as before).
+DEFAULT_META_MODES = ("vi",)
+
+
+def compiler_fingerprint() -> str:
+    """Version stamp invalidating every entry on a compiler change."""
+    import repro
+
+    return f"repro-{repro.__version__}/cache-v{VERSION}"
+
+
+def _describe_graph(graph: "NetworkGraph") -> list[str]:
+    """Canonical, content-complete text form of a network graph.
+
+    Layer and shape dataclass reprs contain only field values (no object
+    identities), so the description is stable across processes and runs.
+    """
+    lines = [f"graph {graph.name!r} ({len(graph.layers)} layers)"]
+    for layer in graph.layers:
+        lines.append(f"  layer {layer!r}")
+    for name, shape in graph.shapes.items():
+        lines.append(f"  shape {name!r} -> {shape!r}")
+    return lines
+
+
+def cache_key(
+    graph: "NetworkGraph",
+    config: "AcceleratorConfig",
+    *,
+    base_addr: int = 0,
+    weights: str = "random",
+    seed: int = 0,
+    vi_policy: Any = DEFAULT_VI_POLICY,
+    weight_percentile: float = 99.9,
+    verify_mode: str = "structural",
+) -> str:
+    """Content hash addressing one compiled artefact.
+
+    Mirrors every :func:`~repro.compiler.compile.compile_network` parameter
+    that shapes the output, plus :func:`compiler_fingerprint`.  Two compiles
+    share a key iff they are guaranteed to produce bit-identical artefacts.
+    """
+    parts = [f"fingerprint {compiler_fingerprint()}"]
+    parts += _describe_graph(graph)
+    parts += [
+        f"config {config!r}",
+        f"base_addr {base_addr}",
+        f"weights {weights!r}",
+        f"seed {seed}",
+        f"vi_policy {vi_policy!r}",
+        f"weight_percentile {weight_percentile!r}",
+        f"verify {verify_mode!r}",
+    ]
+    return hashlib.sha256("\n".join(parts).encode()).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Per-process counters of one :class:`CompileCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    store_failures: int = 0
+    corrupt: int = 0
+    hit_seconds: float = 0.0
+    miss_seconds: float = 0.0
+
+    def format(self) -> str:
+        return (
+            f"hits={self.hits} misses={self.misses} stores={self.stores} "
+            f"store_failures={self.store_failures} corrupt={self.corrupt} "
+            f"hit_s={self.hit_seconds:.3f} miss_s={self.miss_seconds:.3f}"
+        )
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One stored artefact's cheap-to-read identity (header + meta only)."""
+
+    path: str
+    key: str
+    graph: str
+    config: str
+    instructions: int
+    payload_bytes: int
+    created_unix: float
+    fingerprint: str
+
+    @property
+    def age_s(self) -> float:
+        return max(0.0, time.time() - self.created_unix)
+
+
+class _LazyPrograms(dict):
+    """``vi_mode -> Program`` mapping that hydrates variants on demand.
+
+    A cache load hands back three pickled program blobs; most consumers
+    only ever run one variant (the farm runs ``"vi"``), so the other blobs
+    stay compressed until first access — and a dispatcher that prices jobs
+    off the stored :class:`ProgramMeta` never unpickles *any* of them; its
+    forked measure workers hydrate their own variant in parallel.
+    ``on_hydrate`` fires once per variant as it materializes (the cache
+    uses it to prime the network's ``execution_meta``).  Whole-mapping
+    views (iteration, ``items``/``keys``/``values``, equality, pickling)
+    hydrate everything first, so the mapping is indistinguishable from the
+    plain dict a fresh compile produces.
+    """
+
+    def __init__(self, blobs: Mapping[str, bytes], on_hydrate: Any = None):
+        super().__init__()
+        self._blobs = dict(blobs)
+        self._on_hydrate = on_hydrate
+
+    def _hydrate(self, key: str) -> None:
+        blob = self._blobs.pop(key, None)
+        if blob is not None:
+            program = pickle.loads(zlib.decompress(blob))
+            super().__setitem__(key, program)
+            if self._on_hydrate is not None:
+                self._on_hydrate(key, program)
+
+    def _hydrate_all(self) -> None:
+        for key in list(self._blobs):
+            self._hydrate(key)
+
+    def __getitem__(self, key: str):
+        if not super().__contains__(key):
+            self._hydrate(key)
+        return super().__getitem__(key)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        try:
+            return self[key]
+        except KeyError:
+            return default
+
+    def __contains__(self, key: object) -> bool:
+        return super().__contains__(key) or key in self._blobs
+
+    def __len__(self) -> int:
+        return super().__len__() + len(self._blobs)
+
+    def __iter__(self) -> Iterator[str]:
+        self._hydrate_all()
+        return super().__iter__()
+
+    def keys(self):  # type: ignore[override]
+        self._hydrate_all()
+        return super().keys()
+
+    def items(self):  # type: ignore[override]
+        self._hydrate_all()
+        return super().items()
+
+    def values(self):  # type: ignore[override]
+        self._hydrate_all()
+        return super().values()
+
+    def __eq__(self, other: object) -> bool:
+        self._hydrate_all()
+        if isinstance(other, _LazyPrograms):
+            other._hydrate_all()
+        return super().__eq__(other)
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __reduce__(self):
+        # Pickles (and deep-copies) as the plain dict it stands in for.
+        self._hydrate_all()
+        return (dict, (dict(super().items()),))
+
+
+def _zeros(shape: tuple, dtype: str) -> np.ndarray:
+    """Reconstructor for zero arrays elided by :class:`_BodyPickler`."""
+    return np.zeros(shape, dtype=np.dtype(dtype))
+
+
+class _BodyPickler(pickle.Pickler):
+    """Pickler that stores all-zero numpy buffers as (shape, dtype) only.
+
+    A timing-mode compile (``weights='zeros'``, the farm default) leaves
+    the multi-MiB DDR image entirely zero; shipping those bytes through
+    zlib and back is most of an entry's body cost on both sides.  Eliding
+    them keeps the artefact bit-identical — ``np.zeros`` rebuilds the
+    exact buffer — while random-weight compiles pass through untouched.
+    """
+
+    def reducer_override(self, obj: Any):
+        if (
+            isinstance(obj, np.ndarray)
+            and obj.nbytes >= 4096
+            and not obj.dtype.hasobject
+            and obj.flags.c_contiguous
+            and not obj.any()
+        ):
+            return (_zeros, (obj.shape, obj.dtype.str))
+        return NotImplemented
+
+
+def _dumps_body(document: Any) -> bytes:
+    buffer = io.BytesIO()
+    _BodyPickler(buffer, protocol=pickle.HIGHEST_PROTOCOL).dump(document)
+    return buffer.getvalue()
+
+
+class _LazyPlans(list):
+    """Tiling-plan list that hydrates from its compressed blob on first use.
+
+    ``CompiledNetwork.plans`` is a compiler- and test-facing artefact
+    (tiling inspection); the runtime never reads it, so a warm load keeps
+    it compressed until something actually looks.  Any observation
+    (length, indexing, iteration, equality, pickling) hydrates the whole
+    list, after which it is indistinguishable from the plain list a fresh
+    compile produces.
+    """
+
+    def __init__(self, blob: bytes):
+        super().__init__()
+        self._blob: bytes | None = blob
+
+    def _hydrate(self) -> None:
+        if self._blob is not None:
+            blob, self._blob = self._blob, None
+            super().extend(pickle.loads(zlib.decompress(blob)))
+
+    def __len__(self) -> int:
+        self._hydrate()
+        return super().__len__()
+
+    def __getitem__(self, index):
+        self._hydrate()
+        return super().__getitem__(index)
+
+    def __iter__(self):
+        self._hydrate()
+        return super().__iter__()
+
+    def __reversed__(self):
+        self._hydrate()
+        return super().__reversed__()
+
+    def __contains__(self, item: object) -> bool:
+        self._hydrate()
+        return super().__contains__(item)
+
+    def __eq__(self, other: object) -> bool:
+        self._hydrate()
+        if isinstance(other, _LazyPlans):
+            other._hydrate()
+        return super().__eq__(other)
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __reduce__(self):
+        # Pickles (and deep-copies) as the plain list it stands in for.
+        self._hydrate()
+        return (list, (list(iter(self)),))
+
+
+class CompileCache:
+    """A content-addressed directory of compiled networks.
+
+    Safe to share between concurrent processes: writes are atomic
+    (tmp + fsync + rename) and every read validates magic, version and
+    CRC32 before unpickling.  All read-path failures degrade to a miss.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        bus: "EventBus | None" = None,
+        meta_modes: tuple[str, ...] = DEFAULT_META_MODES,
+    ):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        #: Optional obs bus: COMPILE_CACHE_HIT / COMPILE_CACHE_MISS events
+        #: (cycle 0 — compile time is host time, not simulated time).
+        self.bus = bus
+        self.meta_modes = tuple(meta_modes)
+        self.stats = CacheStats()
+
+    # -- paths -------------------------------------------------------------
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}{_SUFFIX}"
+
+    def _paths(self) -> Iterator[Path]:
+        yield from sorted(self.root.glob(f"*{_SUFFIX}"))
+
+    # -- store -------------------------------------------------------------
+
+    def store(self, key: str, network: "CompiledNetwork") -> Path | None:
+        """Write one compiled artefact atomically; returns its path.
+
+        The program variants are pickled as separate compressed blobs so a
+        loader can hydrate only the variant it runs (a farm worker needs
+        ``"vi"`` alone; the others decompress on first access).  This is
+        where most of the warm-start win comes from: instruction tuples
+        dominate deserialization cost and two of the three variants are
+        usually never touched.
+
+        Never raises on I/O trouble (a read-only or full cache directory
+        must not break the compile that just succeeded): failures count in
+        ``stats.store_failures`` and return ``None``.
+        """
+        metas = {
+            mode: network.execution_meta(network.programs[mode])
+            for mode in self.meta_modes
+            if mode in network.programs
+        }
+        programs = {
+            mode: zlib.compress(
+                pickle.dumps(program, protocol=pickle.HIGHEST_PROTOCOL), 3
+            )
+            for mode, program in network.programs.items()
+        }
+        plans = zlib.compress(
+            pickle.dumps(list(network.plans), protocol=pickle.HIGHEST_PROTOCOL), 3
+        )
+        # Shallow clone with programs and plans detached: the body then
+        # carries layout/configs/quantization only (instructions and tiling
+        # plans are flat records with no references into the rest of the
+        # artefact, so splitting them out loses no shared structure).
+        shell = copy.copy(network)
+        shell.programs = {}
+        shell.plans = []
+        body = zlib.compress(_dumps_body({"network": shell, "metas": metas}), 3)
+        meta = {
+            "key": key,
+            "graph": network.graph.name,
+            "config": network.config.name,
+            "instructions": len(network.programs["vi"]),
+            "created_unix": time.time(),
+            "fingerprint": compiler_fingerprint(),
+        }
+        payload = pickle.dumps(
+            {"meta": meta, "body": body, "programs": programs, "plans": plans},
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        header = _HEADER.pack(MAGIC, VERSION, 0, zlib.crc32(payload), len(payload))
+        path = self.path_for(key)
+        tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
+        try:
+            with open(tmp, "wb") as handle:
+                handle.write(header)
+                handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        except OSError:
+            self.stats.store_failures += 1
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return None
+        self.stats.stores += 1
+        return path
+
+    # -- load --------------------------------------------------------------
+
+    def _read_document(self, path: Path) -> Mapping[str, Any] | None:
+        """Validated outer document of one entry, or ``None`` on anything."""
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            return None
+        if len(raw) < _HEADER.size:
+            self.stats.corrupt += 1
+            return None
+        magic, version, _flags, crc, length = _HEADER.unpack_from(raw)
+        payload = raw[_HEADER.size :]
+        if (
+            magic != MAGIC
+            or version != VERSION
+            or len(payload) != length
+            or zlib.crc32(payload) != crc
+        ):
+            self.stats.corrupt += 1
+            return None
+        try:
+            document = pickle.loads(payload)
+        except Exception:
+            self.stats.corrupt += 1
+            return None
+        if not isinstance(document, dict) or "body" not in document:
+            self.stats.corrupt += 1
+            return None
+        return document
+
+    def load(self, key: str) -> "CompiledNetwork | None":
+        """The cached artefact for ``key``, or ``None`` (always a miss,
+        never an error).  The stored :class:`ProgramMeta` objects land in
+        the network's mode-keyed meta table immediately (so cycle
+        estimates are warm without touching any program); program variants
+        and tiling plans hydrate lazily on first access, and hydrating a
+        variant primes its ``execution_meta`` as a side effect."""
+        document = self._read_document(self.path_for(key))
+        if document is None:
+            return None
+        meta = document.get("meta", {})
+        if meta.get("fingerprint") != compiler_fingerprint():
+            return None  # copied in from another build: recompile
+        try:
+            blobs = document["programs"]
+            inner = pickle.loads(zlib.decompress(document["body"]))
+            network: "CompiledNetwork" = inner["network"]
+            metas: dict[str, "ProgramMeta"] = inner["metas"]
+
+            def _prime(mode: str, program: Any) -> None:
+                stored = metas.get(mode)
+                if stored is not None:
+                    network.prime_execution_meta(program, stored)
+
+            network.programs = _LazyPrograms(blobs, on_hydrate=_prime)
+            network.plans = _LazyPlans(document["plans"])
+            network._mode_metas = dict(metas)
+        except Exception:
+            self.stats.corrupt += 1
+            return None
+        return network
+
+    def probe(self, key: str) -> CacheEntry | None:
+        """Header + meta of one entry without deserializing the artefact."""
+        path = self.path_for(key)
+        document = self._read_document(path)
+        if document is None:
+            return None
+        return self._entry(path, document)
+
+    def _entry(self, path: Path, document: Mapping[str, Any]) -> CacheEntry:
+        meta = document.get("meta", {})
+        return CacheEntry(
+            path=str(path),
+            key=str(meta.get("key", path.stem)),
+            graph=str(meta.get("graph", "?")),
+            config=str(meta.get("config", "?")),
+            instructions=int(meta.get("instructions", 0)),
+            payload_bytes=path.stat().st_size,
+            created_unix=float(meta.get("created_unix", 0.0)),
+            fingerprint=str(meta.get("fingerprint", "?")),
+        )
+
+    # -- bookkeeping hooks (called by compile_network) ----------------------
+
+    def note_hit(self, key: str, *, graph: str, config: str, seconds: float) -> None:
+        self.stats.hits += 1
+        self.stats.hit_seconds += seconds
+        if self.bus is not None:
+            self.bus.emit(
+                EventKind.COMPILE_CACHE_HIT,
+                cycle=0,
+                key=key,
+                graph=graph,
+                config=config,
+                seconds=seconds,
+            )
+
+    def note_miss(
+        self, key: str, *, graph: str, config: str, seconds: float, stored: bool
+    ) -> None:
+        self.stats.misses += 1
+        self.stats.miss_seconds += seconds
+        if self.bus is not None:
+            self.bus.emit(
+                EventKind.COMPILE_CACHE_MISS,
+                cycle=0,
+                key=key,
+                graph=graph,
+                config=config,
+                seconds=seconds,
+                stored=stored,
+            )
+
+    # -- inspection / maintenance -------------------------------------------
+
+    def entries(self) -> list[CacheEntry]:
+        """Every readable entry (corrupt files are skipped, not raised)."""
+        found = []
+        for path in self._paths():
+            document = self._read_document(path)
+            if document is not None:
+                found.append(self._entry(path, document))
+        return found
+
+    def gc(
+        self,
+        *,
+        max_entries: int | None = None,
+        max_bytes: int | None = None,
+        max_age_s: float | None = None,
+    ) -> list[str]:
+        """Remove entries beyond the given budgets; returns removed paths.
+
+        Unreadable entries and stale ``.tmp`` leftovers are always removed.
+        Age uses the stored creation stamp; size/count budgets evict oldest
+        first.
+        """
+        removed: list[str] = []
+        for leftover in sorted(self.root.glob(f"*{_SUFFIX}.tmp.*")):
+            leftover.unlink(missing_ok=True)
+            removed.append(str(leftover))
+        keep: list[CacheEntry] = []
+        for path in self._paths():
+            document = self._read_document(path)
+            if document is None:
+                path.unlink(missing_ok=True)
+                removed.append(str(path))
+                continue
+            entry = self._entry(path, document)
+            if max_age_s is not None and entry.age_s > max_age_s:
+                path.unlink(missing_ok=True)
+                removed.append(str(path))
+                continue
+            keep.append(entry)
+        keep.sort(key=lambda entry: entry.created_unix)  # oldest first
+        while keep and (
+            (max_entries is not None and len(keep) > max_entries)
+            or (
+                max_bytes is not None
+                and sum(entry.payload_bytes for entry in keep) > max_bytes
+            )
+        ):
+            victim = keep.pop(0)
+            Path(victim.path).unlink(missing_ok=True)
+            removed.append(victim.path)
+        return removed
+
+    def clear(self) -> int:
+        """Remove every entry (and tmp leftover); returns the count."""
+        count = 0
+        for path in list(self.root.glob(f"*{_SUFFIX}")) + list(
+            self.root.glob(f"*{_SUFFIX}.tmp.*")
+        ):
+            path.unlink(missing_ok=True)
+            count += 1
+        return count
+
+
+# -- environment default ----------------------------------------------------
+
+#: One CompileCache per directory per process, so stats accumulate and the
+#: mkdir happens once.
+_DEFAULT_CACHES: dict[str, CompileCache] = {}
+
+
+def default_cache() -> CompileCache | None:
+    """The process-wide cache named by ``REPRO_COMPILE_CACHE`` (or None).
+
+    Read on every compile, so flipping the variable mid-process (tests,
+    notebooks) takes effect immediately.
+    """
+    root = os.environ.get(CACHE_ENV_VAR)
+    if not root:
+        return None
+    cache = _DEFAULT_CACHES.get(root)
+    if cache is None:
+        cache = CompileCache(root)
+        _DEFAULT_CACHES[root] = cache
+    return cache
+
+
+# -- CLI ---------------------------------------------------------------------
+
+#: Zoo builders callable with no arguments — the warmable service models.
+WARMABLE_MODELS = (
+    "tiny_cnn",
+    "tiny_conv",
+    "tiny_residual",
+    "medium_layer_net",
+    "mobilenet_v1",
+    "darknet19",
+)
+
+_CONFIG_NAMES = ("big", "small", "worked_example")
+
+
+def _configs_for(name: str) -> list["AcceleratorConfig"]:
+    from repro.hw.config import AcceleratorConfig
+
+    if name == "all":
+        return [getattr(AcceleratorConfig, item)() for item in _CONFIG_NAMES]
+    if name not in _CONFIG_NAMES:
+        raise SystemExit(
+            f"unknown config {name!r}; choose from {_CONFIG_NAMES + ('all',)}"
+        )
+    return [getattr(AcceleratorConfig, name)()]
+
+
+def _cmd_warm(cache: CompileCache, args: argparse.Namespace) -> int:
+    from repro.compiler.compile import compile_network
+    from repro.farm.node import build_graph
+
+    models = args.model or list(WARMABLE_MODELS)
+    for config in _configs_for(args.config):
+        for model in models:
+            graph = build_graph(model)
+            before = cache.stats.hits
+            start = time.perf_counter()
+            compile_network(
+                graph, config, weights=args.weights, seed=args.seed, cache=cache
+            )
+            verb = "hit  " if cache.stats.hits > before else "store"
+            print(
+                f"{verb} {model:<18} {config.name:<16} "
+                f"{(time.perf_counter() - start) * 1e3:8.1f} ms"
+            )
+    print(f"cache {cache.root}: {cache.stats.format()}")
+    return 0
+
+
+def _cmd_ls(cache: CompileCache, args: argparse.Namespace) -> int:
+    entries = cache.entries()
+    if not entries:
+        print(f"cache {cache.root}: empty")
+        return 0
+    print(f"cache {cache.root}: {len(entries)} entries")
+    print(f"{'key':<16} {'graph':<20} {'config':<16} {'instrs':>8} {'KiB':>9} {'age':>8}")
+    for entry in sorted(entries, key=lambda e: (e.graph, e.config)):
+        print(
+            f"{entry.key[:16]:<16} {entry.graph:<20} {entry.config:<16} "
+            f"{entry.instructions:>8} {entry.payload_bytes / 1024:>9.1f} "
+            f"{entry.age_s:>7.0f}s"
+        )
+    return 0
+
+
+def _cmd_gc(cache: CompileCache, args: argparse.Namespace) -> int:
+    removed = cache.gc(
+        max_entries=args.max_entries,
+        max_bytes=args.max_bytes,
+        max_age_s=args.max_age_s,
+    )
+    print(f"removed {len(removed)} file(s)")
+    for path in removed:
+        print(f"  {path}")
+    return 0
+
+
+def _cmd_clear(cache: CompileCache, args: argparse.Namespace) -> int:
+    print(f"removed {cache.clear()} file(s)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.compiler.cache",
+        description="Warm, inspect and maintain a persistent compile cache.",
+    )
+    parser.add_argument(
+        "--dir",
+        default=os.environ.get(CACHE_ENV_VAR),
+        help=f"cache directory (default: ${CACHE_ENV_VAR})",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    warm = sub.add_parser("warm", help="compile zoo models into the cache")
+    warm.add_argument(
+        "--model",
+        action="append",
+        choices=WARMABLE_MODELS,
+        help="model to warm (repeatable; default: all warmable models)",
+    )
+    warm.add_argument(
+        "--config",
+        default="big",
+        help="accelerator config: big, small, worked_example or all",
+    )
+    warm.add_argument("--weights", default="zeros", choices=("zeros", "random"))
+    warm.add_argument("--seed", type=int, default=0)
+    warm.set_defaults(run=_cmd_warm)
+
+    ls = sub.add_parser("ls", help="list cache entries")
+    ls.set_defaults(run=_cmd_ls)
+
+    gc = sub.add_parser("gc", help="evict entries beyond the given budgets")
+    gc.add_argument("--max-entries", type=int, default=None)
+    gc.add_argument("--max-bytes", type=int, default=None)
+    gc.add_argument("--max-age-s", type=float, default=None)
+    gc.set_defaults(run=_cmd_gc)
+
+    clear = sub.add_parser("clear", help="remove every entry")
+    clear.set_defaults(run=_cmd_clear)
+
+    args = parser.parse_args(argv)
+    if not args.dir:
+        parser.error(f"no cache directory: pass --dir or set ${CACHE_ENV_VAR}")
+    return args.run(CompileCache(args.dir), args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

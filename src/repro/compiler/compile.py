@@ -14,7 +14,10 @@ paper's VI-ISA) and ``"layer"`` (the layer-by-layer interrupt baseline).
 
 from __future__ import annotations
 
+import time
+import weakref
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -34,6 +37,9 @@ from repro.hw.config import AcceleratorConfig
 from repro.isa.program import Program
 from repro.isa.validate import validate_program
 from repro.nn.graph import NetworkGraph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.compiler.cache import CompileCache
 
 #: Program variants a compile produces.
 VI_MODES = ("none", "vi", "layer")
@@ -56,6 +62,11 @@ class CompiledNetwork:
     def __post_init__(self) -> None:
         self._configs_by_id = {cfg.layer_id: cfg for cfg in self.layer_configs}
         self._meta_cache = {}
+        #: Mode-keyed ProgramMeta table, filled by the on-disk compile
+        #: cache at load time.  Unlike ``_meta_cache`` it is keyed by
+        #: vi-mode name, not program identity, so consumers can read
+        #: precomputed totals without materializing the program itself.
+        self._mode_metas = {}
 
     # -- program access ----------------------------------------------------
 
@@ -80,18 +91,78 @@ class CompiledNetwork:
     def execution_meta(self, program: Program):
         """Fast-path metadata of ``program`` on this network's accelerator.
 
-        Built lazily and cached for the lifetime of the compiled network,
-        so every system simulating the same workload shares one O(n)
-        precomputation (see :mod:`repro.iau.fastpath`).
+        Built lazily and cached for the lifetime of the *program*, so every
+        system simulating the same workload shares one O(n) precomputation
+        (see :mod:`repro.iau.fastpath`).  The cache holds weak references:
+        when a program dies, its entry (and the ``ProgramMeta`` it pinned)
+        is evicted, so transient programs cannot accumulate — and an id
+        reused by the allocator can never alias a dead entry.
         """
+        entry = self._meta_cache.get(id(program))
+        if entry is not None and entry[0]() is program:
+            return entry[1]
         from repro.iau.fastpath import build_program_meta
 
+        meta = build_program_meta(self, program)
+        self.prime_execution_meta(program, meta)
+        return meta
+
+    def cached_execution_meta(self, program: Program):
+        """The already-built/primed meta of ``program``, or ``None``.
+
+        A peek that never triggers the O(n) precomputation — consumers that
+        only *prefer* the meta (e.g. the cycle estimator) use this to avoid
+        building one they would use a single field of.
+        """
+        entry = self._meta_cache.get(id(program))
+        if entry is not None and entry[0]() is program:
+            return entry[1]
+        return None
+
+    def cached_mode_meta(self, vi_mode: str):
+        """The stored meta of the ``vi_mode`` variant, or ``None``.
+
+        Served from the mode-keyed table the on-disk compile cache fills at
+        load time, so it never materializes the program — the peek behind
+        O(1) warm-start cycle estimates (see
+        :func:`~repro.estimate.estimate_service_cycles`).
+        """
+        return self._mode_metas.get(vi_mode)
+
+    def prime_execution_meta(self, program: Program, meta) -> None:
+        """Install precomputed fast-path metadata for ``program``.
+
+        Used by the on-disk compile cache to make ``execution_meta`` warm
+        from the first job of a fresh process; also the sole writer of the
+        internal meta cache.
+        """
         key = id(program)
-        hit = self._meta_cache.get(key)
-        if hit is None or hit[0] is not program:
-            hit = (program, build_program_meta(self, program))
-            self._meta_cache[key] = hit
-        return hit[1]
+        cache = self._meta_cache
+
+        def _evict(ref: weakref.ref) -> None:
+            entry = cache.get(key)
+            # Only drop the entry this ref owns: by the time the callback
+            # runs, the id may already name a different, live program.
+            if entry is not None and entry[0] is ref:
+                del cache[key]
+
+        cache[key] = (weakref.ref(program, _evict), meta)
+
+    # -- pickling ------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        # Weak references and the id-keyed caches do not survive a process
+        # boundary; both rebuild cheaply (or are re-primed by the cache).
+        state = dict(self.__dict__)
+        state.pop("_meta_cache", None)
+        state.pop("_configs_by_id", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._configs_by_id = {cfg.layer_id: cfg for cfg in self.layer_configs}
+        self._meta_cache = {}
+        self.__dict__.setdefault("_mode_metas", {})
 
     # -- host-side I/O -------------------------------------------------------
 
@@ -149,6 +220,7 @@ def compile_network(
     vi_policy: ViPolicy = DEFAULT_VI_POLICY,
     weight_percentile: float = 99.9,
     verify: str | None = None,
+    cache: "CompileCache | bool | None" = None,
 ) -> CompiledNetwork:
     """Compile ``graph`` for ``config``.
 
@@ -165,12 +237,50 @@ def compile_network(
     verification entirely.  When ``verify`` is given it overrides the legacy
     ``validate`` flag.  Violations raise :class:`~repro.errors.ProgramError`
     carrying the full diagnostics report.
+
+    ``cache`` is a :class:`~repro.compiler.cache.CompileCache`: a hit skips
+    the whole pipeline (including verification — the artefact was verified
+    under the same mode when it was stored; the mode is part of the key),
+    a miss compiles as usual and stores the result.  The default ``None``
+    uses the directory named by ``REPRO_COMPILE_CACHE`` when set; pass
+    ``False`` to force a fresh compile even then.
     """
     mode = verify if verify is not None else ("structural" if validate else "off")
     if mode not in ("off", "structural", "full"):
         raise CompileError(
             f"unknown verify mode {mode!r}; choose 'off', 'structural' or 'full'"
         )
+    if cache is None:
+        from repro.compiler.cache import default_cache
+
+        cache = default_cache()
+    elif cache is False:
+        cache = None
+    key = ""
+    start = 0.0
+    if cache is not None:
+        from repro.compiler.cache import cache_key
+
+        key = cache_key(
+            graph,
+            config,
+            base_addr=base_addr,
+            weights=weights,
+            seed=seed,
+            vi_policy=vi_policy,
+            weight_percentile=weight_percentile,
+            verify_mode=mode,
+        )
+        start = time.perf_counter()
+        hit = cache.load(key)
+        if hit is not None:
+            cache.note_hit(
+                key,
+                graph=graph.name,
+                config=config.name,
+                seconds=time.perf_counter() - start,
+            )
+            return hit
     layout = allocate_network(graph, base_addr=base_addr)
     quantization = initialize_parameters(
         graph, layout, mode=weights, seed=seed, percentile=weight_percentile
@@ -209,4 +319,13 @@ def compile_network(
         from repro.verify.engine import verify_network
 
         verify_network(compiled).raise_if_errors()
+    if cache is not None:
+        stored = cache.store(key, compiled) is not None
+        cache.note_miss(
+            key,
+            graph=graph.name,
+            config=config.name,
+            seconds=time.perf_counter() - start,
+            stored=stored,
+        )
     return compiled

@@ -28,14 +28,14 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Sequence
 
 from repro.errors import SchedulerError
-from repro.estimate import estimate_job_cycles
+from repro.estimate import estimate_service_cycles
 from repro.farm.metrics import FarmReport, JobOutcome, build_report, join_outcomes
 from repro.farm.node import (
     NodeAssignment,
     NodeJobResult,
     ServiceSpec,
-    build_graph,
     build_node_system,
+    compiled_for_services,
     run_assignment,
     simulate_node,
 )
@@ -46,7 +46,7 @@ from repro.iau.unit import MAX_TASKS
 from repro.obs.bus import EventBus
 from repro.obs.config import ObsConfig
 from repro.obs.events import EventKind
-from repro.runtime.system import MultiTaskSystem, compile_tasks
+from repro.runtime.system import MultiTaskSystem
 
 if TYPE_CHECKING:  # pragma: no cover - resilience imports this module
     from repro.farm.resilience import (
@@ -114,16 +114,27 @@ class Farm:
         self._view = self._build_view()
 
     def _build_view(self) -> FarmView:
-        """Estimate every (node, service) cost once, via the stable API."""
-        graphs = [build_graph(service.model) for service in self.services]
+        """Estimate every (node, service) cost once, via the stable API.
+
+        Compiles go through :func:`~repro.farm.node.compiled_for_services`,
+        so nodes sharing one config share one compile, and a warm on-disk
+        cache (``REPRO_COMPILE_CACHE``) turns the whole pass into artefact
+        loads.
+        """
         estimates = []
         for config in self.node_configs:
-            compiled = compile_tasks(graphs, config)
-            row = []
-            for network in compiled:
-                program = network.program_for(self.vi_mode)
-                row.append(estimate_job_cycles(config, network, program))
+            compiled = compiled_for_services(config, tuple(self.services))
+            row = [
+                estimate_service_cycles(config, network, self.vi_mode)
+                for network in compiled
+            ]
             estimates.append(row)
+            for network in compiled:
+                # Materialize the served variant now, pre-fork: cache-loaded
+                # networks keep program blobs compressed, and hydrating here
+                # means measure workers inherit the decoded program instead
+                # of each decoding its own copy.
+                network.program_for(self.vi_mode)
         return FarmView(
             num_nodes=len(self.node_configs),
             slos=[service.slo for service in self.services],

@@ -20,7 +20,9 @@ Two accounting extensions feed the resilience layer:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+from fractions import Fraction
 from typing import Sequence
 
 from repro.analysis.tables import format_table
@@ -46,14 +48,25 @@ class JobOutcome:
 
 
 def percentile(values: Sequence[int], p: float) -> int:
-    """Nearest-rank percentile of a non-empty sequence."""
+    """Nearest-rank percentile of a non-empty sequence.
+
+    The rank is ``ceil(N * p / 100)`` computed in exact arithmetic: ``p``
+    is taken at its *decimal* face value (``Fraction(str(p))``), so
+    ``p=99.9`` means 999/1000 — not the nearest binary float, whose excess
+    ~1e-14 would push the rank from 999 to 1000 at N=1000 under float
+    multiply-then-ceil.
+    """
     if not values:
         raise SchedulerError("percentile of an empty sequence")
-    if not 0 < p <= 100:
+    try:
+        fraction = Fraction(str(p))
+    except (ValueError, ZeroDivisionError):
+        raise SchedulerError(f"p must be in (0, 100], got {p}") from None
+    if not 0 < fraction <= 100:
         raise SchedulerError(f"p must be in (0, 100], got {p}")
     ordered = sorted(values)
-    rank = max(1, -(-len(ordered) * p // 100))  # ceil without float error
-    return ordered[int(rank) - 1]
+    rank = math.ceil(len(ordered) * fraction / 100)
+    return ordered[rank - 1]
 
 
 @dataclass(frozen=True)

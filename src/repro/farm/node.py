@@ -11,12 +11,18 @@ on a single robot.
 Everything here is picklable on purpose: :func:`simulate_node` is the
 ``ProcessPoolExecutor`` worker, so a hundred-thousand-job day shards
 across one process per accelerator.  Workers receive model *names* (zoo
-builders) rather than compiled networks — each worker recompiles locally,
-which is cheaper than pickling layouts and keeps the payload tiny.
+builders) rather than compiled networks — each worker compiles locally,
+which keeps the dispatch payload tiny.  The compile itself is reused two
+ways: within one process, :func:`compiled_for_services` memoizes
+``compile_tasks`` by (config, model names) so epoch replays and measure
+retries on the same node compile once; across processes, the on-disk
+:mod:`repro.compiler.cache` (enabled via ``REPRO_COMPILE_CACHE``) makes
+even the first compile of a fresh worker a cheap artefact load.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import repro.zoo as zoo
@@ -69,6 +75,44 @@ def build_graph(model: str):
     return builder()
 
 
+#: Process-wide memo of :func:`compile_tasks` results keyed by
+#: (config, model names).  Bounded LRU: a worker process only ever serves a
+#: handful of node shapes, so a small cap keeps replays warm without
+#: pinning every configuration a long campaign touches.
+_COMPILE_MEMO: OrderedDict = OrderedDict()
+_COMPILE_MEMO_MAX = 8
+
+
+def compiled_for_services(
+    config: AcceleratorConfig, services: tuple[ServiceSpec, ...]
+) -> list:
+    """The compiled networks for one node shape, compiled at most once per
+    process.
+
+    Safe to share across systems because farm measurement is timing-only:
+    a timing run never writes weight or feature DDR regions, so adopting
+    the same compiled networks into consecutive systems is free.  Callers
+    that *do* mutate state (functional jobs) must compile fresh — see
+    :func:`build_node_system`.
+    """
+    key = (config, tuple(service.model for service in services))
+    hit = _COMPILE_MEMO.get(key)
+    if hit is not None:
+        _COMPILE_MEMO.move_to_end(key)
+        return hit
+    graphs = [build_graph(service.model) for service in services]
+    compiled = compile_tasks(graphs, config)
+    _COMPILE_MEMO[key] = compiled
+    if len(_COMPILE_MEMO) > _COMPILE_MEMO_MAX:
+        _COMPILE_MEMO.popitem(last=False)
+    return compiled
+
+
+def clear_compile_memo() -> None:
+    """Drop the process-wide compile memo (benchmarks and tests)."""
+    _COMPILE_MEMO.clear()
+
+
 def build_node_system(
     config: AcceleratorConfig,
     services: tuple[ServiceSpec, ...],
@@ -79,8 +123,13 @@ def build_node_system(
     """One accelerator with every service attached at its slot."""
     if not services:
         raise SchedulerError("a node needs at least one service")
-    graphs = [build_graph(service.model) for service in services]
-    compiled = compile_tasks(graphs, config)
+    if obs is not None and obs.functional:
+        # Functional jobs write DDR (inputs, features): they need private
+        # networks, never the shared memo.
+        graphs = [build_graph(service.model) for service in services]
+        compiled = compile_tasks(graphs, config)
+    else:
+        compiled = compiled_for_services(config, services)
     system = MultiTaskSystem(config, obs=obs)
     for slot, (service, network) in enumerate(zip(services, compiled)):
         system.add_task(slot, network, vi_mode=vi_mode, priority=service.slo.rank)

@@ -61,6 +61,12 @@ kind                    emitted by / meaning
                         sheds low-criticality classes)
 ``MEASURE_RETRY``       farm measure phase — a crashed worker set was re-run
                         (``attempt``/``budget`` count the retry budget)
+``COMPILE_CACHE_HIT``   compiler — a compile was satisfied from the on-disk
+                        cache (``key``/``graph``/``config`` identify the
+                        artefact, ``seconds`` is the load wall time)
+``COMPILE_CACHE_MISS``  compiler — no usable cache entry; a fresh compile
+                        ran (``seconds`` is compile wall time, ``stored``
+                        says whether the result was written back)
 ======================  =====================================================
 
 ``cycle`` is the accelerator clock at emission and is non-decreasing within
@@ -109,6 +115,8 @@ class EventKind(enum.Enum):
     HEDGE_WASTED = "hedge_wasted"
     MODE_SWITCH = "mode_switch"
     MEASURE_RETRY = "measure_retry"
+    COMPILE_CACHE_HIT = "compile_cache_hit"
+    COMPILE_CACHE_MISS = "compile_cache_miss"
 
 
 @dataclass(frozen=True)

@@ -532,17 +532,26 @@ def compile_tasks(
     weights: str = "zeros",
     seed: int = 0,
     gap_bytes: int = 64 * MIB,
+    cache=None,
 ) -> list[CompiledNetwork]:
     """Compile several networks into disjoint DDR windows.
 
     Each network gets its own base address so a :class:`MultiTaskSystem` can
-    adopt all regions into one flat address space.
+    adopt all regions into one flat address space.  ``cache`` is forwarded
+    to :func:`~repro.compiler.compile.compile_network` (each network is a
+    separate cache entry — the base address is part of the key, so any
+    prefix change re-keys the networks behind it).
     """
     compiled: list[CompiledNetwork] = []
     base = 0
     for index, graph in enumerate(graphs):
         network = compile_network(
-            graph, config, base_addr=base, weights=weights, seed=seed + index
+            graph,
+            config,
+            base_addr=base,
+            weights=weights,
+            seed=seed + index,
+            cache=cache,
         )
         compiled.append(network)
         base = _align_up(network.layout.ddr.base + network.layout.ddr.used_bytes + gap_bytes)
