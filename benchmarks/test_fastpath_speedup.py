@@ -1,12 +1,20 @@
-"""Fast-path speedup guard: the horizon-batched dispatch loop must beat the
-step-wise loop by >= 5x on a timing-only multi-task workload.
+"""Fast-path speedup guards: the horizon-batched dispatch loop must beat the
+step-wise loop by >= 5x disarmed and >= 3x with a live FaultPlan.
 
 The workload is ResNet-scale (tens of thousands of instructions per job)
 with periodic overlapping arrivals, exactly the regime the fast path was
 built for: long uninterruptible stretches punctuated by switch points.
 Correctness (cycle- and event-exactness) is covered by
-``tests/test_fastpath.py``; this file pins the *performance* claim and
-records it under ``benchmarks/results/``.
+``tests/test_fastpath.py`` (disarmed) and ``tests/test_fastpath_armed.py``
+(faults + QoS armed); this file pins the *performance* claims and records
+both tables under ``benchmarks/results/``.
+
+The armed run pays for the static interference analysis at every batch:
+``ProgramMeta.stop_for_faults`` intersects the stretch with the fire
+oracle, and each fired fault ends the batch and drops to ``step()`` for
+the recovery window.  A pending SECDED flip disables batching entirely
+until the flipped region is next read (the correction mutates DDR
+mid-stretch), which is why the flip rate dominates the armed cost.
 """
 
 from __future__ import annotations
@@ -15,6 +23,7 @@ import time
 
 import pytest
 
+from repro.faults.plan import FaultPlan, FaultSite
 from repro.nn import TensorShape
 from repro.runtime.system import ArrivalPolicy, MultiTaskSystem, compile_tasks
 from repro.zoo import build_resnet, build_superpoint
@@ -22,6 +31,19 @@ from repro.zoo import build_resnet, build_superpoint
 from .conftest import write_result
 
 SPEEDUP_FLOOR = 5.0
+ARMED_SPEEDUP_FLOOR = 3.0
+
+#: Survivable long-run rates: every instruction-hosted site armed, but dialled
+#: so 14 ResNet-scale jobs finish (campaign ``default_rates`` are tuned for a
+#: single short run — at 500x the draws they exhaust the checkpoint CRC retry
+#: budget, a legitimate detected-fatal, not a benchmark).
+ARMED_RATES = {
+    FaultSite.DDR_BIT_FLIP: 0.0002,
+    FaultSite.DDR_STALL: 0.01,
+    FaultSite.IAU_DROP_PREEMPT: 0.05,
+    FaultSite.IAU_SPURIOUS_PREEMPT: 0.005,
+    FaultSite.CHECKPOINT_CORRUPT: 0.02,
+}
 
 
 @pytest.fixture(scope="module")
@@ -36,9 +58,9 @@ def fastpath_pair(big_config):
     )
 
 
-def run_workload(pair, batched: bool) -> int:
+def run_workload(pair, batched: bool, faults: FaultPlan | None = None) -> int:
     low, high = pair
-    system = MultiTaskSystem(low.config)
+    system = MultiTaskSystem(low.config, faults=faults)
     system.add_task(0, high)
     system.add_task(1, low)
     system.submit(
@@ -89,3 +111,45 @@ def test_fastpath_speedup(fastpath_pair):
 
     assert speedup_cold >= SPEEDUP_FLOOR
     assert speedup_warm >= SPEEDUP_FLOOR
+
+
+def test_fastpath_speedup_armed(fastpath_pair):
+    """Same workload with a live FaultPlan: batching must still pay >= 3x.
+
+    Both paths draw the identical per-site RNG streams (the batched path
+    burns the oracle-vouched safe draws it skipped), so with equal seeds
+    the runs are bit-identical — same final clock, same injected faults.
+    """
+
+    def armed(batched: bool, seed: int = 0):
+        plan = FaultPlan(seed=seed, rates=ARMED_RATES)
+        clock = run_workload(fastpath_pair, batched, faults=plan)
+        return clock, plan
+
+    armed(True)  # warm the program metadata (stretch + opportunity tables)
+
+    stepped_s, (clock_stepped, plan_stepped) = best_of(2, lambda: armed(False))
+    batched_s, (clock_batched, plan_batched) = best_of(2, lambda: armed(True))
+
+    assert clock_batched == clock_stepped  # cycle-exact under fire
+    assert plan_batched.injected == plan_stepped.injected
+    assert plan_batched.count() > 0  # the plan must actually fire
+    speedup = stepped_s / batched_s
+
+    lines = [
+        "Armed fast-path speedup: batched vs step-wise, live FaultPlan",
+        "workload: ResNet-18@240x320 + SuperPoint@120x160, 14 periodic jobs",
+        "rates: " + ", ".join(
+            f"{site.value}={rate}" for site, rate in sorted(
+                ARMED_RATES.items(), key=lambda item: item[0].value
+            )
+        ),
+        f"final clock (both paths)   : {clock_batched:>12,} cycles",
+        f"faults injected (both)     : {plan_batched.count():>12,}",
+        f"armed step-wise wall time  : {stepped_s * 1e3:>12.1f} ms",
+        f"armed batched wall time    : {batched_s * 1e3:>12.1f} ms   ({speedup:.1f}x)",
+        f"acceptance floor           : {ARMED_SPEEDUP_FLOOR:.1f}x",
+    ]
+    write_result("fastpath_speedup_armed", "\n".join(lines))
+
+    assert speedup >= ARMED_SPEEDUP_FLOOR

@@ -53,7 +53,7 @@ def workload():
     return config, low, high
 
 
-def _run(workload, low_period, qos, seed=9):
+def _run(workload, low_period, qos, seed=9, batched=True):
     """One mixed run: jittered high-priority arrivals over a low-priority
     stream at ``low_period``; returns (system, final_cycle, p0 responses)."""
     config, low, high = workload
@@ -67,7 +67,7 @@ def _run(workload, low_period, qos, seed=9):
         system.submit(0, int(1_000 + index * HIGH_PERIOD + rng.integers(0, 20_000)))
     for index in range(HORIZON // low_period):
         system.submit(1, int(index * low_period + rng.integers(0, 5_000)))
-    final = system.run()
+    final = system.run(batched=batched)
     responses = np.array([job.response_cycles for job in system.jobs(0)])
     return system, final, responses
 
@@ -115,6 +115,44 @@ def test_overload_bounded_queues_protect_p99(workload):
     assert overload_system.monitor.ok
     # Without bounds the backlog serialises behind the horizon instead.
     assert unbounded_final > overload_final
+
+
+def test_overload_2x_batched_bit_identical(workload):
+    """Armed differential at 2x overload: with admission control *and* the
+    online invariant monitor riding the bus, the batched fast path must be
+    indistinguishable from step-wise dispatch — same event stream, same
+    response latencies, same shed decisions, same monitor verdicts."""
+    qos = QosConfig(
+        admission=AdmissionPolicy.SHED_OLDEST,
+        queue_depth=2,
+        monitor=True,
+        monitor_mode="report",
+    )
+    stepped_system, stepped_final, stepped_resp = _run(
+        workload, LOW_PERIOD_OVERLOAD, qos=qos, batched=False
+    )
+    batched_system, batched_final, batched_resp = _run(
+        workload, LOW_PERIOD_OVERLOAD, qos=qos, batched=True
+    )
+
+    assert batched_final == stepped_final
+    assert batched_system.bus.events == stepped_system.bus.events
+    assert np.array_equal(batched_resp, stepped_resp)
+    assert batched_system.shed == stepped_system.shed
+    assert (
+        batched_system.admission.denied == stepped_system.admission.denied
+    )
+    assert [str(v) for v in batched_system.monitor.violations] == [
+        str(v) for v in stepped_system.monitor.violations
+    ]
+    for task_id in (0, 1):
+        assert [
+            (job.request_cycle, job.start_cycle, job.complete_cycle, job.outcome)
+            for job in batched_system.jobs(task_id)
+        ] == [
+            (job.request_cycle, job.start_cycle, job.complete_cycle, job.outcome)
+            for job in stepped_system.jobs(task_id)
+        ]
 
 
 def test_campaign_200_seeds_zero_invariant_violations():

@@ -85,8 +85,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 MAGIC = b"INCACCHE"
 #: Bumped whenever the entry format *or* the pickled artefact layout
 #: changes incompatibly; part of the key, so old entries become unreachable
-#: rather than unreadable.
-VERSION = 1
+#: rather than unreadable.  v2: :class:`ProgramMeta` grew the per-site
+#: fault-opportunity prefix sums armed batching depends on — a v1 meta
+#: would silently batch through fault fires, so v1 entries must degrade to
+#: a clean miss.
+VERSION = 2
 
 #: Environment variable naming the default cache directory.  When set,
 #: every :func:`~repro.compiler.compile.compile_network` call without an

@@ -15,6 +15,8 @@ modules (``repro.hw``, ``repro.iau``) stays cycle-free.
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.faults.plan import (
     ALL_SITES,
     DeadlineMissed,
@@ -53,7 +55,7 @@ _CAMPAIGN_NAMES = frozenset(
 )
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> Any:
     if name in _CAMPAIGN_NAMES:
         from repro.faults import campaign
 

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
 
 import numpy as np
 
@@ -33,6 +33,11 @@ from repro.faults.plan import FaultPlan, FaultSite
 from repro.obs.config import ObsConfig
 from repro.obs.metrics import Metrics
 from repro.qos.monitor import scan_events
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.compiler.compile import CompiledNetwork
+    from repro.hw.config import AcceleratorConfig
+    from repro.runtime.system import MultiTaskSystem
 
 #: Event kinds that count as the tolerance machinery *acting*.
 _DETECTION_KINDS = frozenset({"fault_detect", "fault_recover", "deadline_miss"})
@@ -57,12 +62,14 @@ class ScenarioRun:
     jobs: dict[str, int]
     final_cycle: int
     #: Recorded bus events (kind values are scanned for detection evidence).
-    events: list = field(default_factory=list)
+    events: list[Any] = field(default_factory=list)
     #: Requests intentionally shed by the degradation policy.
     shed: int = 0
 
     @classmethod
-    def from_system(cls, system, outputs: dict[str, np.ndarray]) -> "ScenarioRun":
+    def from_system(
+        cls, system: "MultiTaskSystem", outputs: dict[str, np.ndarray]
+    ) -> "ScenarioRun":
         """Distill a finished :class:`~repro.runtime.system.MultiTaskSystem`."""
         return cls(
             outputs=outputs,
@@ -197,11 +204,13 @@ def default_rates() -> dict[FaultSite, float]:
 
 
 def make_preemption_scenario(
-    pair=None,
-    config=None,
+    pair: "Sequence[CompiledNetwork] | None" = None,
+    config: "AcceleratorConfig | None" = None,
     *,
     arrival_cycle: int = 8_000,
     deadline_cycles: int = 120_000,
+    functional: bool = True,
+    batched: bool = True,
 ) -> Callable[[FaultPlan | None], ScenarioRun]:
     """Stock campaign workload: low-priority job preempted at a Vir_SAVE.
 
@@ -210,6 +219,13 @@ def make_preemption_scenario(
     checkpoint-CRC path is exercised.  Compilation happens once; DDR region
     contents are snapshotted and restored between runs so injected
     corruption can never leak across seeds.
+
+    ``functional=False`` builds the timing-only variant (no array compute,
+    empty ``outputs``) — the regime where the armed batched fast path can
+    engage, which the armed differential suites pin bit-identical against
+    stepping.  ``batched`` is forwarded to
+    :meth:`~repro.runtime.system.MultiTaskSystem.run`; it only changes how
+    the simulation advances, never what it computes.
     """
     from repro.hw.config import AcceleratorConfig
     from repro.runtime.system import MultiTaskSystem, compile_tasks
@@ -242,7 +258,7 @@ def make_preemption_scenario(
         system = MultiTaskSystem(
             config,
             iau_mode="virtual",
-            obs=ObsConfig(events=True, functional=True),
+            obs=ObsConfig(events=True, functional=functional),
             faults=plan,
         )
         system.add_task(0, pair[0])
@@ -251,11 +267,15 @@ def make_preemption_scenario(
             compiled.set_input(data)
         system.submit(1, 0)
         system.submit(0, arrival_cycle)
-        system.run()
-        outputs = {
-            f"task{index}": compiled.get_output()
-            for index, compiled in enumerate(pair)
-        }
+        system.run(batched=batched)
+        outputs = (
+            {
+                f"task{index}": compiled.get_output()
+                for index, compiled in enumerate(pair)
+            }
+            if functional
+            else {}
+        )
         return ScenarioRun.from_system(system, outputs)
 
     return scenario
@@ -319,7 +339,9 @@ def _classify(golden: ScenarioRun, result: ScenarioRun, plan: FaultPlan) -> RunR
     sites = tuple(sorted(site.value for site in plan.sites_injected()))
     detections = result.detections()
 
-    def report(outcome: RunOutcome, detail: str = "", latency: int | None = None):
+    def report(
+        outcome: RunOutcome, detail: str = "", latency: int | None = None
+    ) -> RunReport:
         return RunReport(
             seed=plan.seed,
             outcome=outcome,

@@ -130,7 +130,7 @@ class FaultPlan:
         ros_delay_cycles: int = 5_000,
         max_checkpoint_retries: int = 3,
         uncorrectable_share: float = 0.0,
-    ):
+    ) -> None:
         self.seed = seed
         self.ddr_stall_cycles = _positive("ddr_stall_cycles", ddr_stall_cycles)
         self.overrun_cycles = _positive("overrun_cycles", overrun_cycles)
@@ -157,6 +157,10 @@ class FaultPlan:
         }
         #: Every fault fired so far, in injection order.
         self.injected: list[InjectedFault] = []
+        # Fire-oracle cache: per site, how many upcoming draws are *known*
+        # to not fire (a lower bound; maintained by ``safe_draws``/``burn``
+        # and invalidated whenever the stream moves in any other way).
+        self._safe_ahead: dict[FaultSite, int] = {}
 
     @staticmethod
     def _coerce_site(site: FaultSite | str) -> FaultSite:
@@ -180,23 +184,85 @@ class FaultPlan:
         rate = self._rates.get(site, 0.0)
         if rate <= 0.0:
             return False
-        return self._rngs[site].random() < rate
+        fired = self._rngs[site].random() < rate
+        if fired:
+            self._safe_ahead.pop(site, None)
+        else:
+            cached = self._safe_ahead.get(site)
+            if cached is not None:
+                self._safe_ahead[site] = max(0, cached - 1)
+        return fired
 
     def draw_index(self, site: FaultSite, bound: int) -> int:
         """A uniform index in [0, bound) from the site's stream."""
         if bound <= 0:
             raise FaultError(f"draw_index bound must be positive, got {bound}")
+        self._safe_ahead.pop(site, None)
         return self._rngs[site].randrange(bound)
 
     def draw_uncorrectable(self) -> bool:
         """Whether an injected DDR flip exceeds SECDED correction."""
         if self.uncorrectable_share <= 0.0:
             return False
+        self._safe_ahead.pop(FaultSite.DDR_BIT_FLIP, None)
         return self._rngs[FaultSite.DDR_BIT_FLIP].random() < self.uncorrectable_share
+
+    # -- fire oracle ---------------------------------------------------------
+
+    def safe_draws(self, site: FaultSite, limit: int) -> int:
+        """How many of the next ``limit`` draws at ``site`` provably miss.
+
+        Peeks ahead on the site's private RNG stream *without perturbing it*
+        (the stream state is saved and restored around the peek), returning
+        the count of consecutive guaranteed non-fires from the current
+        position, capped at ``limit``.  A rate-0 site never draws at all, so
+        every opportunity is safe.  The result is a prefix: the caller may
+        :meth:`burn` up to that many draws and is guaranteed none of them
+        would have fired.
+        """
+        if limit <= 0:
+            return 0
+        rate = self._rates.get(site, 0.0)
+        if rate <= 0.0:
+            return limit
+        cached = self._safe_ahead.get(site)
+        if cached is not None and cached >= limit:
+            return limit
+        rng = self._rngs[site]
+        state = rng.getstate()
+        safe = 0
+        while safe < limit:
+            if rng.random() < rate:
+                break
+            safe += 1
+        rng.setstate(state)
+        self._safe_ahead[site] = safe
+        return safe
+
+    def burn(self, site: FaultSite, count: int) -> None:
+        """Advance the site's stream past ``count`` known-safe draws.
+
+        Replays exactly the RNG consumption ``count`` non-firing
+        :meth:`fires` calls would have performed (none at rate 0 — ``fires``
+        does not draw there), keeping a batched run's stream position
+        bit-identical to the step-wise run it replaces.  Only call for draws
+        :meth:`safe_draws` has vouched for.
+        """
+        if count <= 0:
+            return
+        rate = self._rates.get(site, 0.0)
+        if rate <= 0.0:
+            return
+        rng = self._rngs[site]
+        for _ in range(count):
+            rng.random()
+        cached = self._safe_ahead.get(site)
+        if cached is not None:
+            self._safe_ahead[site] = max(0, cached - count)
 
     # -- snapshot/restore ----------------------------------------------------
 
-    def capture_state(self) -> dict:
+    def capture_state(self) -> dict[str, Any]:
         """Picklable mid-run state: per-site RNG positions + fired faults.
 
         Restoring the RNG states is what makes a resumed run draw the
@@ -210,10 +276,11 @@ class FaultPlan:
             "injected": list(self.injected),
         }
 
-    def restore_state(self, state: dict) -> None:
+    def restore_state(self, state: Mapping[str, Any]) -> None:
         for value, rng_state in state["rng_states"].items():
             self._rngs[FaultSite(value)].setstate(rng_state)
         self.injected = list(state["injected"])
+        self._safe_ahead.clear()
 
     # -- bookkeeping ---------------------------------------------------------
 

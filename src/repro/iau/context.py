@@ -12,6 +12,7 @@ from __future__ import annotations
 import copy
 from collections import deque
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.compiler.compile import CompiledNetwork
 from repro.errors import IauError
@@ -225,7 +226,7 @@ class TaskContext:
             "network (cannot snapshot a hand-built program)"
         )
 
-    def capture_state(self) -> dict:
+    def capture_state(self) -> dict[str, Any]:
         """Picklable mid-run state of this slot (registers, queue, jobs)."""
         # One deepcopy call preserves identity links between the queue, the
         # in-flight record and the completed list (memoised copy).
@@ -261,7 +262,7 @@ class TaskContext:
             "want_degraded": self.want_degraded,
         }
 
-    def restore_state(self, state: dict) -> None:
+    def restore_state(self, state: dict[str, Any]) -> None:
         """Restore this slot from a captured state (copied, reusable)."""
         self.program = self.compiled.program_for(state["program"])
         self.base_program = self.compiled.program_for(state["base_program"])

@@ -23,21 +23,57 @@ single time:
 * *clean boundaries* — indices where the replayed core holds no in-flight
   accumulator or un-saved output section — with the data/weight tiles
   resident there, so the core's buffer bookkeeping can be fast-forwarded to
-  any boundary and the step-wise path resumed seamlessly.
+  any boundary and the step-wise path resumed seamlessly;
+* per-:class:`~repro.faults.plan.FaultSite` *fault-opportunity prefix sums*
+  (the static half of armed batching): how many Bernoulli draws the
+  step-wise path performs at each site over any instruction span, so
+  :meth:`ProgramMeta.stop_for_faults` can intersect a batch with the fault
+  plan's fire oracle and :meth:`ProgramMeta.opportunity_counts` can burn the
+  skipped non-firing draws afterwards (see ``docs/static-analysis.md``, the
+  INT rule family).
 
 ``Iau.run_batched`` consumes this metadata; the equivalence contract
 (cycle-exact and event-exact against ``step()``) is enforced by
-``tests/test_fastpath.py``.
+``tests/test_fastpath.py`` and, with faults/QoS armed, by
+``tests/test_fastpath_armed.py``.
 """
 
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, NamedTuple
 
 from repro.accel.core import DataTile, WeightTile
+from repro.faults.plan import FaultSite
 from repro.hw.timing import fetch_cycles, instruction_cycles
+from repro.isa.instructions import Instruction
 from repro.isa.opcodes import Opcode
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.compiler.compile import CompiledNetwork
+    from repro.faults.plan import FaultPlan
+    from repro.isa.program import Program
+
+#: The fault sites whose draws are a pure function of the instruction
+#: stream on the uninterrupted path — the ones armed batching must account
+#: for.  Transfers draw one DDR stall and one DDR bit-flip check each;
+#: switch-point virtuals draw one spurious-preempt check when no preemption
+#: is pending (the batch regime).  The remaining sites only draw under
+#: control flow the fast path already excludes: drop-preempt and
+#: checkpoint-corrupt need a pending preemption, job-overrun fires at
+#: switch-in (outside any batch), and the ROS sites live above the IAU.
+BATCH_FAULT_SITES: tuple[FaultSite, ...] = (
+    FaultSite.DDR_STALL,
+    FaultSite.DDR_BIT_FLIP,
+    FaultSite.IAU_SPURIOUS_PREEMPT,
+)
+
+#: Stretches shorter than this are not worth the batching overhead —
+#: ``Iau.run_batched`` falls back to ``step()`` below it, and the coverage
+#: statistics (INT005, ``stretch_coverage``) count only stretches at or
+#: above it as batchable.
+MIN_BATCH = 2
 
 #: Event template of one real instruction: (layer_id, opcode name, exec
 #: cycles, burst direction or None, burst region or None, burst bytes).
@@ -46,6 +82,74 @@ _EventSpec = tuple[int, str, int, str | None, str | None, int]
 #: Resident-tile snapshot at a clean boundary.
 _DataSpec = tuple[int, int, int, int, int, int]  # layer, row0, rows, ch0, chs, nbytes
 _WeightSpec = tuple[int, int, int, int, int, int]  # layer, ch0, chs, in_ch0, in_chs, nbytes
+
+
+class Stretch(NamedTuple):
+    """One armed-safe stretch: the span between two adjacent clean boundaries.
+
+    Within ``[start, stop)`` the only armed-feature interference is
+    oracle-guarded fault draws (``opportunities``, keyed by
+    :class:`FaultSite` value) — no preemption can engage, no checkpoint is
+    taken, and every monitor-visible event template is cycle-monotonic, so
+    a batch proven draw-free by the fire oracle retires the span with
+    behaviour bit-identical to ``step()``.
+    """
+
+    start: int
+    stop: int
+    opportunities: dict[str, int]
+
+    @property
+    def length(self) -> int:
+        return self.stop - self.start
+
+
+def fault_surface(instruction: Instruction) -> tuple[FaultSite, ...]:
+    """The :class:`FaultSite`\\ s that can host a fault at ``instruction``.
+
+    The static interference classification (rule ``INT004``): DDR stalls and
+    bit flips only on transfer instructions, dropped/spurious preemptions
+    only at switch points, checkpoint corruption only at a switch-point
+    ``VIR_SAVE``.  Job overruns (switch-in) and the ROS sites are not
+    instruction-hosted and never appear here.
+    """
+    if instruction.is_virtual:
+        if not instruction.is_switch_point:
+            return ()
+        if instruction.opcode is Opcode.VIR_SAVE:
+            return (
+                FaultSite.IAU_DROP_PREEMPT,
+                FaultSite.IAU_SPURIOUS_PREEMPT,
+                FaultSite.CHECKPOINT_CORRUPT,
+            )
+        return (FaultSite.IAU_DROP_PREEMPT, FaultSite.IAU_SPURIOUS_PREEMPT)
+    if instruction.opcode in (Opcode.LOAD_D, Opcode.LOAD_W):
+        return (FaultSite.DDR_STALL, FaultSite.DDR_BIT_FLIP)
+    if instruction.opcode is Opcode.SAVE and instruction.chs:
+        return (FaultSite.DDR_STALL, FaultSite.DDR_BIT_FLIP)
+    return ()
+
+
+def batch_draws(instruction: Instruction) -> tuple[FaultSite, ...]:
+    """The Bernoulli draws ``step()`` performs at ``instruction`` on the
+    *uninterrupted armed* path (the batch regime: no preemption pending, no
+    recovery replay).
+
+    Transfers draw one DDR-stall and one DDR-bit-flip check; a switch-point
+    virtual draws one spurious-preempt check (``can_switch`` is false with
+    no pending preemption, so the drop-preempt stream is never touched).
+    This is the per-instruction term behind
+    :attr:`ProgramMeta.opportunities`.
+    """
+    if instruction.is_virtual:
+        if instruction.is_switch_point:
+            return (FaultSite.IAU_SPURIOUS_PREEMPT,)
+        return ()
+    if instruction.opcode in (Opcode.LOAD_D, Opcode.LOAD_W):
+        return (FaultSite.DDR_STALL, FaultSite.DDR_BIT_FLIP)
+    if instruction.opcode is Opcode.SAVE and instruction.chs:
+        return (FaultSite.DDR_STALL, FaultSite.DDR_BIT_FLIP)
+    return ()
 
 
 @dataclass
@@ -72,7 +176,8 @@ class ProgramMeta:
         events: list[_EventSpec | None],
         boundaries: list[int],
         boundary_tiles: dict[int, tuple[tuple[tuple[int, _DataSpec], ...], _WeightSpec | None]],
-    ):
+        opportunities: dict[str, list[int]],
+    ) -> None:
         self.fetch = fetch
         #: ``cum[j]`` — cycles elapsed (fetch + execute of instructions
         #: ``[0, j)``) when instruction ``j`` is about to be fetched.
@@ -83,6 +188,11 @@ class ProgramMeta:
         #: section; a batch may end at any of them.
         self.boundaries = boundaries
         self._boundary_tiles = boundary_tiles
+        #: Per-:class:`FaultSite` (keyed by ``site.value``) prefix sums of
+        #: the Bernoulli draws ``step()`` performs on the uninterrupted
+        #: armed path: ``opportunities[site][j]`` draws happen over
+        #: instructions ``[0, j)``.  Length n+1 each, like :attr:`cum`.
+        self.opportunities = opportunities
 
     @property
     def total_cycles(self) -> int:
@@ -104,6 +214,61 @@ class ProgramMeta:
         """Largest clean boundary ``<= index`` (-1 when there is none)."""
         pos = bisect_right(self.boundaries, index) - 1
         return self.boundaries[pos] if pos >= 0 else -1
+
+    def stop_for_faults(self, start: int, plan: "FaultPlan") -> int:
+        """Largest stop index from ``start`` provably free of fault fires.
+
+        For every armed batch-regime site, asks the plan's fire oracle how
+        many upcoming draws are guaranteed non-fires and converts that draw
+        budget back to an instruction index via the opportunity prefix sums:
+        a batch ``[start, stop)`` consumes ``opp[stop] - opp[start]`` draws
+        at each site, so the instruction hosting the first possible fire is
+        excluded.  Sites at rate 0 never constrain (the oracle returns the
+        full limit without peeking).
+        """
+        n = len(self.cum) - 1
+        stop = n
+        for value, opp in self.opportunities.items():
+            limit = opp[n] - opp[start]
+            if limit <= 0:
+                continue
+            safe = plan.safe_draws(FaultSite(value), limit)
+            if safe >= limit:
+                continue
+            # Largest index whose prefix count stays within the safe budget.
+            stop = min(stop, bisect_right(opp, opp[start] + safe) - 1)
+        return stop
+
+    def opportunity_counts(self, start: int, stop: int) -> dict[FaultSite, int]:
+        """Per-site draw counts of the batch ``[start, stop)``.
+
+        ``Iau.run_batched`` burns exactly these (known-safe) draws after an
+        armed batch so every site's RNG stream lands on the position the
+        step-wise path would have reached.
+        """
+        return {
+            FaultSite(value): opp[stop] - opp[start]
+            for value, opp in self.opportunities.items()
+        }
+
+    def stretches(self) -> Iterator[Stretch]:
+        """The armed-safe stretch table: adjacent clean-boundary spans.
+
+        Every span is free of preemption-capable control flow by
+        construction (a batch never crosses a fire or an arrival, and no
+        task switch can engage mid-span), so the only interference left
+        inside is the per-site draw counts reported on each
+        :class:`Stretch`.
+        """
+        for start, stop in zip(self.boundaries, self.boundaries[1:]):
+            yield Stretch(
+                start=start,
+                stop=stop,
+                opportunities={
+                    value: opp[stop] - opp[start]
+                    for value, opp in self.opportunities.items()
+                },
+            )
 
     def batch_stats(self, start: int, stop: int) -> dict[str, int]:
         """Aggregate :class:`CoreStats` deltas over ``[start, stop)``."""
@@ -147,7 +312,7 @@ class ProgramMeta:
         return data_tiles, weight_tile
 
 
-def build_program_meta(compiled, program) -> ProgramMeta:
+def build_program_meta(compiled: "CompiledNetwork", program: "Program") -> ProgramMeta:
     """Walk ``program`` once, mirroring the step-wise timing/bookkeeping.
 
     The replay assumes the uninterrupted path (virtual instructions are
@@ -162,13 +327,20 @@ def build_program_meta(compiled, program) -> ProgramMeta:
     stats = _StatsPrefix(*([0] * (n + 1) for _ in range(7)))
     events: list[_EventSpec | None] = [None] * n
     boundaries: list[int] = []
-    boundary_tiles: dict[int, tuple] = {}
+    boundary_tiles: dict[
+        int, tuple[tuple[tuple[int, _DataSpec], ...], _WeightSpec | None]
+    ] = {}
+    opportunities: dict[str, list[int]] = {
+        site.value: [0] * (n + 1) for site in BATCH_FAULT_SITES
+    }
 
     # Replayed on-chip bookkeeping (timing-only: descriptors, no arrays).
     data_tiles: dict[int, _DataSpec] = {}
     weight: _WeightSpec | None = None
-    acc: tuple | None = None  # (layer, row0, rows, ch0, chs); next_in_ch0 untracked
-    out: tuple | None = None  # (layer, row0, rows, [groups (ch0, chs, nbytes)])
+    # (layer, row0, rows, ch0, chs); next_in_ch0 untracked
+    acc: tuple[int, int, int, int, int] | None = None
+    # (layer, row0, rows, [groups (ch0, chs, nbytes)])
+    out: tuple[int, int, int, list[tuple[int, int, int]]] | None = None
 
     def snapshot(index: int) -> None:
         boundaries.append(index)
@@ -196,6 +368,11 @@ def build_program_meta(compiled, program) -> ProgramMeta:
             stats.bytes_saved,
         ):
             prefix[j + 1] = prefix[j]
+        for opp in opportunities.values():
+            opp[j + 1] = opp[j]
+        for site in batch_draws(instruction):
+            opportunities[site.value][j + 1] += 1
+
         if not instruction.is_virtual:
             stats.instructions[j + 1] += 1
             stats.cycles[j + 1] += cycles
@@ -282,4 +459,6 @@ def build_program_meta(compiled, program) -> ProgramMeta:
         if acc is None and out is None:
             snapshot(j + 1)
 
-    return ProgramMeta(fetch, cum, stats, events, boundaries, boundary_tiles)
+    return ProgramMeta(
+        fetch, cum, stats, events, boundaries, boundary_tiles, opportunities
+    )

@@ -23,6 +23,7 @@ Two interrupt disciplines are modelled on top of the same task table:
 from __future__ import annotations
 
 import zlib
+from typing import TYPE_CHECKING, Any, Callable
 
 import numpy as np
 
@@ -39,6 +40,12 @@ from repro.obs.bus import EventBus
 from repro.obs.events import EventKind
 from repro.qos.admission import AdmissionController
 from repro.qos.config import QosConfig
+from repro.qos.monitor import InvariantMonitor
+
+from repro.iau.fastpath import MIN_BATCH
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.iau.fastpath import ProgramMeta
 
 #: Number of task slots in the hardware (paper's Fig. IAU).
 MAX_TASKS = 4
@@ -61,7 +68,8 @@ class Iau:
         faults: FaultPlan | None = None,
         qos: QosConfig | None = None,
         admission: AdmissionController | None = None,
-    ):
+        monitor: InvariantMonitor | None = None,
+    ) -> None:
         if mode not in IAU_MODES:
             raise IauError(f"mode must be one of {IAU_MODES}, got {mode!r}")
         self.core = core
@@ -95,13 +103,17 @@ class Iau:
         #: QoS machinery (all three are None/off on the pre-QoS fast path).
         self.qos = qos
         self.admission = admission
+        #: The runtime's invariant monitor, when one rides the bus: the fast
+        #: path brackets event replay in its stretch mode so a whole batch
+        #: is checked with one aggregate pass instead of per-event dispatch.
+        self.monitor = monitor
         self._edf = qos is not None and qos.edf_tiebreak
         self._detect_inversion = qos is not None and qos.detect_inversion
         self.num_inversions = 0
         self._inversions_seen: set[tuple[int, int]] = set()
         #: Optional hook called as ``on_complete(task_id, job)`` whenever a
         #: job finishes (the ROS layer uses it to schedule callbacks).
-        self.on_complete = None
+        self.on_complete: Callable[[int, JobRecord], None] | None = None
 
     # -- task management -----------------------------------------------------
 
@@ -188,15 +200,17 @@ class Iau:
             self._enqueue(context, released)
             released = self.admission.release_parked(context)
 
-    def _emit(self, kind: EventKind, **kwargs) -> None:
+    def _emit(self, kind: EventKind, **kwargs: Any) -> None:
         """Emit one bus event stamped at the IAU clock (callers gate on bus)."""
+        bus = self.bus
+        assert bus is not None  # every call site checks the bus first
         if self.obs_scope is not None:
             kwargs["scope"] = self.obs_scope
         cycle = kwargs.pop("cycle", self.clock)
         task_id = kwargs.pop("task_id", None)
         layer_id = kwargs.pop("layer_id", None)
         duration = kwargs.pop("duration", 0)
-        self.bus.emit(
+        bus.emit(
             kind,
             cycle=cycle,
             task_id=task_id,
@@ -207,7 +221,7 @@ class Iau:
 
     # -- scheduling ---------------------------------------------------------
 
-    def _rank(self, context: TaskContext) -> tuple:
+    def _rank(self, context: TaskContext) -> tuple[float, ...]:
         """Arbitration key: lower sorts first.
 
         Strict (priority, slot) by default — identical to the hardware's
@@ -221,7 +235,7 @@ class Iau:
 
     def _highest_runnable(self) -> TaskContext | None:
         best: TaskContext | None = None
-        best_key: tuple | None = None
+        best_key: tuple[float, ...] | None = None
         for context in self.contexts:
             if context is None or not context.runnable:
                 continue
@@ -234,7 +248,7 @@ class Iau:
         """The strictly-higher-priority runnable task that would win the
         core, or None.  Equal-priority peers never preempt each other."""
         best: TaskContext | None = None
-        best_key: tuple | None = None
+        best_key: tuple[float, ...] | None = None
         for context in self.contexts:
             if (
                 context is None
@@ -294,26 +308,39 @@ class Iau:
     # -- horizon-batched fast path --------------------------------------------
 
     #: Stretches shorter than this are not worth the batching overhead.
-    _MIN_BATCH = 2
+    _MIN_BATCH = MIN_BATCH
 
     def _fast_path_ok(self, context: TaskContext) -> bool:
         """True when the run is provably uninterruptible from here.
 
-        Timing-only, no fault plan armed, no per-step QoS work (inversion
-        detection / invariant monitor), the task is mid-stream clean (not
-        replaying recovery loads, no pending SAVE rewriting) and no
-        strictly-higher-priority task is runnable.  Arrivals are handled by
-        the caller-provided horizon.
+        Timing-only, the task mid-stream clean (not replaying recovery
+        loads, no pending SAVE rewriting) and no strictly-higher-priority
+        task runnable.  Arrivals are handled by the caller-provided horizon.
+
+        Armed features no longer bail the fast path outright (see
+        ``docs/static-analysis.md``, the INT rule family):
+
+        * a :class:`FaultPlan` is intersected per batch with the static
+          fault-opportunity table and its fire oracle
+          (``ProgramMeta.stop_for_faults``) — the only dynamic requirement
+          is that no SECDED flip is pending, because the next load of the
+          flipped region would detect and correct it mid-stretch (events +
+          array mutation the meta templates cannot express);
+        * inversion detection is per-step a no-op whenever no
+          higher-priority task is runnable — guaranteed here and unchanged
+          for the whole batch, since arrivals bound the horizon;
+        * the invariant monitor sees the replayed stream, which is
+          byte-identical to what ``step()`` would emit (checked in its
+          aggregate stretch mode, proven equivalent per-event).
         """
-        return (
-            not self.core.functional
-            and self.faults is None
-            and not self._detect_inversion
-            and (self.qos is None or not self.qos.monitor)
-            and not context.in_recovery
-            and context.save_id == NO_SAVE_ID
-            and self._preempting_task(context) is None
-        )
+        if (
+            self.core.functional
+            or context.in_recovery
+            or context.save_id != NO_SAVE_ID
+            or self._preempting_task(context) is not None
+        ):
+            return False
+        return self.faults is None or self.core.ddr.pending_flip_count == 0
 
     def run_batched(self, horizon: int | None = None) -> bool:
         """Retire a whole uninterruptible stretch of instructions at once.
@@ -348,6 +375,10 @@ class Iau:
         meta = context.compiled.execution_meta(context.program)
         base = self.clock - meta.cum[index]
         stop = meta.stop_for_horizon(index, base, horizon)
+        if self.faults is not None:
+            # Intersect with the fire oracle: the batch may not reach the
+            # instruction hosting the first possible fault fire.
+            stop = min(stop, meta.stop_for_faults(index, self.faults))
         # A batch may only end where no accumulator / output section is in
         # flight, so a later step() finds exactly the state it expects.
         boundary = meta.boundary_at_or_before(stop)
@@ -364,14 +395,32 @@ class Iau:
         self.core.retire_batch(
             meta.batch_stats(index, boundary), data_tiles, weight_tile
         )
+        if self.faults is not None:
+            # Land every site's RNG stream on the position the step-wise
+            # path would have reached: burn the known-safe draws the batch
+            # skipped (the oracle vouched none of them fires).
+            for site, count in meta.opportunity_counts(index, boundary).items():
+                self.faults.burn(site, count)
         return True
 
-    def _replay_events(self, context, meta, start: int, stop: int) -> None:
+    def _replay_events(
+        self, context: TaskContext, meta: ProgramMeta, start: int, stop: int
+    ) -> None:
         """Emit the exact DDR_BURST / INSTR_RETIRE stream step() would."""
         bus = self.bus
+        assert bus is not None  # callers gate on an armed bus
+        monitor = self.monitor
+        if monitor is not None:
+            # Batch-aggregate invariant checking: the monitor buffers the
+            # replayed stretch and verifies it in one pass on exit (falling
+            # back to per-event dispatch whenever the aggregate proof does
+            # not apply), instead of paying full dispatch per event.
+            monitor.enter_stretch()
         base = self.clock - meta.cum[start]
         fetch = meta.fetch
-        scope: dict = {} if self.obs_scope is None else {"scope": self.obs_scope}
+        scope: dict[str, str] = (
+            {} if self.obs_scope is None else {"scope": self.obs_scope}
+        )
         for j in range(start, stop):
             spec = meta.events[j]
             if spec is None:
@@ -403,10 +452,12 @@ class Iau:
                 program_index=j,
                 **scope,
             )
+        if monitor is not None:
+            monitor.exit_stretch()
 
     # -- snapshot/restore ------------------------------------------------------
 
-    def capture_state(self) -> dict:
+    def capture_state(self) -> dict[str, Any]:
         """Picklable mid-run state: clock, counters, and every task slot."""
         return {
             "clock": self.clock,
@@ -425,7 +476,7 @@ class Iau:
             },
         }
 
-    def restore_state(self, state: dict) -> None:
+    def restore_state(self, state: dict[str, Any]) -> None:
         """Restore from a captured state; the same tasks must be attached."""
         attached = {
             task_id
@@ -447,7 +498,9 @@ class Iau:
         self.num_inversions = state["num_inversions"]
         self._inversions_seen = set(state["inversions_seen"])
         for task_id, context_state in state["contexts"].items():
-            self.contexts[task_id].restore_state(context_state)
+            context = self.contexts[task_id]
+            assert context is not None  # slot membership validated above
+            context.restore_state(context_state)
 
     # -- switching ------------------------------------------------------------
 
@@ -594,11 +647,12 @@ class Iau:
             and instruction.save_id != NO_SAVE_ID
             and instruction.save_id == context.save_id
         ):
-            instruction = self._rewrite_save(context, instruction)
+            rewritten = self._rewrite_save(context, instruction)
             context.clear_save_state()
-            if instruction is None:
+            if rewritten is None:
                 context.instr_index += 1
                 return
+            instruction = rewritten
         self._execute(context, instruction)
         context.instr_index += 1
 
@@ -721,8 +775,9 @@ class Iau:
 
     # -- checkpoints & fault helpers ------------------------------------------
 
-    def _inject(self, site: FaultSite, **detail) -> None:
+    def _inject(self, site: FaultSite, **detail: Any) -> None:
         """Record one fired fault with the plan and mirror it on the bus."""
+        assert self.faults is not None  # only an armed plan can fire
         self.faults.record(site, self.clock, **detail)
         if self.bus is not None:
             self._emit(EventKind.FAULT_INJECT, site=site.value, **detail)
@@ -749,6 +804,7 @@ class Iau:
         )
         checkpoint.crc = self._checkpoint_crc(checkpoint)
         context.checkpoint = checkpoint
+        assert self.faults is not None  # callers gate on an armed plan
         if self.faults.fires(FaultSite.CHECKPOINT_CORRUPT):
             self._corrupt_checkpoint(context, checkpoint)
 
@@ -770,6 +826,7 @@ class Iau:
             :,
             checkpoint.ch0 : checkpoint.ch0 + checkpoint.chs,
         ]
+        assert self.faults is not None  # only an armed plan corrupts
         index = self.faults.draw_index(FaultSite.CHECKPOINT_CORRUPT, view.size)
         coords = np.unravel_index(index, view.shape)
         view[coords] = ~view[coords]
@@ -787,6 +844,7 @@ class Iau:
         (detected-fatal, never silent).
         """
         checkpoint = context.checkpoint
+        assert checkpoint is not None  # the caller checks before verifying
         context.checkpoint = None
         if self._checkpoint_crc(checkpoint) == checkpoint.crc:
             checkpoint.verified = True

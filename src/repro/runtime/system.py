@@ -192,6 +192,7 @@ class MultiTaskSystem(SubmitSurface):
             faults=faults,
             qos=qos,
             admission=self.admission,
+            monitor=self.monitor,
         )
         self.faults = faults
         self.degradation = degradation

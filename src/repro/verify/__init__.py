@@ -19,6 +19,11 @@ from repro.verify.engine import (
     verify_program,
     verify_task_set,
 )
+from repro.verify.interference import (
+    StretchCoverage,
+    interference_pass,
+    stretch_coverage,
+)
 from repro.verify.rules import RULES, RuleInfo, rule_info
 from repro.verify.structural import structural_pass
 from repro.verify.wcirl import StaticWcirl, wcirl_bound, wcirl_pass
@@ -31,12 +36,15 @@ __all__ = [
     "RULES",
     "Severity",
     "StaticWcirl",
+    "StretchCoverage",
     "bufferflow_pass",
     "checkpoint_pass",
     "cross_task_aliasing",
     "ddr_pass",
+    "interference_pass",
     "layer_table",
     "rule_info",
+    "stretch_coverage",
     "structural_pass",
     "verify_network",
     "verify_program",

@@ -9,8 +9,10 @@ Run the full diagnostics engine over compiled networks from the model zoo::
 
 Exit status is 0 when every verified artefact is clean and 1 when any
 ERROR-severity finding was recorded, so the command doubles as the CI
-``verify-zoo`` gate.  JSON output includes the per-variant static WCIRL
-bounds alongside the diagnostics.
+``verify-zoo`` gate.  Both formats include the per-variant static WCIRL
+bounds and the armed-stretch coverage (what fraction of each program the
+batched fast path can retire with faults/QoS armed) alongside the
+diagnostics.
 """
 
 from __future__ import annotations
@@ -22,12 +24,13 @@ from typing import Any
 from repro.tools.report import CONFIGS, MODELS
 from repro.verify.diagnostics import Report
 from repro.verify.engine import layer_table, verify_network
+from repro.verify.interference import StretchCoverage, stretch_coverage
 from repro.verify.wcirl import wcirl_bound
 
 
 def _verify_one(
     model: str, config_name: str, max_response_cycles: int | None
-) -> tuple[Report, dict[str, Any]]:
+) -> tuple[Report, dict[str, Any], dict[str, StretchCoverage]]:
     from repro.compiler.compile import compile_network
 
     graph = MODELS[model]()
@@ -36,6 +39,7 @@ def _verify_one(
     report = verify_network(compiled, max_response_cycles=max_response_cycles)
     layers = layer_table(compiled)
     bounds: dict[str, Any] = {}
+    coverage: dict[str, StretchCoverage] = {}
     for vi_mode, program in compiled.programs.items():
         bound = wcirl_bound(program, config, layers)
         bounds[vi_mode] = {
@@ -45,7 +49,8 @@ def _verify_one(
             "worst_response_cycles": bound.worst_response_cycles,
             "worst_response_us": bound.worst_us(config),
         }
-    return report, bounds
+        coverage[vi_mode] = stretch_coverage(compiled, vi_mode)
+    return report, bounds, coverage
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -77,7 +82,7 @@ def main(argv: list[str] | None = None) -> int:
     payload: list[dict[str, Any]] = []
     any_errors = False
     for model in models:
-        report, bounds = _verify_one(model, args.config, max_response_cycles)
+        report, bounds, coverage = _verify_one(model, args.config, max_response_cycles)
         any_errors = any_errors or not report.ok
         if args.format == "json":
             payload.append(
@@ -85,6 +90,9 @@ def main(argv: list[str] | None = None) -> int:
                     "model": model,
                     "config": args.config,
                     "wcirl": bounds,
+                    "stretch_coverage": {
+                        vi_mode: cov.to_json() for vi_mode, cov in coverage.items()
+                    },
                     **report.to_json(),
                 }
             )
@@ -96,6 +104,13 @@ def main(argv: list[str] | None = None) -> int:
                 f"({len(report.errors)} error(s), {len(report.warnings)} "
                 f"warning(s), static WCIRL {wcirl_us:.1f} us)"
             )
+            stretches = ", ".join(
+                f"{vi_mode} {cov.coverage:.0%} "
+                f"({cov.covered_instructions}/{cov.instructions} instr, "
+                f"{cov.batchable_stretches} stretches)"
+                for vi_mode, cov in coverage.items()
+            )
+            print(f"  armed stretches: {stretches}")
             if report.diagnostics:
                 for line in report.format().splitlines():
                     print(f"  {line}")

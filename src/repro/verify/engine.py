@@ -8,7 +8,8 @@ Three entry points, in increasing scope:
   layout / hardware config are supplied.
 * :func:`verify_network` — all three program variants of a
   :class:`~repro.compiler.compile.CompiledNetwork` with the right
-  interruptibility expectations per variant.
+  interruptibility expectations per variant, plus the armed-stretch
+  interference analysis (``INT``) over the cached execution metadata.
 * :func:`verify_task_set` — several compiled networks meant to share the
   accelerator, adding the cross-task DDR aliasing proof (DDR002).
 """
@@ -23,6 +24,7 @@ from repro.verify.bufferflow import bufferflow_pass
 from repro.verify.checkpoint import checkpoint_pass
 from repro.verify.ddr import cross_task_aliasing, ddr_pass
 from repro.verify.diagnostics import Report
+from repro.verify.interference import interference_pass
 from repro.verify.structural import structural_pass
 from repro.verify.wcirl import wcirl_pass
 
@@ -95,6 +97,9 @@ def verify_network(
                 max_response_cycles=max_response_cycles if interruptible else None,
             )
         )
+    # Armed-safe stretch analysis needs the compiled network (its cached
+    # ProgramMeta is the artefact under test), so it runs at network scope.
+    interference_pass(compiled, report)
     return report
 
 

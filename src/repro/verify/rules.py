@@ -10,7 +10,9 @@ duplicating prose.  Rule IDs are grouped by pass:
 * ``BUF`` — abstract buffer-state dataflow over the on-chip buffers;
 * ``DDR`` — DDR region addressing and cross-task aliasing;
 * ``CHK`` — checkpoint coverage of the Vir_SAVE/Vir_LOAD expansion;
-* ``WCL`` — static worst-case interrupt response latency (WCIRL).
+* ``WCL`` — static worst-case interrupt response latency (WCIRL);
+* ``INT`` — static interference analysis of the armed-safe stretches the
+  batched fast path retires under faults/QoS.
 """
 
 from __future__ import annotations
@@ -189,6 +191,46 @@ _RULES: tuple[RuleInfo, ...] = (
         "the static worst-case interrupt response latency stays within the "
         "caller-supplied cycle budget.",
         "§V response-latency evaluation",
+    ),
+    # -- interference analysis (armed-safe stretches) ------------------------
+    RuleInfo(
+        "INT001",
+        "fault-opportunity accounting",
+        "the per-site fault-opportunity prefix sums account for exactly the "
+        "Bernoulli draws the armed step path performs per instruction, so a "
+        "batch never sails past a fire and never desynchronizes an RNG stream.",
+        "§IV-C deterministic replay of the interrupt machinery",
+    ),
+    RuleInfo(
+        "INT002",
+        "monitor-visible stream monotonic",
+        "within every stretch the replayed DDR_BURST/INSTR_RETIRE templates "
+        "are cycle-monotonic and every burst carries its region, so the "
+        "invariant monitor's batch-aggregate check equals per-event dispatch.",
+        "§IV multi-task isolation (runtime monitor)",
+    ),
+    RuleInfo(
+        "INT003",
+        "stretches end at clean boundaries",
+        "every stretch boundary carries no in-flight accumulator or unsaved "
+        "output section, so a later step() resumes on exactly the state it "
+        "expects (missing clean indices only cost coverage, a warning).",
+        "§IV-C interrupt only between CalcBlobs",
+    ),
+    RuleInfo(
+        "INT004",
+        "fault-site eligibility",
+        "checkpoint corruption only at a switch-point VIR_SAVE, preemption "
+        "glitches only at switch points, DDR faults only on real transfers, "
+        "and every armed-path draw stays inside the declared fault surface.",
+        "§IV-C interrupt positions / Table 1 transfer semantics",
+    ),
+    RuleInfo(
+        "INT005",
+        "armed-stretch coverage",
+        "enough of the program sits in batchable stretches for the armed fast "
+        "path to pay off (a coverage warning, never an error).",
+        "§V speedup evaluation",
     ),
 )
 

@@ -232,6 +232,28 @@ class TestCorruptionFallback:
         path.write_bytes(bytes(raw))
         self.recompiles_cleanly(cache, graph)
 
+    def test_pre_bump_entry_is_clean_miss(self, cache, graph):
+        # A v1 entry predates the fault-opportunity table on ProgramMeta: if
+        # it loaded, armed batching would silently sail past fault fires off
+        # a stale stretch table.  Stamping an on-disk entry with the old
+        # version must degrade to a clean miss, and the recompile must carry
+        # the new table.
+        path = self.entry_path(cache, graph)
+        raw = bytearray(path.read_bytes())
+        raw[8:10] = (1).to_bytes(2, "big")
+        path.write_bytes(bytes(raw))
+        assert cache.load(cache_key(graph, BIG, weights="zeros")) is None
+        self.recompiles_cleanly(cache, graph)
+        network = compile_network(graph, BIG, weights="zeros", cache=cache)
+        meta = network.execution_meta(network.programs["vi"])
+        from repro.iau.fastpath import BATCH_FAULT_SITES
+
+        assert set(meta.opportunities) == {s.value for s in BATCH_FAULT_SITES}
+        assert all(
+            len(opp) == len(network.programs["vi"]) + 1
+            for opp in meta.opportunities.values()
+        )
+
     def test_empty_file(self, cache, graph):
         path = self.entry_path(cache, graph)
         path.write_bytes(b"")
